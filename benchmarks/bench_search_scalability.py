@@ -1,0 +1,104 @@
+"""EXP-PERF-SCALE — search-space growth with query size.
+
+The paper claims "exhaustive search and therefore truly optimal plans are
+feasible for moderately complex queries".  This bench characterises the
+boundary: optimization effort for join chains of growing width, with and
+without heuristics.
+"""
+
+import time
+
+import common
+from repro.optimizer import OptimizerConfig
+
+# Growing chains of collection ranges with OID-join predicates.
+_RANGES = [
+    ("Employee e IN Employees", None),
+    ("Department d IN extent(Department)", "e.department == d"),
+    ("Job j IN extent(Job)", "e.job == j"),
+    ("Task t IN Tasks", "t.time == 100"),
+    ("Country n IN extent(Country)", "n.name != 'x'"),
+    ("Person p IN extent(Person)", "n.president == p"),
+]
+
+
+def chain_query(width: int) -> str:
+    ranges = ", ".join(r for r, _ in _RANGES[:width])
+    conds = [c for _, c in _RANGES[:width] if c]
+    sql = f"SELECT e.name FROM {ranges}"
+    if conds:
+        sql += " WHERE " + " AND ".join(conds)
+    return sql
+
+
+def run_scaling(catalog):
+    rows = []
+    for width in range(1, len(_RANGES) + 1):
+        sql = chain_query(width)
+        started = time.perf_counter()
+        result = common.optimize(catalog, sql)
+        elapsed = time.perf_counter() - started
+        capped = common.optimize(
+            catalog, sql, OptimizerConfig().with_heuristics(candidate_cap=2)
+        )
+        rows.append(
+            (
+                width,
+                elapsed,
+                result.groups,
+                result.stats.mexprs_generated,
+                result.cost.total,
+                capped.stats.total_effort / max(1, result.stats.total_effort),
+                capped.cost.total / result.cost.total,
+            )
+        )
+    return rows
+
+
+def build_report(rows) -> str:
+    table = [
+        [
+            str(width),
+            f"{elapsed * 1000:.0f}",
+            str(groups),
+            str(mexprs),
+            f"{cost:.1f}",
+            f"{100 * effort_ratio:.0f}%",
+            f"{quality:.2f}x",
+        ]
+        for width, elapsed, groups, mexprs, cost, effort_ratio, quality in rows
+    ]
+    return common.format_table(
+        [
+            "collections",
+            "opt [ms]",
+            "groups",
+            "expressions",
+            "est cost [s]",
+            "cap-2 effort",
+            "cap-2 quality",
+        ],
+        table,
+        "Exhaustive-search scalability over join-chain width.",
+    )
+
+
+def test_search_scales_to_moderately_complex(full_catalog, benchmark):
+    rows = benchmark.pedantic(run_scaling, args=(full_catalog,), iterations=1, rounds=1)
+    common.register_report("Search scalability (EXP-PERF)", build_report(rows))
+    by_width = {w: r for (w, *r) in [(row[0], row) for row in rows]}
+    # The paper's goal holds through five collections.
+    for row in rows:
+        width, elapsed = row[0], row[1]
+        if width <= 5:
+            assert elapsed < 1.0, f"width {width} took {elapsed:.2f}s"
+    # Effort grows with width (the space is real).
+    assert rows[-1][3] > rows[0][3]
+
+
+def main() -> None:
+    print(build_report(run_scaling(common.paper_catalog())))
+
+
+if __name__ == "__main__":
+    main()

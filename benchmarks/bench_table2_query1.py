@@ -1,0 +1,107 @@
+"""EXP-T2 — Table 2: optimization results for Query 1 under rule ablation.
+
+The paper simulates weaker optimizers by disabling rules:
+
+    Row          Opt. [sec]  % of Exh.  Est. Exec. [sec]  % of Optimal
+    All Rules    0.21        103        161               100
+    W/o Comm.    0.12        57         681               422
+    W/o Window   0.11        52         1188              737
+
+Mapping note (see EXPERIMENTS.md): the paper's "W/o Comm." row describes a
+forced "naive query execution strategy (i.e., one using pointer-chasing
+algorithms)"; our rule factorization reaches that strategy by disabling
+the Mat-to-Join rewrite (our literal join-commutativity toggle is reported
+as an extra row — our finer-grained Mat-through-Join rules keep join plans
+reachable without it).
+"""
+
+import time
+
+import common
+from repro.optimizer import OptimizerConfig
+from repro.optimizer import config as C
+
+ROWS = [
+    ("All rules", OptimizerConfig()),
+    (
+        "W/o Comm. (lit.)",
+        OptimizerConfig().without(C.JOIN_COMMUTATIVITY),
+    ),
+    (
+        "W/o Mat-to-Join",
+        OptimizerConfig().without(C.MAT_TO_JOIN),
+    ),
+    (
+        "W/o Window",
+        OptimizerConfig().without(C.MAT_TO_JOIN).with_window(1),
+    ),
+]
+
+
+def run_table2(catalog):
+    results = []
+    for label, config in ROWS:
+        started = time.perf_counter()
+        result = common.optimize(catalog, common.QUERY_1, config)
+        elapsed = time.perf_counter() - started
+        results.append((label, elapsed, result))
+    return results
+
+
+def build_report(results) -> str:
+    baseline_effort = results[0][2].stats.total_effort
+    optimal_cost = results[0][2].cost.total
+    rows = []
+    for label, elapsed, result in results:
+        rows.append(
+            [
+                label,
+                f"{elapsed:.3f}",
+                f"{100 * result.stats.total_effort / baseline_effort:.0f}",
+                f"{result.cost.total:.1f}",
+                f"{100 * result.cost.total / optimal_cost:.0f}",
+            ]
+        )
+    table = common.format_table(
+        ["Rules", "Optim. [sec]", "% of Exh. Search", "Est. Exec. [sec]", "% of Optimal"],
+        rows,
+        "Table 2. Optimization Results for Query 1 "
+        "(paper: 0.21/103/161/100; 0.12/57/681/422; 0.11/52/1188/737).",
+    )
+    return table
+
+
+def test_table2_shape(full_catalog, benchmark):
+    results = benchmark.pedantic(
+        run_table2, args=(full_catalog,), iterations=1, rounds=1
+    )
+    common.register_report("Table 2 (EXP-T2)", build_report(results))
+    by_label = {label: result for label, _, result in results}
+    optimal = by_label["All rules"].cost.total
+    no_join = by_label["W/o Mat-to-Join"].cost.total
+    no_window = by_label["W/o Window"].cost.total
+    # Paper shapes: pointer chasing is "more than four times as expensive";
+    # removing the window costs another ~1.7x on top.
+    assert no_join > 4 * optimal
+    assert 1.3 < no_window / no_join < 2.5
+    # Search effort shrinks as rules are disabled.
+    assert (
+        by_label["W/o Mat-to-Join"].stats.total_effort
+        < by_label["All rules"].stats.total_effort
+    )
+
+
+def test_optimization_time_all_rules(full_catalog, benchmark):
+    """The paper's All-Rules row optimizes in 0.21 s on a 1992 DECstation;
+    it must stay well under 1 s here."""
+    result = benchmark(lambda: common.optimize(full_catalog, common.QUERY_1))
+    assert result.optimization_seconds < 1.0
+
+
+def main() -> None:
+    results = run_table2(common.paper_catalog())
+    print(build_report(results))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""EXP-T3 — Table 3: anticipated execution times for Query 4.
+
+The paper's table (seconds):
+
+    Indices     None   Time only   Name only   Both
+    All rules   108    1.73        28.4        1.73
+    Greedy use  108    1.73        28.4        10.1
+
+Shape criteria: cost-based ordering None > Name-only > Time-only = Both;
+greedy matches cost-based on single-index configurations and loses by
+roughly 5x when both indexes exist (it insists on using the name index).
+"""
+
+import common
+from repro.baselines.greedy import GreedyOptimizer
+from repro.lang.parser import parse_query
+from repro.simplify.simplifier import simplify_full
+
+INDEX_CONFIGS = [
+    ("None", ()),
+    ("Time only", ("time",)),
+    ("Name only", ("name",)),
+    ("Both", ("time", "name")),
+]
+
+
+def run_table3():
+    cost_based = {}
+    greedy = {}
+    for label, indexes in INDEX_CONFIGS:
+        catalog = common.paper_catalog(indexes)
+        cost_based[label] = common.optimize(catalog, common.QUERY_4).cost.total
+        simplified = simplify_full(parse_query(common.QUERY_4), catalog)
+        plan = GreedyOptimizer(catalog).optimize(
+            simplified.tree, result_vars=simplified.result_vars
+        )
+        greedy[label] = plan.total_cost.total
+    return cost_based, greedy
+
+
+def build_report(cost_based, greedy) -> str:
+    labels = [label for label, _ in INDEX_CONFIGS]
+    rows = [
+        ["All rules"] + [f"{cost_based[l]:.2f}" for l in labels],
+        ["Greedy use"] + [f"{greedy[l]:.2f}" for l in labels],
+    ]
+    return common.format_table(
+        ["Indices"] + labels,
+        rows,
+        "Table 3. Anticipated Execution Times for Query 4 [sec] "
+        "(paper: 108/1.73/28.4/1.73 vs 108/1.73/28.4/10.1).",
+    )
+
+
+def test_table3_shape(benchmark):
+    cost_based, greedy = benchmark.pedantic(run_table3, iterations=1, rounds=1)
+    common.register_report("Table 3 (EXP-T3)", build_report(cost_based, greedy))
+
+    # Cost-based column ordering (paper: 108 > 28.4 > 1.73 = 1.73).
+    assert cost_based["None"] > cost_based["Name only"] > cost_based["Time only"]
+    assert cost_based["Both"] == cost_based["Time only"]
+    # Paper ratios: None/Time ~ 62; Name/Time ~ 16.
+    assert cost_based["None"] / cost_based["Time only"] > 20
+    assert cost_based["Name only"] / cost_based["Time only"] > 5
+
+    # Greedy agrees when there is at most one index to be greedy about...
+    assert greedy["Time only"] < 4 * cost_based["Time only"]
+    # ...but with both, its fixed strategy loses by ~5x (paper: 10.1 vs 1.73).
+    assert greedy["Both"] > 4 * cost_based["Both"]
+
+
+def main() -> None:
+    cost_based, greedy = run_table3()
+    print(build_report(cost_based, greedy))
+
+
+if __name__ == "__main__":
+    main()

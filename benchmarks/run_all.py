@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Run every benchmark module's standalone harness and print all the
+regenerated paper tables/figures in sequence.
+
+Equivalent to ``pytest benchmarks/ --benchmark-only`` minus the timing
+table; useful for a quick visual diff against the paper.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import time
+
+MODULES = [
+    "bench_table1_catalog",
+    "bench_table2_query1",
+    "bench_table3_query4",
+    "bench_fig5_6_7_plans",
+    "bench_fig8_9_query2",
+    "bench_fig10_11_query3",
+    "bench_fig12_13_query4",
+    "bench_optimization_time",
+    "bench_exec_validation",
+    "bench_ablation_window",
+    "bench_ablation_warmstart",
+    "bench_ablation_heuristics",
+    "bench_estimation_accuracy",
+    "bench_search_scalability",
+    "bench_cost_validation",
+    "bench_ablation_argrules",
+]
+
+
+def main() -> int:
+    started = time.perf_counter()
+    for name in MODULES:
+        print("=" * 78)
+        print(f"== {name}")
+        print("=" * 78)
+        module = importlib.import_module(name)
+        module.main()
+        print()
+    print(f"all experiments regenerated in {time.perf_counter() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, __file__.rsplit("/", 1)[0])
+    raise SystemExit(main())

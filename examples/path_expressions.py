@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Path-expression optimization: the paper's Query 1 story (Figures 5-7).
+
+Shows the three-stage pipeline on the Dallas-employees query:
+
+1. simplification turns the path expression into a chain of Mat operators;
+2. with all rules enabled, the optimizer rewrites reference traversals into
+   hybrid hash joins against the referenced extents and assembles plants
+   once per department (Figure 6);
+3. disabling the Mat-to-Join rule forces naive pointer chasing (Figure 7),
+   which both the cost model and the disk simulator agree is far worse.
+
+Run with:  python examples/path_expressions.py [scale]
+"""
+
+import sys
+
+from repro import Database, OptimizerConfig
+from repro.optimizer import config as C
+
+QUERY_1 = (
+    "SELECT Newobject(e.name(), e.department().name(), e.job().name()) "
+    "FROM Employee e IN Employees "
+    'WHERE e.department().plant().location() == "Dallas"'
+)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+    db = Database.sample(scale=scale)
+
+    print("Query 1 (the paper's Dallas employees query):")
+    print(f"  {QUERY_1}")
+    print()
+
+    simplified = db.simplify(QUERY_1)
+    print("Simplified logical algebra (Figure 5): every path link is a Mat")
+    print(simplified.tree.pretty(indent=2))
+    print()
+
+    optimal = db.query(QUERY_1)
+    print("Optimal plan (Figure 6): Mats became hash joins; links are")
+    print("traversed AGAINST the stored pointer direction:")
+    print(optimal.explain(costs=True))
+    print(
+        f"-> {len(optimal.rows)} rows, simulated I/O "
+        f"{optimal.execution.simulated_io_seconds:.2f}s"
+    )
+    print()
+
+    naive_config = OptimizerConfig().without(C.MAT_TO_JOIN)
+    naive = db.query(QUERY_1, config=naive_config)
+    print("Pointer-chasing plan (Figure 7, Mat-to-Join disabled):")
+    print(naive.explain(costs=True))
+    print(
+        f"-> {len(naive.rows)} rows, simulated I/O "
+        f"{naive.execution.simulated_io_seconds:.2f}s"
+    )
+    print()
+
+    est_ratio = naive.optimization.cost.total / optimal.optimization.cost.total
+    sim_ratio = naive.execution.simulated_io_seconds / max(
+        1e-9, optimal.execution.simulated_io_seconds
+    )
+    print(
+        f"Estimated cost ratio (naive/optimal):  {est_ratio:6.1f}x\n"
+        f"Simulated  I/O  ratio (naive/optimal): {sim_ratio:6.1f}x\n"
+        "\nThe paper's conclusion: \"naive traversal of such references\n"
+        "('goto's on disk') may result in suboptimal performance\" — the\n"
+        "set-matching algorithms of the relational world stay relevant."
+    )
+
+
+if __name__ == "__main__":
+    main()

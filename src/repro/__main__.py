@@ -1,0 +1,5 @@
+"""``python -m repro`` — the interactive ZQL shell."""
+
+from repro.cli import main
+
+raise SystemExit(main())

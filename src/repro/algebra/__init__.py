@@ -1,0 +1,64 @@
+"""The optimizer-input logical algebra.
+
+The paper's central design split is between a *user* algebra (rich
+operators, arbitrarily complex arguments) and the algebra the optimizer
+transforms (simple operators, simple arguments).  This subpackage is the
+second algebra: Get, Mat (materialize), Unnest, Select, Project, Join, and
+the set operators, over a deliberately small predicate language whose
+atoms mention only variables already *in scope* — a component gets into
+scope either by being scanned (Get) or by being referenced (Mat/Unnest),
+and remains in scope until a projection discards it.
+"""
+
+from repro.algebra.predicates import (
+    CompOp,
+    Comparison,
+    Conjunction,
+    Const,
+    FieldRef,
+    RefAttr,
+    SelfOid,
+    Term,
+    VarRef,
+)
+from repro.algebra.operators import (
+    Get,
+    Join,
+    LogicalOp,
+    Mat,
+    Project,
+    ProjectItem,
+    RefSource,
+    Select,
+    SetOp,
+    SetOpKind,
+    Unnest,
+)
+from repro.algebra.scopes import BindingKind, Scope, VarBinding, derive_scope
+
+__all__ = [
+    "BindingKind",
+    "CompOp",
+    "Comparison",
+    "Conjunction",
+    "Const",
+    "FieldRef",
+    "Get",
+    "Join",
+    "LogicalOp",
+    "Mat",
+    "Project",
+    "ProjectItem",
+    "RefAttr",
+    "RefSource",
+    "Scope",
+    "Select",
+    "SelfOid",
+    "SetOp",
+    "SetOpKind",
+    "Term",
+    "Unnest",
+    "VarBinding",
+    "VarRef",
+    "derive_scope",
+]

@@ -1,0 +1,327 @@
+"""The public API: a `Database` facade over the whole stack.
+
+Typical use::
+
+    from repro import Database
+
+    db = Database.sample(scale=0.05)            # Table 1 world, scaled
+    db.create_index("ix", "Cities", ("mayor", "name"))
+    result = db.query('SELECT * FROM City c IN Cities '
+                      'WHERE c.mayor.name == "Joe"')
+    print(result.explain())
+    for row in result.rows:
+        ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.baselines.greedy import GreedyOptimizer
+from repro.baselines.naive import NaiveOptimizer
+from repro.catalog.catalog import Catalog, IndexDef
+from repro.catalog.sample_db import SampleSizes, build_catalog
+from repro.engine.executor import ExecutionResult, Executor
+from repro.engine.tuples import Row
+from repro.errors import CatalogError
+from repro.algebra.operators import LogicalOp
+from repro.lang.ast import QueryAst, SetQueryAst
+from repro.lang.parser import parse_query
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.optimizer import OptimizationResult, Optimizer
+from repro.optimizer.plans import PhysicalNode
+from repro.simplify.simplifier import SimplifiedQuery, simplify_full
+from repro.storage.datagen import generate_store, scaled_sizes
+from repro.storage.index import IndexRuntime
+from repro.storage.store import ObjectStore
+
+
+@dataclass
+class QueryResult:
+    """Everything a query run produced."""
+
+    rows: list[Row]
+    plan: PhysicalNode
+    optimization: OptimizationResult
+    execution: ExecutionResult | None
+
+    def explain(self, costs: bool = False) -> str:
+        return self.optimization.explain(costs=costs)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class Database:
+    """A catalog, an optional populated store, and an optimizer."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        store: ObjectStore | None = None,
+        config: OptimizerConfig | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.store = store
+        self.config = config or OptimizerConfig()
+        self.executor = Executor(store) if store is not None else None
+
+    @classmethod
+    def sample(
+        cls,
+        scale: float = 1.0,
+        seed: int = 20130526,
+        config: OptimizerConfig | None = None,
+        populate: bool = True,
+    ) -> "Database":
+        """The paper's Table 1 database, optionally scaled down."""
+        sizes = SampleSizes() if scale >= 1.0 else scaled_sizes(scale)
+        catalog = build_catalog(sizes)
+        store = generate_store(catalog, sizes, seed) if populate else None
+        return cls(catalog, store, config)
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def create_index(
+        self,
+        name: str,
+        collection: str,
+        path: tuple[str, ...],
+        distinct_keys: int | None = None,
+    ) -> IndexDef:
+        """Create an index; distinct keys measured from data when loaded."""
+        if distinct_keys is None:
+            if self.store is None:
+                raise CatalogError(
+                    "distinct_keys required when no store is populated"
+                )
+            probe = IndexRuntime.build(
+                self.store, IndexDef(name, collection, path, distinct_keys=1)
+            )
+            distinct_keys = max(1, probe.distinct_keys())
+        definition = IndexDef(name, collection, path, distinct_keys)
+        self.catalog.add_index(definition)
+        return definition
+
+    def drop_index(self, name: str) -> None:
+        """Remove an index from the catalog and the runtime cache."""
+        self.catalog.drop_index(name)
+        if self.executor is not None:
+            self.executor._indexes.pop(name, None)
+
+    def analyze(
+        self,
+        collection: str,
+        attributes: tuple[str, ...] | None = None,
+        bins: int | None = None,
+    ) -> list[str]:
+        """Build refined per-attribute statistics (histograms / MCV
+        sketches) by scanning the stored data — the paper's promised
+        replacement for the naive 10% selectivity default.
+
+        Returns the attribute names analyzed.
+        """
+        from repro.catalog.histograms import (
+            DEFAULT_BINS,
+            build_histogram,
+            build_mcv,
+        )
+        from repro.catalog.schema import AttrKind
+
+        if self.store is None:
+            raise CatalogError("analyze requires a populated store")
+        element = self.catalog.element_type(collection)
+        if attributes is None:
+            attributes = tuple(
+                a.name for a in element.attributes if a.kind is AttrKind.SCALAR
+            )
+        stats = self.catalog.stats(collection)
+        analyzed: list[str] = []
+        for attr_name in attributes:
+            attr_def = element.attribute(attr_name)
+            if attr_def.kind is not AttrKind.SCALAR:
+                raise CatalogError(
+                    f"analyze: {collection}.{attr_name} is not a scalar"
+                )
+            values = [
+                self.store.peek(oid).get(attr_name)
+                for oid in self.store.collection_oids(collection)
+            ]
+            values = [v for v in values if v is not None]
+            record = stats.attribute(attr_name)
+            record.histogram = build_histogram(values, bins or DEFAULT_BINS)
+            record.mcv = build_mcv(values)
+            record.distinct_values = len(set(values))
+            analyzed.append(attr_name)
+        return analyzed
+
+    def collect_type_statistics(self) -> dict[str, tuple[int, int]]:
+        """Maintain population statistics for types without extents.
+
+        The paper's Query 1 discussion: "this example indicates that
+        additional cardinality information should be maintained whether or
+        not the objects belong to a set or extent, and we may revisit this
+        issue in a later version of the system."  This is that later
+        version: record (population, pages) per extent-less type from the
+        store's segments, turning pessimistic assembly estimates (one page
+        fault per reference) into buffer-bounded ones.
+        """
+        if self.store is None:
+            raise CatalogError("type statistics require a populated store")
+        collected: dict[str, tuple[int, int]] = {}
+        for type_def in self.catalog.schema.types.values():
+            extent = self.catalog.extent_of(type_def.name)
+            if extent is not None and self.catalog.has_stats(extent.name):
+                continue
+            try:
+                segment = self.store.segment(type_def.name)
+            except Exception:
+                continue
+            population = len(segment.oids)
+            pages = max(1, segment.page_count)
+            self.catalog.set_type_population(type_def.name, population, pages)
+            collected[type_def.name] = (population, pages)
+        return collected
+
+    # ------------------------------------------------------------------
+    # Query pipeline
+    # ------------------------------------------------------------------
+
+    def parse(self, text: str) -> Union[QueryAst, SetQueryAst]:
+        return parse_query(text)
+
+    def simplify(self, query: Union[str, QueryAst, SetQueryAst]) -> SimplifiedQuery:
+        """Parse (if needed) and reduce a query to the optimizer algebra."""
+        if isinstance(query, str):
+            query = self.parse(query)
+        return simplify_full(query, self.catalog)
+
+    def optimize(
+        self,
+        query: Union[str, QueryAst, SetQueryAst, LogicalOp],
+        config: OptimizerConfig | None = None,
+    ) -> OptimizationResult:
+        """Optimize a query (text, AST, or logical tree) into a plan."""
+        if isinstance(query, LogicalOp):
+            tree, result_vars, order = query, (), None
+        else:
+            simplified = self.simplify(query)
+            tree = simplified.tree
+            result_vars = simplified.result_vars
+            order = simplified.order
+        optimizer = Optimizer(self.catalog, config or self.config)
+        return optimizer.optimize(tree, result_vars=result_vars, order=order)
+
+    def explain(
+        self,
+        query: Union[str, QueryAst, SetQueryAst],
+        config: OptimizerConfig | None = None,
+        costs: bool = False,
+    ) -> str:
+        """The chosen plan, rendered (optimizes but does not execute)."""
+        return self.optimize(query, config).explain(costs=costs)
+
+    def execute_plan(
+        self,
+        plan: PhysicalNode,
+        cold: bool = True,
+        result_vars: tuple[str, ...] = (),
+    ) -> ExecutionResult:
+        """Run a physical plan with fresh I/O accounting.
+
+        ``result_vars`` optionally prunes rows to the user-visible
+        variables (as `query` does for SELECT *).
+        """
+        if self.executor is None:
+            raise CatalogError("this database has no populated store")
+        result = self.executor.execute(plan, cold=cold)
+        if result_vars:
+            keep = set(result_vars)
+            result.rows = [
+                {name: value for name, value in row.items() if name in keep}
+                for row in result.rows
+            ]
+        return result
+
+    def query(
+        self,
+        text: str,
+        config: OptimizerConfig | None = None,
+        execute: bool = True,
+    ) -> QueryResult:
+        """Parse, simplify, optimize, and (by default) execute a query."""
+        simplified = self.simplify(text)
+        optimizer = Optimizer(self.catalog, config or self.config)
+        optimization = optimizer.optimize(
+            simplified.tree,
+            result_vars=simplified.result_vars,
+            order=simplified.order,
+        )
+        execution = None
+        rows: list[Row] = []
+        if execute and self.executor is not None:
+            execution = self.execute_plan(optimization.plan)
+            rows = execution.rows
+            if simplified.result_vars:
+                # SELECT *: the user sees the range variables; helper scope
+                # variables a particular plan happened to materialize are
+                # not part of the result.
+                keep = set(simplified.result_vars)
+                rows = [
+                    {name: value for name, value in row.items() if name in keep}
+                    for row in rows
+                ]
+                execution.rows = rows
+        return QueryResult(rows, optimization.plan, optimization, execution)
+
+    # ------------------------------------------------------------------
+    # Dynamic plan selection (ObjectStore's capability, cost-based)
+    # ------------------------------------------------------------------
+
+    def dynamic_plan(
+        self,
+        query: Union[str, QueryAst, SetQueryAst],
+        indexes: tuple[str, ...] | None = None,
+        config: OptimizerConfig | None = None,
+    ):
+        """Compile one plan per index-availability scenario; select later
+        with :meth:`execute_dynamic` (or ``plan.choose_for(catalog)``)."""
+        from repro.optimizer.dynamic import DynamicPlanner
+
+        simplified = self.simplify(query)
+        planner = DynamicPlanner(self.catalog, config or self.config)
+        return planner.plan(
+            simplified.tree,
+            result_vars=simplified.result_vars,
+            order=simplified.order,
+            indexes=indexes,
+        )
+
+    def execute_dynamic(self, dynamic_plan, cold: bool = True) -> ExecutionResult:
+        """Pick the scenario plan matching today's indexes and run it."""
+        plan = dynamic_plan.choose_for(self.catalog)
+        return self.execute_plan(plan, cold=cold)
+
+    # ------------------------------------------------------------------
+    # Baselines
+    # ------------------------------------------------------------------
+
+    def greedy_plan(self, query: Union[str, QueryAst, SetQueryAst]) -> PhysicalNode:
+        """Plan the query with the ObjectStore-style greedy baseline."""
+        simplified = self.simplify(query)
+        return GreedyOptimizer(
+            self.catalog, Optimizer(self.catalog, self.config).cost_model
+        ).optimize(simplified.tree, result_vars=simplified.result_vars)
+
+    def naive_plan(self, query: Union[str, QueryAst, SetQueryAst]) -> PhysicalNode:
+        """Plan the query with the naive pointer-chasing baseline."""
+        tree = self.simplify(query).tree
+        return NaiveOptimizer(
+            self.catalog, Optimizer(self.catalog, self.config).cost_model
+        ).optimize(tree)
+
+
+__all__ = ["Database", "QueryResult"]

@@ -1,0 +1,18 @@
+"""Baseline optimizers from the paper's comparisons.
+
+* :mod:`repro.baselines.greedy` — the ObjectStore-style strategy:
+  "a fixed, greedy strategy designed to exploit any available indexes",
+  not cost-based (Section 4, Figure 13, Table 3).
+* :mod:`repro.baselines.naive` — pure pointer chasing ("goto's on disk"):
+  scan the root collection and dereference every path one object at a
+  time, filtering at the top.
+
+Both emit the same :class:`~repro.optimizer.plans.PhysicalNode` trees the
+real optimizer produces, so their plans are executable and their costs
+directly comparable.
+"""
+
+from repro.baselines.greedy import GreedyOptimizer
+from repro.baselines.naive import NaiveOptimizer
+
+__all__ = ["GreedyOptimizer", "NaiveOptimizer"]

@@ -1,0 +1,100 @@
+"""Shared plumbing for the baseline optimizers.
+
+Baselines bypass the memo/search machinery and construct plans directly,
+but they reuse the same cost model and selectivity estimates so that their
+anticipated execution times are comparable with the real optimizer's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.operators import (
+    Get,
+    Join,
+    LogicalOp,
+    Mat,
+    Project,
+    Select,
+    Unnest,
+)
+from repro.algebra.predicates import Conjunction
+from repro.catalog.catalog import Catalog
+from repro.errors import OptimizerError
+from repro.optimizer.cost import CostModel
+from repro.optimizer.logical_props import QueryVars, build_query_vars
+from repro.optimizer.selectivity import SelectivityModel
+
+
+@dataclass
+class QueryShape:
+    """The decomposed linear form of a simplified single-range query.
+
+    ``steps`` is the bottom-up sequence of Mat/Unnest operators between
+    the root Get and the Select; baselines replay it in order.
+    """
+
+    get: Get
+    steps: list[LogicalOp] = field(default_factory=list)  # Mat | Unnest
+    predicate: Conjunction = field(default_factory=Conjunction.true)
+    project: Project | None = None
+
+
+def decompose(tree: LogicalOp) -> QueryShape:
+    """Split a simplified tree into its linear components.
+
+    Baselines model optimizers (ObjectStore's, naive navigation) that
+    handle selection over a single collection with path expressions; a
+    tree containing joins or set operators is out of their scope.
+    """
+    project: Project | None = None
+    node = tree
+    if isinstance(node, Project):
+        project = node
+        node = node.child
+    predicate = Conjunction.true()
+    if isinstance(node, Select):
+        predicate = node.predicate
+        node = node.child
+    steps: list[LogicalOp] = []
+    while isinstance(node, (Mat, Unnest)):
+        steps.append(node)
+        node = node.children[0]
+    if isinstance(node, Join):
+        raise OptimizerError(
+            "baseline optimizers handle single-collection queries only"
+        )
+    if not isinstance(node, Get):
+        raise OptimizerError(f"unexpected operator {node.name} in simplified query")
+    steps.reverse()  # bottom-up order
+    return QueryShape(get=node, steps=steps, predicate=predicate, project=project)
+
+
+@dataclass
+class BaselineContext:
+    """Catalog + estimation machinery shared by the baseline builders."""
+
+    catalog: Catalog
+    cost_model: CostModel
+    selectivity: SelectivityModel
+    query_vars: QueryVars
+
+    @staticmethod
+    def for_query(
+        catalog: Catalog, tree: LogicalOp, cost_model: CostModel | None = None
+    ) -> "BaselineContext":
+        """Assemble the estimation machinery for one query tree."""
+        query_vars = build_query_vars(tree, catalog)
+        return BaselineContext(
+            catalog=catalog,
+            cost_model=cost_model or CostModel(),
+            selectivity=SelectivityModel(catalog, query_vars),
+            query_vars=query_vars,
+        )
+
+    def type_pages(self, type_name: str) -> int | None:
+        """Page count of a type's population, or None when unknowable."""
+        return self.catalog.type_pages(type_name)
+
+
+__all__ = ["BaselineContext", "QueryShape", "decompose"]

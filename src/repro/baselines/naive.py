@@ -1,0 +1,101 @@
+"""The naive navigation baseline: "goto's on disk".
+
+Scans the root collection and resolves every path expression by
+dereferencing stored references one object at a time (assembly with a
+window of one — no elevator), evaluating the whole predicate only at the
+top.  This is the strategy the paper argues object-oriented systems must
+*not* settle for: "naive traversal of such references ('goto's on disk')
+may result in suboptimal performance".
+"""
+
+from __future__ import annotations
+
+from repro.algebra.operators import LogicalOp, Mat, Unnest
+from repro.baselines.builder import BaselineContext, decompose
+from repro.catalog.catalog import Catalog
+from repro.optimizer.cost import CostModel
+from repro.optimizer.physical_props import PhysProps
+from repro.optimizer.plans import (
+    AlgProjectNode,
+    AlgUnnestNode,
+    AssemblyNode,
+    FileScanNode,
+    FilterNode,
+    PhysicalNode,
+)
+
+
+class NaiveOptimizer:
+    """Always scan, always pointer-chase, never reorder."""
+
+    def __init__(self, catalog: Catalog, cost_model: CostModel | None = None) -> None:
+        self.catalog = catalog
+        self.cost_model = cost_model or CostModel()
+
+    def optimize(self, tree: LogicalOp) -> PhysicalNode:
+        """Build the scan-and-chase plan for a simplified query tree."""
+        ctx = BaselineContext.for_query(self.catalog, tree, self.cost_model)
+        shape = decompose(tree)
+
+        rows = float(self.catalog.cardinality(shape.get.collection))
+        plan: PhysicalNode = FileScanNode(
+            shape.get.collection,
+            shape.get.var,
+            delivered=PhysProps.of(shape.get.var),
+            rows=rows,
+            local_cost=self.cost_model.file_scan(
+                self.catalog.pages(shape.get.collection), rows
+            ),
+        )
+
+        for step in shape.steps:
+            if isinstance(step, Unnest):
+                rows *= ctx.selectivity.unnest_fanout(step.var, step.attr)
+                plan = AlgUnnestNode(
+                    step.var,
+                    step.attr,
+                    step.out,
+                    children=(plan,),
+                    delivered=plan.delivered,
+                    rows=rows,
+                    local_cost=self.cost_model.unnest(rows),
+                )
+            elif isinstance(step, Mat):
+                target_type = ctx.query_vars.origin(step.out).type_name
+                plan = AssemblyNode(
+                    step.source,
+                    step.out,
+                    window=1,
+                    children=(plan,),
+                    delivered=plan.delivered.add(step.out),
+                    rows=rows,
+                    local_cost=self.cost_model.assembly(
+                        rows, ctx.type_pages(target_type), window=1
+                    ),
+                )
+
+        if not shape.predicate.is_true:
+            rows *= ctx.selectivity.predicate(shape.predicate)
+            plan = FilterNode(
+                shape.predicate,
+                children=(plan,),
+                delivered=plan.delivered,
+                rows=rows,
+                local_cost=self.cost_model.filter(
+                    plan.children[0].rows, len(shape.predicate.comparisons)
+                ),
+            )
+
+        if shape.project is not None:
+            plan = AlgProjectNode(
+                shape.project.items,
+                shape.project.distinct,
+                children=(plan,),
+                delivered=PhysProps.none(),
+                rows=rows,
+                local_cost=self.cost_model.project(rows, shape.project.distinct),
+            )
+        return plan
+
+
+__all__ = ["NaiveOptimizer"]

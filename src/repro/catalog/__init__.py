@@ -1,0 +1,33 @@
+"""Object data model and catalog.
+
+This subpackage defines the schema layer of the reproduced Open OODB: object
+types with scalar, reference, and set-of-reference attributes; collections
+(type extents and user-defined named sets); per-collection and per-attribute
+statistics; and index metadata.  The :class:`~repro.catalog.catalog.Catalog`
+is the single source of truth consulted by the simplifier, the optimizer's
+selectivity and cost estimation, and the execution engine.
+"""
+
+from repro.catalog.schema import (
+    AttrKind,
+    AttributeDef,
+    CollectionDef,
+    CollectionKind,
+    Schema,
+    TypeDef,
+)
+from repro.catalog.statistics import AttributeStats, CollectionStats
+from repro.catalog.catalog import Catalog, IndexDef
+
+__all__ = [
+    "AttrKind",
+    "AttributeDef",
+    "AttributeStats",
+    "Catalog",
+    "CollectionDef",
+    "CollectionKind",
+    "CollectionStats",
+    "IndexDef",
+    "Schema",
+    "TypeDef",
+]

@@ -1,0 +1,271 @@
+"""The paper's Table 1 database: schema, catalog statistics, and helpers.
+
+This module reconstructs the catalog of Blakeley et al.'s experiments.  The
+scanned table in the paper is partially garbled; the values below are the
+consistent reconstruction implied by the surrounding prose (see
+EXPERIMENTS.md, "Calibration").  The load-bearing facts are preserved:
+
+* ``Cities`` is a 10,000-element named set of 200-byte ``City`` objects with
+  *no* extent; mayors are drawn from the 100,000-object ``Person`` extent.
+* ``Employees`` is a 50,000-element named set; the ``Employee`` extent has
+  200,000 objects of 250 bytes.
+* ``Department`` has a 1,000-object extent, ``Job`` a 5,000-object extent,
+  ``Country`` a 160-object extent.
+* ``Plant`` has *neither* an extent nor a named set and its objects are not
+  densely clustered — so the optimizer cannot bound assembly page faults
+  for plants (the Query 1 / Figure 7 discussion).
+* ``Tasks`` is a named set whose elements carry a set-valued
+  ``team_members`` attribute referencing employees (Query 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog, IndexDef, extent_name
+from repro.catalog.schema import Schema, TypeDef, ref, scalar, set_ref
+from repro.catalog.statistics import AttributeStats, CollectionStats
+
+
+@dataclass(frozen=True)
+class SampleSizes:
+    """All tunable cardinalities of the Table 1 world in one place."""
+
+    capitals: int = 160
+    cities: int = 10_000
+    countries: int = 160
+    departments: int = 1_000
+    employees_set: int = 50_000
+    employee_extent: int = 200_000
+    information: int = 1_000
+    jobs: int = 5_000
+    persons: int = 100_000
+    plants: int = 1_000
+    tasks_set: int = 12_000
+    task_extent: int = 100_000
+    avg_team_size: float = 8.0
+    distinct_person_names: int = 5_000
+    distinct_employee_names: int = 500
+    distinct_task_times: int = 1_000
+    distinct_locations: int = 50
+    distinct_floors: int = 10
+
+
+def build_schema() -> Schema:
+    """The object types of the Table 1 world."""
+    schema = Schema()
+    schema.add_type(
+        TypeDef(
+            "Person",
+            object_size=100,
+            attributes=(scalar("name", "str"), scalar("age", "int")),
+        ),
+        with_extent=True,
+    )
+    schema.add_type(
+        TypeDef(
+            "Country",
+            object_size=300,
+            attributes=(
+                scalar("name", "str"),
+                ref("president", "Person"),
+                ref("capital", "Capital"),
+            ),
+        ),
+        with_extent=True,
+    )
+    schema.add_type(
+        TypeDef(
+            "Capital",
+            object_size=400,
+            attributes=(
+                scalar("name", "str"),
+                scalar("population", "int"),
+                ref("mayor", "Person"),
+                ref("country", "Country"),
+            ),
+        )
+    )
+    schema.add_type(
+        TypeDef(
+            "City",
+            object_size=200,
+            attributes=(
+                scalar("name", "str"),
+                scalar("population", "int"),
+                ref("mayor", "Person"),
+                ref("country", "Country"),
+            ),
+        )
+    )
+    schema.add_type(
+        TypeDef(
+            "Plant",
+            object_size=1000,
+            attributes=(scalar("location", "str"), scalar("products", "str")),
+        )
+    )
+    schema.add_type(
+        TypeDef(
+            "Department",
+            object_size=400,
+            attributes=(
+                scalar("name", "str"),
+                scalar("floor", "int"),
+                ref("plant", "Plant"),
+            ),
+        ),
+        with_extent=True,
+    )
+    schema.add_type(
+        TypeDef(
+            "Job",
+            object_size=250,
+            attributes=(scalar("name", "str"), scalar("pay_grade", "int")),
+        ),
+        with_extent=True,
+    )
+    schema.add_type(
+        TypeDef(
+            "Employee",
+            object_size=250,
+            attributes=(
+                scalar("name", "str"),
+                scalar("age", "int"),
+                scalar("salary", "int"),
+                scalar("last_raise", "date"),
+                ref("department", "Department"),
+                ref("job", "Job"),
+            ),
+        ),
+        with_extent=True,
+    )
+    schema.add_type(
+        TypeDef(
+            "Task",
+            object_size=300,
+            attributes=(
+                scalar("name", "str"),
+                scalar("time", "int"),
+                set_ref("team_members", "Employee"),
+            ),
+        ),
+        with_extent=True,
+    )
+    schema.add_type(
+        TypeDef(
+            "Information",
+            object_size=400,
+            attributes=(scalar("topic", "str"), scalar("body", "str")),
+        ),
+        with_extent=True,
+    )
+
+    schema.add_named_set("Capitals", "Capital")
+    schema.add_named_set("Cities", "City")
+    schema.add_named_set("Employees", "Employee")
+    schema.add_named_set("Tasks", "Task")
+    return schema
+
+
+def build_catalog(sizes: SampleSizes | None = None) -> Catalog:
+    """The Table 1 catalog: schema plus all statistics."""
+    sizes = sizes or SampleSizes()
+    catalog = Catalog(build_schema())
+
+    catalog.set_stats("Capitals", CollectionStats(sizes.capitals))
+    catalog.set_stats(
+        "Cities",
+        CollectionStats(
+            sizes.cities,
+            attributes={"name": AttributeStats(distinct_values=sizes.cities)},
+        ),
+    )
+    catalog.set_stats(
+        extent_name("Country"),
+        CollectionStats(
+            sizes.countries,
+            attributes={"name": AttributeStats(distinct_values=sizes.countries)},
+        ),
+    )
+    catalog.set_stats(
+        extent_name("Department"),
+        CollectionStats(
+            sizes.departments,
+            attributes={
+                "floor": AttributeStats(distinct_values=sizes.distinct_floors)
+            },
+        ),
+    )
+    catalog.set_stats(
+        "Employees",
+        CollectionStats(
+            sizes.employees_set,
+            attributes={
+                "name": AttributeStats(distinct_values=sizes.distinct_employee_names)
+            },
+        ),
+    )
+    catalog.set_stats(
+        extent_name("Employee"),
+        CollectionStats(
+            sizes.employee_extent,
+            attributes={
+                "name": AttributeStats(distinct_values=sizes.distinct_employee_names)
+            },
+        ),
+    )
+    catalog.set_stats(extent_name("Information"), CollectionStats(sizes.information))
+    catalog.set_stats(extent_name("Job"), CollectionStats(sizes.jobs))
+    catalog.set_stats(
+        extent_name("Person"),
+        CollectionStats(
+            sizes.persons,
+            attributes={
+                "name": AttributeStats(distinct_values=sizes.distinct_person_names)
+            },
+        ),
+    )
+    catalog.set_stats(
+        "Tasks",
+        CollectionStats(
+            sizes.tasks_set,
+            attributes={
+                "time": AttributeStats(distinct_values=sizes.distinct_task_times),
+                "team_members": AttributeStats(avg_set_size=sizes.avg_team_size),
+            },
+        ),
+    )
+    catalog.set_stats(
+        extent_name("Task"),
+        CollectionStats(
+            sizes.task_extent,
+            attributes={
+                "time": AttributeStats(distinct_values=sizes.distinct_task_times),
+                "team_members": AttributeStats(avg_set_size=sizes.avg_team_size),
+            },
+        ),
+    )
+    return catalog
+
+
+# ----------------------------------------------------------------------
+# The index configurations used by the paper's experiments
+# ----------------------------------------------------------------------
+
+
+def index_cities_mayor_name(distinct: int = 5_000) -> IndexDef:
+    """The path index on ``Cities`` over ``mayor.name`` (Queries 2 and 3)."""
+    return IndexDef("ix_cities_mayor_name", "Cities", ("mayor", "name"), distinct)
+
+
+def index_tasks_time(distinct: int = 1_000) -> IndexDef:
+    """The attribute index on ``Tasks.time`` (Query 4)."""
+    return IndexDef("ix_tasks_time", "Tasks", ("time",), distinct)
+
+
+def index_employees_name(distinct: int = 500) -> IndexDef:
+    """The attribute index on ``extent(Employee).name`` (Query 4)."""
+    return IndexDef(
+        "ix_employees_name", extent_name("Employee"), ("name",), distinct
+    )

@@ -1,0 +1,220 @@
+"""Schema definitions: object types, attributes, and collections.
+
+The Open OODB paper assumes the C++ type system as its object data model.
+We reproduce the parts of that model the optimizer actually consults:
+
+* each object belongs to exactly one named :class:`TypeDef`;
+* an attribute is a scalar value, a single reference to another object, or a
+  set of references to objects of one target type;
+* objects are reachable for scanning through *collections* — either the
+  *extent* of a type (all instances) or a user-defined named *set* (a subset
+  of the instances, e.g. ``Employees`` vs. the ``Employee`` extent in the
+  paper's Table 1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+
+class AttrKind(enum.Enum):
+    """The three attribute shapes the optimizer distinguishes."""
+
+    SCALAR = "scalar"
+    REF = "ref"
+    SET_REF = "set_ref"
+
+
+@dataclass(frozen=True)
+class AttributeDef:
+    """One attribute of an object type.
+
+    ``target_type`` names the referenced type for REF and SET_REF attributes
+    and is ``None`` for scalars.  ``scalar_type`` is a descriptive tag
+    ("str", "int", "date", ...) used only for documentation and
+    type-checking of query constants.
+    """
+
+    name: str
+    kind: AttrKind
+    target_type: str | None = None
+    scalar_type: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is AttrKind.SCALAR:
+            if self.target_type is not None:
+                raise SchemaError(
+                    f"scalar attribute {self.name!r} must not have a target type"
+                )
+        elif self.target_type is None:
+            raise SchemaError(
+                f"{self.kind.value} attribute {self.name!r} needs a target type"
+            )
+
+    @property
+    def is_reference(self) -> bool:
+        return self.kind is AttrKind.REF
+
+    @property
+    def is_set(self) -> bool:
+        return self.kind is AttrKind.SET_REF
+
+
+def scalar(name: str, scalar_type: str = "int") -> AttributeDef:
+    """Convenience constructor for a scalar attribute."""
+    return AttributeDef(name, AttrKind.SCALAR, scalar_type=scalar_type)
+
+
+def ref(name: str, target_type: str) -> AttributeDef:
+    """Convenience constructor for a single-valued reference attribute."""
+    return AttributeDef(name, AttrKind.REF, target_type=target_type)
+
+
+def set_ref(name: str, target_type: str) -> AttributeDef:
+    """Convenience constructor for a set-of-references attribute."""
+    return AttributeDef(name, AttrKind.SET_REF, target_type=target_type)
+
+
+@dataclass(frozen=True)
+class TypeDef:
+    """An object type: a name, a size in bytes, and a set of attributes."""
+
+    name: str
+    object_size: int
+    attributes: tuple[AttributeDef, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.object_size <= 0:
+            raise SchemaError(f"type {self.name!r} must have positive size")
+        seen: set[str] = set()
+        for attr in self.attributes:
+            if attr.name in seen:
+                raise SchemaError(
+                    f"type {self.name!r} has duplicate attribute {attr.name!r}"
+                )
+            seen.add(attr.name)
+
+    def attribute(self, name: str) -> AttributeDef:
+        """Look an attribute up by name; raises SchemaError when absent."""
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise SchemaError(f"type {self.name!r} has no attribute {name!r}")
+
+    def has_attribute(self, name: str) -> bool:
+        return any(attr.name == name for attr in self.attributes)
+
+    @property
+    def reference_attributes(self) -> tuple[AttributeDef, ...]:
+        return tuple(a for a in self.attributes if a.kind is not AttrKind.SCALAR)
+
+
+class CollectionKind(enum.Enum):
+    """How a scannable collection came to exist."""
+
+    EXTENT = "extent"
+    NAMED_SET = "set"
+
+
+@dataclass(frozen=True)
+class CollectionDef:
+    """A scannable collection of objects of a single element type.
+
+    The paper's Table 1 distinguishes user-defined sets (``Employees``,
+    ``Cities``) from type extents (``extent(Employee)``).  An extent contains
+    *every* instance of its type — only extents may be used as the join
+    target when the Mat-to-Join transformation rewrites a reference
+    traversal, because a named set might miss referenced objects.
+    """
+
+    name: str
+    element_type: str
+    kind: CollectionKind
+
+    @property
+    def is_extent(self) -> bool:
+        return self.kind is CollectionKind.EXTENT
+
+
+def extent_name(type_name: str) -> str:
+    """Canonical collection name of a type extent."""
+    return f"extent({type_name})"
+
+
+@dataclass
+class Schema:
+    """A mutable bag of type and collection definitions.
+
+    The schema is assembled by the application (or by
+    :mod:`repro.catalog.sample_db`) and then frozen inside a
+    :class:`~repro.catalog.catalog.Catalog`.
+    """
+
+    types: dict[str, TypeDef] = field(default_factory=dict)
+    collections: dict[str, CollectionDef] = field(default_factory=dict)
+
+    def add_type(self, type_def: TypeDef, with_extent: bool = False) -> TypeDef:
+        """Register a type, optionally creating its extent collection."""
+        if type_def.name in self.types:
+            raise SchemaError(f"duplicate type {type_def.name!r}")
+        self.types[type_def.name] = type_def
+        if with_extent:
+            self.add_extent(type_def.name)
+        return type_def
+
+    def add_extent(self, type_name: str) -> CollectionDef:
+        """Create the extent collection of an existing type."""
+        self._require_type(type_name)
+        return self._add_collection(
+            CollectionDef(extent_name(type_name), type_name, CollectionKind.EXTENT)
+        )
+
+    def add_named_set(self, set_name: str, element_type: str) -> CollectionDef:
+        """Create a user-defined named set over an existing type."""
+        self._require_type(element_type)
+        return self._add_collection(
+            CollectionDef(set_name, element_type, CollectionKind.NAMED_SET)
+        )
+
+    def type_of(self, type_name: str) -> TypeDef:
+        return self._require_type(type_name)
+
+    def collection(self, name: str) -> CollectionDef:
+        """Look a collection up by name; raises SchemaError when absent."""
+        if name not in self.collections:
+            raise SchemaError(f"unknown collection {name!r}")
+        return self.collections[name]
+
+    def extent_of(self, type_name: str) -> CollectionDef | None:
+        """The extent collection of a type, or None if the type has none."""
+        return self.collections.get(extent_name(type_name))
+
+    def validate(self) -> None:
+        """Check that every reference target names a defined type."""
+        for type_def in self.types.values():
+            for attr in type_def.reference_attributes:
+                if attr.target_type not in self.types:
+                    raise SchemaError(
+                        f"{type_def.name}.{attr.name} references unknown type "
+                        f"{attr.target_type!r}"
+                    )
+        for coll in self.collections.values():
+            if coll.element_type not in self.types:
+                raise SchemaError(
+                    f"collection {coll.name!r} has unknown element type "
+                    f"{coll.element_type!r}"
+                )
+
+    def _require_type(self, type_name: str) -> TypeDef:
+        if type_name not in self.types:
+            raise SchemaError(f"unknown type {type_name!r}")
+        return self.types[type_name]
+
+    def _add_collection(self, coll: CollectionDef) -> CollectionDef:
+        if coll.name in self.collections:
+            raise SchemaError(f"duplicate collection {coll.name!r}")
+        self.collections[coll.name] = coll
+        return coll

@@ -1,0 +1,75 @@
+"""Statistical summary data used by selectivity and cost estimation.
+
+The paper keeps cardinality information "only with extents and set
+instances" — a deliberate limitation that drives the Query 1 discussion
+(the optimizer cannot bound the number of page faults when assembling
+``Plant`` components because ``Plant`` has no extent).  We reproduce that
+behaviour: statistics attach to collections, and a type without any
+scannable collection has *unknown* population statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError
+
+
+@dataclass
+class AttributeStats:
+    """Per-attribute statistics within one collection.
+
+    ``distinct_values``
+        Number of distinct values of a scalar attribute (or of the final
+        scalar component of an indexed path).  Used for equality
+        selectivity when an index makes the estimate trustworthy.
+    ``avg_set_size``
+        Average cardinality of a set-valued attribute (fan-out of unnest).
+    ``histogram`` / ``mcv``
+        Optional refined distributions built by ``Database.analyze`` —
+        the paper's promised selectivity refinement (future work #1).
+    """
+
+    distinct_values: int | None = None
+    avg_set_size: float | None = None
+    histogram: object | None = None  # catalog.histograms.Histogram
+    mcv: object | None = None  # catalog.histograms.MostCommonValues
+
+
+@dataclass
+class CollectionStats:
+    """Statistics of one scannable collection.
+
+    ``cardinality`` is the number of member objects; ``clustered`` records
+    whether members are densely packed on contiguous pages (the paper's
+    "objects in user-defined sets and type extents are assumed to be
+    densely packed on pages").
+    """
+
+    cardinality: int
+    clustered: bool = True
+    attributes: dict[str, AttributeStats] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cardinality < 0:
+            raise CatalogError("collection cardinality must be non-negative")
+
+    def attribute(self, name: str) -> AttributeStats:
+        """Statistics for one attribute, creating an empty record lazily."""
+        if name not in self.attributes:
+            self.attributes[name] = AttributeStats()
+        return self.attributes[name]
+
+    def distinct_values(self, attr: str) -> int | None:
+        stats = self.attributes.get(attr)
+        return stats.distinct_values if stats else None
+
+    def avg_set_size(self, attr: str) -> float | None:
+        stats = self.attributes.get(attr)
+        return stats.avg_set_size if stats else None
+
+
+# Default selectivity the paper assumes when no index can assist the
+# estimate: "selectivity of selection predicates is assumed to be 10%,
+# which is naive and will later be replaced".
+DEFAULT_SELECTIVITY = 0.10

@@ -1,0 +1,208 @@
+"""An interactive ZQL shell over the sample database.
+
+Run with ``python -m repro`` (options: ``--scale``, ``--seed``).
+
+Dot-commands:
+
+===================  ====================================================
+``.help``            this text
+``.catalog``         Table 1 style catalog dump
+``.indexes``         list indexes
+``.index NAME COLLECTION path.to.attr``   create an index
+``.drop NAME``       drop an index
+``.analyze COLLECTION``                   build histograms/MCVs
+``.explain QUERY``   show the plan without executing
+``.trace QUERY``     show the goal-directed search states (Figure 11)
+``.validate``        cost-formula vs simulator micro-experiments
+``.dynamic QUERY``   compile per-index-scenario plans (ObjectStore-style)
+``.rules``           list togglable rule names
+``.disable NAME``    disable a rule for the session ( .enable to undo )
+``.quit``            leave
+===================  ====================================================
+
+Anything else is parsed as a ZQL query, optimized, executed, and printed
+with its plan and simulated I/O cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.api import Database
+from repro.engine.tuples import Obj
+from repro.errors import ReproError
+from repro.optimizer import OptimizerConfig
+from repro.optimizer.config import (
+    ALL_IMPLEMENTATIONS,
+    ALL_TRANSFORMATIONS,
+    ASSEMBLY_ENFORCER,
+    SORT_ENFORCER,
+)
+
+_PROMPT = "zql> "
+_MAX_ROWS = 20
+
+
+class Shell:
+    """The interactive loop: dot-commands plus ZQL query execution."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self.disabled: set[str] = set()
+
+    # ------------------------------------------------------------------
+
+    def run(self, stream=sys.stdin, interactive: bool = True) -> None:
+        """Read-eval-print until EOF or ``.quit``."""
+        if interactive:
+            print("Open OODB query optimizer shell — .help for commands")
+        while True:
+            if interactive:
+                print(_PROMPT, end="", flush=True)
+            line = stream.readline()
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            if line in (".quit", ".exit"):
+                break
+            try:
+                self.dispatch(line)
+            except ReproError as exc:
+                print(f"error: {exc}")
+
+    def dispatch(self, line: str) -> None:
+        """Route one input line to a dot-command or the query pipeline."""
+        if line.startswith("."):
+            self._command(line)
+        else:
+            self._query(line)
+
+    # ------------------------------------------------------------------
+
+    def _config(self) -> OptimizerConfig:
+        return OptimizerConfig().without(*self.disabled)
+
+    def _command(self, line: str) -> None:
+        parts = line.split()
+        command, args = parts[0], parts[1:]
+        if command == ".help":
+            print(__doc__)
+        elif command == ".catalog":
+            print(self.db.catalog.describe())
+        elif command == ".indexes":
+            for index in self.db.catalog.indexes():
+                print(f"  {index.name}: {index.describe()}")
+        elif command == ".index" and len(args) == 3:
+            name, collection, path = args
+            self.db.create_index(name, collection, tuple(path.split(".")))
+            print(f"created {name}")
+        elif command == ".drop" and len(args) == 1:
+            self.db.drop_index(args[0])
+            print(f"dropped {args[0]}")
+        elif command == ".analyze" and len(args) == 1:
+            analyzed = self.db.analyze(args[0])
+            print(f"analyzed {args[0]}: {', '.join(analyzed)}")
+        elif command == ".explain":
+            rest = line[len(".explain") :].strip()
+            result = self.db.optimize(rest, config=self._config())
+            print(result.explain(costs=True))
+        elif command == ".trace":
+            rest = line[len(".trace") :].strip()
+            result = self.db.optimize(rest, config=self._config())
+            for entry in result.search_trace:
+                print(f"  {entry}")
+        elif command == ".validate":
+            from repro.optimizer.calibration import CostModelValidator
+
+            if self.db.store is None:
+                print("error: no populated store")
+                return
+            for row in CostModelValidator(self.db.store).validate_all():
+                print(
+                    f"  {row.operation:34} formula {row.predicted_io_s:7.3f}s"
+                    f"  simulated {row.simulated_io_s:7.3f}s"
+                    f"  ratio {row.ratio:5.2f}x"
+                )
+        elif command == ".dynamic":
+            rest = line[len(".dynamic") :].strip()
+            print(self.db.dynamic_plan(rest, config=self._config()).describe())
+        elif command == ".rules":
+            for name in (
+                ALL_TRANSFORMATIONS
+                + ALL_IMPLEMENTATIONS
+                + (ASSEMBLY_ENFORCER, SORT_ENFORCER)
+            ):
+                marker = " (disabled)" if name in self.disabled else ""
+                print(f"  {name}{marker}")
+        elif command == ".disable" and len(args) == 1:
+            self.disabled.add(args[0])
+            print(f"disabled {args[0]}")
+        elif command == ".enable" and len(args) == 1:
+            self.disabled.discard(args[0])
+            print(f"enabled {args[0]}")
+        else:
+            print(f"unknown command {line!r}; try .help")
+
+    def _query(self, text: str) -> None:
+        result = self.db.query(text, config=self._config())
+        print(result.explain(costs=True))
+        for row in result.rows[:_MAX_ROWS]:
+            print("  " + self._format_row(row))
+        remaining = len(result.rows) - _MAX_ROWS
+        if remaining > 0:
+            print(f"  ... {remaining} more rows")
+        if result.execution is not None:
+            print(
+                f"-- {len(result.rows)} rows, simulated I/O "
+                f"{result.execution.simulated_io_seconds:.3f}s, "
+                f"{result.execution.page_reads} page reads, wall "
+                f"{result.execution.wall_seconds * 1000:.1f} ms"
+            )
+
+    @staticmethod
+    def _format_row(row: dict) -> str:
+        parts = []
+        for name, value in row.items():
+            if isinstance(value, Obj):
+                label = value.field("name") if value.resident and "name" in (
+                    value.data or {}
+                ) else value.oid
+                parts.append(f"{name}={label}")
+            else:
+                parts.append(f"{name}={value}")
+        return ", ".join(parts)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Open OODB query optimizer shell"
+    )
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=20130526)
+    parser.add_argument(
+        "-c", "--command", help="run one query/command and exit"
+    )
+    options = parser.parse_args(argv)
+    print(f"loading Table 1 sample database (scale {options.scale}) ...")
+    db = Database.sample(scale=options.scale, seed=options.seed)
+    shell = Shell(db)
+    try:
+        if options.command:
+            shell.dispatch(options.command)
+        else:
+            shell.run()
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; normal exit.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

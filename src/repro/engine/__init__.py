@@ -1,0 +1,12 @@
+"""The physical execution engine (Volcano iterator model).
+
+Every physical operator the optimizer can emit is executable against the
+simulated object store, so any plan — optimal or deliberately crippled —
+can be run, its result compared against alternatives, and its *simulated*
+I/O time measured against the optimizer's estimate.
+"""
+
+from repro.engine.executor import ExecutionResult, Executor
+from repro.engine.tuples import Row
+
+__all__ = ["ExecutionResult", "Executor", "Row"]

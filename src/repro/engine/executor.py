@@ -1,0 +1,184 @@
+"""Plan executor: dispatches physical plan nodes onto the iterators."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.engine import iterators
+from repro.engine.tuples import Row
+from repro.errors import ExecutionError
+from repro.optimizer.plans import (
+    AlgProjectNode,
+    AlgUnnestNode,
+    AssemblyNode,
+    FileScanNode,
+    FilterNode,
+    HashAntiJoinNode,
+    HashGroupByNode,
+    HashJoinNode,
+    HashSetOpNode,
+    IndexScanNode,
+    MergeJoinNode,
+    NestedLoopsNode,
+    PhysicalNode,
+    PointerJoinNode,
+    SortNode,
+    WarmStartAssemblyNode,
+)
+from repro.storage.index import IndexRuntime
+from repro.storage.store import ObjectStore
+
+
+@dataclass
+class ExecutionResult:
+    """Rows plus the simulated and wall-clock costs of producing them."""
+
+    rows: list[Row]
+    simulated_io_seconds: float
+    page_reads: int
+    buffer_hit_rate: float
+    wall_seconds: float
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class Executor:
+    """Executes optimizer plans against one object store.
+
+    Runtime indexes are built lazily (and exactly once) per index
+    definition; index construction is maintenance work and is not charged
+    to the query's I/O clock.
+    """
+
+    def __init__(self, store: ObjectStore) -> None:
+        self.store = store
+        self._indexes: dict[str, IndexRuntime] = {}
+
+    def runtime_index(self, name: str) -> IndexRuntime:
+        """The built runtime index for a catalog index name (cached)."""
+        if name not in self._indexes:
+            definition = self.store.catalog.index(name)
+            self._indexes[name] = IndexRuntime.build(self.store, definition)
+        return self._indexes[name]
+
+    # ------------------------------------------------------------------
+
+    def execute(self, plan: PhysicalNode, cold: bool = True) -> ExecutionResult:
+        """Run a plan to completion with fresh I/O accounting."""
+        # Build any needed indexes *before* resetting the clocks.
+        for node in plan.walk():
+            if isinstance(node, IndexScanNode):
+                self.runtime_index(node.index.name)
+        self.store.reset_accounting(cold=cold)
+        started = time.perf_counter()
+        rows = list(self.rows(plan))
+        wall = time.perf_counter() - started
+        stats = self.store.buffer.stats
+        hit_rate = stats.hit_rate
+        return ExecutionResult(
+            rows=rows,
+            simulated_io_seconds=self.store.simulated_seconds,
+            page_reads=self.store.disk.stats.page_reads,
+            buffer_hit_rate=hit_rate,
+            wall_seconds=wall,
+        )
+
+    def rows(self, plan: PhysicalNode) -> Iterator[Row]:
+        """The plan's output stream (no accounting reset)."""
+        if isinstance(plan, FileScanNode):
+            return iterators.file_scan(self.store, plan.collection, plan.var)
+        if isinstance(plan, IndexScanNode):
+            return iterators.index_scan(
+                self.store,
+                self.runtime_index(plan.index.name),
+                plan.var,
+                plan.comparison,
+                plan.residual,
+            )
+        if isinstance(plan, FilterNode):
+            return iterators.filter_rows(self.rows(plan.children[0]), plan.predicate)
+        if isinstance(plan, AssemblyNode):
+            return iterators.assembly(
+                self.store,
+                self.rows(plan.children[0]),
+                plan.source,
+                plan.out,
+                plan.window,
+            )
+        if isinstance(plan, PointerJoinNode):
+            return iterators.pointer_join(
+                self.store, self.rows(plan.children[0]), plan.source, plan.out
+            )
+        if isinstance(plan, WarmStartAssemblyNode):
+            return iterators.warm_start_assembly(
+                self.store,
+                self.rows(plan.children[0]),
+                plan.source,
+                plan.out,
+                plan.target_collection,
+            )
+        if isinstance(plan, AlgUnnestNode):
+            return iterators.unnest(
+                self.rows(plan.children[0]), plan.var, plan.attr, plan.out
+            )
+        if isinstance(plan, HashJoinNode):
+            return iterators.hash_join(
+                self.rows(plan.children[0]),
+                self.rows(plan.children[1]),
+                plan.predicate,
+            )
+        if isinstance(plan, HashAntiJoinNode):
+            return iterators.anti_join(
+                self.rows(plan.children[0]),
+                self.rows(plan.children[1]),
+                plan.predicate,
+            )
+        if isinstance(plan, MergeJoinNode):
+            return iterators.merge_join(
+                self.rows(plan.children[0]),
+                self.rows(plan.children[1]),
+                plan.predicate,
+                plan.left_key,
+                plan.right_key,
+            )
+        if isinstance(plan, SortNode):
+            order = plan.delivered.order
+            if order is None:
+                raise ExecutionError("sort node without an order key")
+            return iterators.sort_rows(
+                self.rows(plan.children[0]),
+                order.var,
+                order.attr,
+                order.ascending,
+            )
+        if isinstance(plan, NestedLoopsNode):
+            return iterators.nested_loops_join(
+                self.rows(plan.children[0]),
+                self.rows(plan.children[1]),
+                plan.predicate,
+            )
+        if isinstance(plan, AlgProjectNode):
+            return iterators.project(
+                self.rows(plan.children[0]), plan.items, plan.distinct
+            )
+        if isinstance(plan, HashGroupByNode):
+            return iterators.group_by(
+                self.rows(plan.children[0]),
+                plan.keys,
+                plan.aggregates,
+                plan.order_output,
+                plan.having,
+            )
+        if isinstance(plan, HashSetOpNode):
+            return iterators.set_op(
+                plan.kind,
+                self.rows(plan.children[0]),
+                self.rows(plan.children[1]),
+            )
+        raise ExecutionError(f"no executor for plan node {plan.algorithm}")
+
+
+__all__ = ["ExecutionResult", "Executor"]

@@ -1,0 +1,131 @@
+"""Runtime tuples and term evaluation.
+
+A row maps scope variable names to values: an :class:`Obj` for object
+bindings (OID plus the record when the object is present in memory — a
+``None`` record is exactly "in scope but not resident"), or a bare
+:class:`~repro.storage.objects.Oid` for reference bindings produced by
+Unnest.  Variables that a plan has not yet brought into scope are simply
+absent from the row.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any
+
+from repro.algebra.predicates import (
+    CompOp,
+    Comparison,
+    Conjunction,
+    Const,
+    FieldRef,
+    ObjectTerm,
+    RefAttr,
+    SelfOid,
+    Term,
+    VarRef,
+)
+from repro.errors import ExecutionError
+from repro.storage.objects import Oid
+
+
+@dataclass
+class Obj:
+    """An object binding: identity plus (optionally) the resident record."""
+
+    oid: Oid
+    data: dict[str, Any] | None
+
+    @property
+    def resident(self) -> bool:
+        return self.data is not None
+
+    def field(self, attr: str) -> Any:
+        """Read an attribute; raises unless the object is resident."""
+        if self.data is None:
+            raise ExecutionError(
+                f"attribute {attr!r} of non-resident object {self.oid}"
+            )
+        return self.data.get(attr)
+
+    def __repr__(self) -> str:
+        return f"Obj({self.oid})"
+
+
+Row = dict[str, Any]
+
+_OPS = {
+    CompOp.EQ: operator.eq,
+    CompOp.NE: operator.ne,
+    CompOp.LT: operator.lt,
+    CompOp.LE: operator.le,
+    CompOp.GT: operator.gt,
+    CompOp.GE: operator.ge,
+}
+
+
+def eval_term(term: Term, row: Row) -> Any:
+    """Evaluate one predicate/projection term against a row."""
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, FieldRef) or isinstance(term, RefAttr):
+        value = row.get(term.var)
+        if not isinstance(value, Obj):
+            raise ExecutionError(f"variable {term.var!r} is not an object binding")
+        return value.field(term.attr)
+    if isinstance(term, SelfOid):
+        value = row.get(term.var)
+        if not isinstance(value, Obj):
+            raise ExecutionError(f"variable {term.var!r} is not an object binding")
+        return value.oid
+    if isinstance(term, VarRef):
+        if term.var not in row:
+            raise ExecutionError(f"variable {term.var!r} not in row")
+        return row[term.var]
+    if isinstance(term, ObjectTerm):
+        value = row.get(term.var)
+        if not isinstance(value, Obj) or not value.resident:
+            raise ExecutionError(f"object {term.var!r} not resident for projection")
+        return value
+    raise ExecutionError(f"unknown term {term!r}")
+
+
+def eval_comparison(comparison: Comparison, row: Row) -> bool:
+    """SQL-style evaluation: comparisons over None are false."""
+    left = eval_term(comparison.left, row)
+    right = eval_term(comparison.right, row)
+    if left is None or right is None:
+        return False
+    try:
+        return _OPS[comparison.op](left, right)
+    except TypeError:
+        return False
+
+
+def eval_conjunction(predicate: Conjunction, row: Row) -> bool:
+    """True iff every conjunct holds for the row."""
+    return all(eval_comparison(c, row) for c in predicate.comparisons)
+
+
+def value_key(value: Any) -> Any:
+    """A hashable identity for result comparison and set operations."""
+    if isinstance(value, Obj):
+        return value.oid
+    return value
+
+
+def row_key(row: Row) -> tuple:
+    """Canonical hashable identity of a whole row."""
+    return tuple(sorted((name, value_key(value)) for name, value in row.items()))
+
+
+__all__ = [
+    "Obj",
+    "Row",
+    "eval_comparison",
+    "eval_conjunction",
+    "eval_term",
+    "row_key",
+    "value_key",
+]

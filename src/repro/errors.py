@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch all library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """Raised for inconsistent type, attribute, or collection definitions."""
+
+
+class CatalogError(ReproError):
+    """Raised when a catalog lookup fails (unknown type, set, or index)."""
+
+
+class StorageError(ReproError):
+    """Raised by the simulated object store (bad OID, full page, etc.)."""
+
+
+class QuerySyntaxError(ReproError):
+    """Raised by the ZQL lexer/parser on malformed query text."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class QueryTypeError(ReproError):
+    """Raised during simplification when a query does not type-check."""
+
+
+class SimplificationError(ReproError):
+    """Raised when a query cannot be reduced to the optimizer input algebra."""
+
+
+class AlgebraError(ReproError):
+    """Raised for ill-formed logical algebra expressions (scope violations)."""
+
+
+class OptimizerError(ReproError):
+    """Raised when the search engine cannot produce a plan."""
+
+
+class NoPlanFoundError(OptimizerError):
+    """Raised when no physical plan satisfies the required properties."""
+
+
+class ExecutionError(ReproError):
+    """Raised by the physical execution engine."""

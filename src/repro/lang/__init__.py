@@ -1,0 +1,37 @@
+"""A ZQL[C++]-flavoured object query language.
+
+The paper uses ZQL[C++], an SQL-based object query language embedded in
+C++, as its representative user language, and stresses that the optimizer
+is language-independent (its input is the algebra).  This subpackage
+provides a standalone textual dialect with the features the paper's
+queries exercise: path expressions (with optional C++-style ``()`` after
+members), conjunctive predicates, OID equality, ranges over named
+collections *and* over set-valued paths, existentially quantified nested
+subqueries, DISTINCT, and UNION/INTERSECT/EXCEPT.
+"""
+
+from repro.lang.ast import (
+    ComparisonAst,
+    ConstAst,
+    ExistsAst,
+    PathAst,
+    QueryAst,
+    RangeAst,
+    SetQueryAst,
+)
+from repro.lang.lexer import Token, TokenKind, tokenize
+from repro.lang.parser import parse_query
+
+__all__ = [
+    "ComparisonAst",
+    "ConstAst",
+    "ExistsAst",
+    "PathAst",
+    "QueryAst",
+    "RangeAst",
+    "SetQueryAst",
+    "Token",
+    "TokenKind",
+    "parse_query",
+    "tokenize",
+]

@@ -1,0 +1,127 @@
+"""Hand-written lexer for the ZQL dialect."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import QuerySyntaxError
+
+KEYWORDS = {
+    "select",
+    "distinct",
+    "from",
+    "where",
+    "in",
+    "exists",
+    "not",
+    "and",
+    "as",
+    "union",
+    "intersect",
+    "except",
+    "order",
+    "group",
+    "having",
+    "by",
+    "asc",
+    "desc",
+    "true",
+    "false",
+    "null",
+}
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories of the dialect."""
+
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    value: Any
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+    def is_symbol(self, sym: str) -> bool:
+        return self.kind is TokenKind.SYMBOL and self.text == sym
+
+
+_TWO_CHAR_SYMBOLS = ("==", "!=", "<=", ">=", "&&")
+_ONE_CHAR_SYMBOLS = "(),.<>*;"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize the full input; always ends with an END token."""
+    tokens = list(_scan(text))
+    tokens.append(Token(TokenKind.END, "", None, len(text)))
+    return tokens
+
+
+def _scan(text: str) -> Iterator[Token]:
+    pos = 0
+    length = len(text)
+    while pos < length:
+        ch = text[pos]
+        if ch.isspace():
+            pos += 1
+            continue
+        if ch == '"' or ch == "'":
+            end = text.find(ch, pos + 1)
+            if end < 0:
+                raise QuerySyntaxError("unterminated string literal", pos)
+            literal = text[pos + 1 : end]
+            yield Token(TokenKind.STRING, literal, literal, pos)
+            pos = end + 1
+            continue
+        if ch.isdigit():
+            end = pos
+            seen_dot = False
+            while end < length and (text[end].isdigit() or (text[end] == "." and not seen_dot)):
+                if text[end] == ".":
+                    # A dot not followed by a digit is a path separator.
+                    if end + 1 >= length or not text[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            raw = text[pos:end]
+            value: Any = float(raw) if "." in raw else int(raw)
+            yield Token(TokenKind.NUMBER, raw, value, pos)
+            pos = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = pos
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[pos:end]
+            lower = word.lower()
+            if lower in KEYWORDS:
+                yield Token(TokenKind.KEYWORD, lower, lower, pos)
+            else:
+                yield Token(TokenKind.IDENT, word, word, pos)
+            pos = end
+            continue
+        two = text[pos : pos + 2]
+        if two in _TWO_CHAR_SYMBOLS:
+            yield Token(TokenKind.SYMBOL, two, two, pos)
+            pos += 2
+            continue
+        if ch in _ONE_CHAR_SYMBOLS or ch in "<>":
+            yield Token(TokenKind.SYMBOL, ch, ch, pos)
+            pos += 1
+            continue
+        raise QuerySyntaxError(f"unexpected character {ch!r}", pos)
+
+
+__all__ = ["Token", "TokenKind", "tokenize", "KEYWORDS"]

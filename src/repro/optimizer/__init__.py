@@ -1,0 +1,30 @@
+"""The Volcano-style extensible optimization framework.
+
+This is the paper's primary contribution, reproduced as a Python framework
+with the same architecture the Volcano optimizer generator imposes:
+
+* a *memo* of groups of logically equivalent expressions;
+* *transformation rules* that explore the logical space (including the
+  Mat-specific rules and Mat<->Join);
+* *implementation rules* that map logical operators to execution
+  algorithms;
+* *physical properties* (presence in memory) with *enforcers* (assembly)
+  that drive a goal-directed, top-down, memoizing, branch-and-bound search;
+* a selectivity model (index-assisted, 10% naive default) and a cost model
+  (CPU + I/O, sequential cheaper than random, windowed-assembly discount).
+"""
+
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.cost import Cost, CostModel, CostParams
+from repro.optimizer.optimizer import OptimizationResult, Optimizer
+from repro.optimizer.physical_props import PhysProps
+
+__all__ = [
+    "Cost",
+    "CostModel",
+    "CostParams",
+    "OptimizationResult",
+    "Optimizer",
+    "OptimizerConfig",
+    "PhysProps",
+]

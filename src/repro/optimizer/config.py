@@ -1,0 +1,178 @@
+"""Optimizer configuration: rule toggles and tunables.
+
+The paper evaluates competing optimization strategies by *disabling rules*
+("Table 2 summarizes optimization and expected execution times required to
+optimize this same query with different optimizers (simulated by disabling
+various rules in our optimizer)").  This module gives every rule a stable
+name and makes enabling/disabling them a first-class configuration, along
+with the assembly window size (window = 1 is the paper's "w/o window"
+row) and the optional Lesson 7 warm-start assembly algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.optimizer.cost import CostParams
+
+# --- transformation rule names -----------------------------------------
+SELECT_MERGE = "select-merge"
+SELECT_PAST_MAT = "select-past-mat"
+MAT_PAST_SELECT = "mat-past-select"
+SELECT_PAST_UNNEST = "select-past-unnest"
+UNNEST_PAST_SELECT = "unnest-past-select"
+SELECT_PAST_JOIN = "select-past-join"
+JOIN_COMMUTATIVITY = "join-commutativity"
+JOIN_ASSOCIATIVITY = "join-associativity"
+MAT_COMMUTATIVITY = "mat-commutativity"
+MAT_PAST_JOIN = "mat-past-join"
+MAT_TO_JOIN = "mat-to-join"
+JOIN_TO_MAT = "join-to-mat"
+SETOP_COMMUTATIVITY = "setop-commutativity"
+
+ALL_TRANSFORMATIONS = (
+    SELECT_MERGE,
+    SELECT_PAST_MAT,
+    MAT_PAST_SELECT,
+    SELECT_PAST_UNNEST,
+    UNNEST_PAST_SELECT,
+    SELECT_PAST_JOIN,
+    JOIN_COMMUTATIVITY,
+    JOIN_ASSOCIATIVITY,
+    MAT_COMMUTATIVITY,
+    MAT_PAST_JOIN,
+    MAT_TO_JOIN,
+    JOIN_TO_MAT,
+    SETOP_COMMUTATIVITY,
+)
+
+# --- implementation rule names -------------------------------------------
+FILE_SCAN = "file-scan"
+COLLAPSE_TO_INDEX_SCAN = "collapse-to-index-scan"
+FILTER = "filter"
+HASH_ANTI_JOIN = "hash-anti-join"
+HYBRID_HASH_JOIN = "hybrid-hash-join"
+MERGE_JOIN = "merge-join"
+NESTED_LOOPS = "nested-loops"
+ASSEMBLY = "assembly"
+POINTER_JOIN = "pointer-join"
+WARM_START_ASSEMBLY = "warm-start-assembly"
+ALG_UNNEST = "alg-unnest"
+ALG_PROJECT = "alg-project"
+HASH_GROUP_BY = "hash-group-by"
+HASH_SET_OP = "hash-set-op"
+
+ALL_IMPLEMENTATIONS = (
+    FILE_SCAN,
+    COLLAPSE_TO_INDEX_SCAN,
+    FILTER,
+    HASH_ANTI_JOIN,
+    HYBRID_HASH_JOIN,
+    MERGE_JOIN,
+    NESTED_LOOPS,
+    ASSEMBLY,
+    POINTER_JOIN,
+    WARM_START_ASSEMBLY,
+    ALG_UNNEST,
+    ALG_PROJECT,
+    HASH_GROUP_BY,
+    HASH_SET_OP,
+)
+
+# --- enforcer names --------------------------------------------------------
+ASSEMBLY_ENFORCER = "assembly-enforcer"
+SORT_ENFORCER = "sort-enforcer"
+
+# Warm-start assembly is the paper's *future work* (Lesson 7); it is built
+# but off by default so that default plans match the paper's.
+DEFAULT_DISABLED = frozenset({WARM_START_ASSEMBLY})
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Which rules run, and with which cost constants."""
+
+    disabled_rules: frozenset[str] = DEFAULT_DISABLED
+    cost: CostParams = field(default_factory=CostParams)
+    # Branch-and-bound pruning; exhaustive search still visits the whole
+    # logical space, pruning only the costing of dominated alternatives.
+    prune: bool = True
+    # --- heuristic guidance and pruning (the paper's future work #2) ----
+    # Stop optimizing a (group, properties) goal after this many complete
+    # candidate plans; implementation rules run in promise order, so a cap
+    # of 1 is a pure greedy descent.  None = exhaustive (the default).
+    candidate_cap: int | None = None
+    # Aggressive-pruning factor in (0, 1]: a new alternative is pursued
+    # only while its partial cost stays below best * factor, i.e. it must
+    # promise at least a (1/factor)x improvement.  1.0 = safe
+    # branch-and-bound; smaller values trade optimality for effort.
+    prune_factor: float = 1.0
+
+    def is_enabled(self, rule_name: str) -> bool:
+        return rule_name not in self.disabled_rules
+
+    def without(self, *rule_names: str) -> "OptimizerConfig":
+        """A config with additional rules disabled."""
+        return replace(
+            self, disabled_rules=self.disabled_rules | frozenset(rule_names)
+        )
+
+    def with_rules(self, *rule_names: str) -> "OptimizerConfig":
+        """A config with the given rules (re-)enabled."""
+        return replace(
+            self, disabled_rules=self.disabled_rules - frozenset(rule_names)
+        )
+
+    def with_window(self, window: int) -> "OptimizerConfig":
+        """Set the assembly window size (1 = the paper's 'w/o window')."""
+        return replace(self, cost=replace(self.cost, assembly_window=window))
+
+    def with_cost(self, cost: CostParams) -> "OptimizerConfig":
+        return replace(self, cost=cost)
+
+    def with_heuristics(
+        self,
+        candidate_cap: int | None = None,
+        prune_factor: float = 1.0,
+    ) -> "OptimizerConfig":
+        """Enable heuristic guidance/pruning (see the field docs)."""
+        return replace(
+            self, candidate_cap=candidate_cap, prune_factor=prune_factor
+        )
+
+
+__all__ = [
+    "ALG_PROJECT",
+    "ALG_UNNEST",
+    "ALL_IMPLEMENTATIONS",
+    "ALL_TRANSFORMATIONS",
+    "ASSEMBLY",
+    "ASSEMBLY_ENFORCER",
+    "COLLAPSE_TO_INDEX_SCAN",
+    "DEFAULT_DISABLED",
+    "FILE_SCAN",
+    "FILTER",
+    "HASH_ANTI_JOIN",
+    "HASH_GROUP_BY",
+    "HASH_SET_OP",
+    "HYBRID_HASH_JOIN",
+    "MERGE_JOIN",
+    "SORT_ENFORCER",
+    "JOIN_ASSOCIATIVITY",
+    "JOIN_COMMUTATIVITY",
+    "JOIN_TO_MAT",
+    "MAT_COMMUTATIVITY",
+    "MAT_PAST_JOIN",
+    "MAT_PAST_SELECT",
+    "MAT_TO_JOIN",
+    "NESTED_LOOPS",
+    "OptimizerConfig",
+    "POINTER_JOIN",
+    "SELECT_MERGE",
+    "SELECT_PAST_JOIN",
+    "SELECT_PAST_MAT",
+    "SELECT_PAST_UNNEST",
+    "SETOP_COMMUTATIVITY",
+    "UNNEST_PAST_SELECT",
+    "WARM_START_ASSEMBLY",
+]

@@ -1,0 +1,60 @@
+"""Shared context threaded through implementation rules and the search."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.cost import CostModel
+from repro.optimizer.logical_props import QueryVars, tuple_width_bytes
+from repro.optimizer.memo import Memo
+from repro.optimizer.selectivity import SelectivityModel
+from repro.storage.index import ENTRY_BYTES, INTERIOR_FANOUT
+
+
+@dataclass
+class OptimizeContext:
+    """Everything an implementation rule or enforcer needs to cost a plan."""
+
+    memo: Memo
+    catalog: Catalog
+    cost_model: CostModel
+    selectivity: SelectivityModel
+    query_vars: QueryVars
+    config: OptimizerConfig
+
+    # ------------------------------------------------------------------
+    # Derived helpers
+    # ------------------------------------------------------------------
+
+    def collection_pages(self, collection_name: str) -> int:
+        return self.catalog.pages(collection_name)
+
+    def type_pages(self, type_name: str) -> int | None:
+        """Page count of a type's population, or None if unknowable.
+
+        Mirrors the paper's catalog limitation: only types with a
+        statistics-bearing extent (or maintained type statistics, the
+        paper's suggested remedy) have a bounded population.
+        """
+        return self.catalog.type_pages(type_name)
+
+    def scope_width(self, scope) -> float:
+        """Approximate tuple width (bytes) for a scope's bindings."""
+        return tuple_width_bytes(
+            scope, self.catalog, self.config.cost.tuple_overhead_bytes
+        )
+
+    def index_shape(self, collection_name: str) -> tuple[int, float]:
+        """(height, leaf pages) of an index over a collection, estimated
+        from catalog statistics (the runtime index need not exist yet)."""
+        entries = self.catalog.cardinality(collection_name)
+        page = self.config.cost.page_size
+        leaf_pages = max(1, -(-entries * ENTRY_BYTES // page))
+        height = max(1, math.ceil(math.log(max(2, leaf_pages), INTERIOR_FANOUT)))
+        return height, float(leaf_pages)
+
+
+__all__ = ["OptimizeContext"]

@@ -1,0 +1,119 @@
+"""Dynamic plan selection (the ObjectStore capability, done cost-based).
+
+The paper's related-work section describes ObjectStore's "dynamic plan
+selection capability whereby the optimizer generates multiple execution
+strategies at compile time and makes a final plan selection at run-time
+based on the availability of indices.  This dynamic capability permits
+users to modify some of the physical characteristics of the objects being
+queried (e.g., adding and deleting indices) without having to recompile
+their applications."
+
+This module provides the same capability on top of the *cost-based*
+optimizer: the query is optimized once per index-availability scenario
+(every subset of the relevant indexes), and at execution time the plan
+matching the indexes that actually exist is selected.  Unlike
+ObjectStore's greedy strategy, each scenario's plan is the cost-based
+optimum for that scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.algebra.operators import LogicalOp
+from repro.catalog.catalog import Catalog
+from repro.errors import OptimizerError
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.plans import IndexScanNode, PhysicalNode, plan_signature
+
+MAX_DYNAMIC_INDEXES = 6
+
+
+@dataclass
+class DynamicPlan:
+    """Per-scenario optimal plans, selectable at run time."""
+
+    considered: frozenset[str]
+    scenarios: dict[frozenset[str], PhysicalNode]
+
+    def choose(self, available_indexes: frozenset[str]) -> PhysicalNode:
+        """The plan for the indexes that exist right now."""
+        key = frozenset(available_indexes) & self.considered
+        if key not in self.scenarios:
+            raise OptimizerError(f"no plan compiled for scenario {sorted(key)}")
+        return self.scenarios[key]
+
+    def choose_for(self, catalog: Catalog) -> PhysicalNode:
+        return self.choose(frozenset(ix.name for ix in catalog.indexes()))
+
+    @property
+    def distinct_plans(self) -> int:
+        return len({plan_signature(p) for p in self.scenarios.values()})
+
+    def describe(self) -> str:
+        """Human-readable scenario table with per-scenario estimates."""
+        lines = [
+            f"dynamic plan over indexes {sorted(self.considered)} "
+            f"({len(self.scenarios)} scenarios, {self.distinct_plans} "
+            "distinct plans):"
+        ]
+        for key in sorted(self.scenarios, key=lambda s: (len(s), sorted(s))):
+            plan = self.scenarios[key]
+            label = "+".join(sorted(key)) or "(no indexes)"
+            lines.append(f"  [{label}] est {plan.total_cost.total:.3f}s")
+        return "\n".join(lines)
+
+
+class DynamicPlanner:
+    """Compile once, select at run time."""
+
+    def __init__(
+        self, catalog: Catalog, config: OptimizerConfig | None = None
+    ) -> None:
+        self.catalog = catalog
+        self.config = config or OptimizerConfig()
+
+    def plan(
+        self,
+        tree: LogicalOp,
+        result_vars: tuple[str, ...] = (),
+        order: tuple[str, str | None, bool] | None = None,
+        indexes: tuple[str, ...] | None = None,
+    ) -> DynamicPlan:
+        """Optimize the query under every index-availability scenario.
+
+        ``indexes`` defaults to every index currently in the catalog;
+        at most :data:`MAX_DYNAMIC_INDEXES` are supported (2^n scenarios).
+        """
+        if indexes is None:
+            indexes = tuple(ix.name for ix in self.catalog.indexes())
+        if len(indexes) > MAX_DYNAMIC_INDEXES:
+            raise OptimizerError(
+                f"dynamic planning supports at most {MAX_DYNAMIC_INDEXES} "
+                f"indexes; got {len(indexes)}"
+            )
+        scenarios: dict[frozenset[str], PhysicalNode] = {}
+        for size in range(len(indexes) + 1):
+            for subset in combinations(indexes, size):
+                key = frozenset(subset)
+                view = self.catalog.with_index_subset(key)
+                optimizer = Optimizer(view, self.config)
+                result = optimizer.optimize(
+                    tree, result_vars=result_vars, order=order
+                )
+                self._check_plan_uses_only(result.plan, key)
+                scenarios[key] = result.plan
+        return DynamicPlan(frozenset(indexes), scenarios)
+
+    @staticmethod
+    def _check_plan_uses_only(plan: PhysicalNode, allowed: frozenset[str]) -> None:
+        for node in plan.walk():
+            if isinstance(node, IndexScanNode) and node.index.name not in allowed:
+                raise OptimizerError(
+                    f"scenario plan uses unavailable index {node.index.name!r}"
+                )
+
+
+__all__ = ["DynamicPlan", "DynamicPlanner", "MAX_DYNAMIC_INDEXES"]

@@ -1,0 +1,879 @@
+"""Implementation rules: logical operators -> execution algorithms.
+
+"The implementation rules establish the correspondence between logical
+algebra expressions and execution algorithms. ... The optimizer chooses
+algorithms based on implementation rules, an algorithm's ability to
+deliver a logical expression with the desired physical properties, and
+cost estimations."
+
+Each rule inspects one logical m-expr under a *required* physical property
+vector and yields candidates: the input groups to optimize (each with its
+own required properties), the candidate's local cost, and a builder that
+assembles the plan node once the input plans are known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.algebra.operators import (
+    Get,
+    Join,
+    Mat,
+    Project,
+    RefSource,
+    Select,
+    SetOp,
+    Unnest,
+)
+from repro.algebra.predicates import (
+    Const,
+    FieldRef,
+)
+from repro.optimizer import config as rule_names
+from repro.optimizer.context import OptimizeContext
+from repro.optimizer.cost import Cost
+from repro.optimizer.memo import Group, MExpr
+from repro.optimizer.physical_props import PhysProps, SortKey
+from repro.optimizer.plans import (
+    AlgProjectNode,
+    AlgUnnestNode,
+    AssemblyNode,
+    FileScanNode,
+    FilterNode,
+    HashAntiJoinNode,
+    HashGroupByNode,
+    HashJoinNode,
+    HashSetOpNode,
+    IndexScanNode,
+    MergeJoinNode,
+    NestedLoopsNode,
+    PhysicalNode,
+    PointerJoinNode,
+    WarmStartAssemblyNode,
+)
+
+
+@dataclass
+class Candidate:
+    """One way to implement a logical m-expr under required properties."""
+
+    child_reqs: tuple[tuple[int, PhysProps], ...]
+    local_cost: Cost
+    build: Callable[[tuple[PhysicalNode, ...]], PhysicalNode]
+    note: str = ""
+
+
+class ImplementationRule:
+    """Base class: maps one logical m-expr onto execution algorithms."""
+
+    name: str = ""
+
+    def candidates(
+        self,
+        mexpr: MExpr,
+        group: Group,
+        required: PhysProps,
+        ctx: OptimizeContext,
+    ) -> Iterator[Candidate]:
+        """Yield ways to implement ``mexpr`` under ``required`` properties.
+
+        Each candidate names the input groups to optimize (with their own
+        required property vectors), carries the algorithm's local cost,
+        and a builder that assembles the plan node from the chosen input
+        plans.  Rules yield nothing when the algorithm cannot deliver the
+        required properties or its preconditions fail.
+        """
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Scans
+# ----------------------------------------------------------------------
+
+
+class FileScanImpl(ImplementationRule):
+    """Get -> sequential file (extent or set) scan."""
+
+    name = rule_names.FILE_SCAN
+
+    def candidates(self, mexpr, group, required, ctx):
+        if not isinstance(mexpr.op, Get):
+            return
+        op = mexpr.op
+        # A segment scan delivers objects in OID order (dense packing in
+        # insertion order; named sets are dense prefixes).
+        delivered = PhysProps.of(op.var, order=SortKey(op.var, None))
+        if not delivered.satisfies(required):
+            return
+        if not ctx.catalog.has_stats(op.collection):
+            return
+        pages = ctx.collection_pages(op.collection)
+        rows = group.props.cardinality
+        cost = ctx.cost_model.file_scan(pages, rows)
+
+        def build(children: tuple[PhysicalNode, ...]) -> PhysicalNode:
+            return FileScanNode(
+                op.collection,
+                op.var,
+                children=(),
+                delivered=delivered,
+                rows=rows,
+                local_cost=cost,
+            )
+
+        yield Candidate((), cost, build)
+
+
+def _mat_chains(gid: int, ctx: OptimizeContext, depth: int = 0):
+    """All Mat* -> Get chains reachable inside a group.
+
+    Yields ``(links, get_op, get_gid)`` where ``links`` maps each Mat
+    output variable to its source.  Used by collapse-to-index-scan.
+    """
+    if depth > 8:
+        return
+    for mexpr in ctx.memo.group(gid).mexprs:
+        if isinstance(mexpr.op, Get):
+            yield {}, mexpr.op, ctx.memo.find(gid)
+        elif isinstance(mexpr.op, Mat):
+            for links, get_op, get_gid in _mat_chains(
+                mexpr.children[0], ctx, depth + 1
+            ):
+                if mexpr.op.out in links:
+                    continue
+                extended = dict(links)
+                extended[mexpr.op.out] = mexpr.op.source
+                yield extended, get_op, get_gid
+
+
+def _chain_path(var: str, root: str, links: dict[str, RefSource]) -> tuple[str, ...] | None:
+    """Attribute path from the chain's root variable to ``var``."""
+    path: list[str] = []
+    current = var
+    while current != root:
+        source = links.get(current)
+        if source is None or source.attr is None:
+            return None
+        path.append(source.attr)
+        current = source.var
+    return tuple(reversed(path))
+
+
+class CollapseToIndexScanImpl(ImplementationRule):
+    """Select over a Mat*->Get chain -> a single (path-)index scan.
+
+    The paper's crucial rule for Query 2: "an implementation rule that
+    allows collapsing the select-materialize-file scan sequence into a
+    single index scan with a predicate".  The scan delivers only the root
+    objects in memory — materialized path components stay logical, which
+    is exactly why Query 3 then needs the assembly enforcer.
+    """
+
+    name = rule_names.COLLAPSE_TO_INDEX_SCAN
+
+    def candidates(self, mexpr, group, required, ctx):
+        if not isinstance(mexpr.op, Select):
+            return
+        predicate = mexpr.op.predicate
+        seen: set[tuple] = set()
+        for links, get_op, get_gid in _mat_chains(mexpr.children[0], ctx):
+            delivered = PhysProps.of(get_op.var)
+            if not delivered.satisfies(required):
+                continue
+            for comparison in predicate.comparisons:
+                candidate_key = self._try_match(
+                    comparison, predicate, links, get_op, get_gid, ctx, seen
+                )
+                if candidate_key is None:
+                    continue
+                index, residual, matches = candidate_key
+                height, leaf_pages = ctx.index_shape(get_op.collection)
+                match_leaves = max(
+                    1.0, matches * 16 / ctx.config.cost.page_size
+                )
+                cost = ctx.cost_model.index_scan(
+                    matches,
+                    height,
+                    min(match_leaves, leaf_pages),
+                    ctx.collection_pages(get_op.collection),
+                )
+                if not residual.is_true:
+                    cost = cost + ctx.cost_model.filter(
+                        matches, len(residual.comparisons)
+                    )
+                rows = group.props.cardinality
+
+                def build(
+                    children: tuple[PhysicalNode, ...],
+                    index=index,
+                    comparison=comparison,
+                    residual=residual,
+                    get_op=get_op,
+                    delivered=delivered,
+                    cost=cost,
+                    rows=rows,
+                ) -> PhysicalNode:
+                    return IndexScanNode(
+                        get_op.collection,
+                        get_op.var,
+                        index,
+                        comparison,
+                        residual,
+                        children=(),
+                        delivered=delivered,
+                        rows=rows,
+                        local_cost=cost,
+                    )
+
+                yield Candidate((), cost, build, note=index.name)
+
+    def _try_match(self, comparison, predicate, links, get_op, get_gid, ctx, seen):
+        field, const = comparison.left, comparison.right
+        if isinstance(field, Const):
+            field, const = const, field
+        if not isinstance(field, FieldRef) or not isinstance(const, Const):
+            return None
+        path = _chain_path(field.var, get_op.var, links)
+        if path is None:
+            return None
+        index = ctx.catalog.find_index(get_op.collection, path + (field.attr,))
+        if index is None:
+            return None
+        key = (index.name, comparison.canonical())
+        if key in seen:
+            return None
+        seen.add(key)
+        residual = predicate.without(comparison)
+        if not (residual.memory_vars <= frozenset({get_op.var})):
+            return None  # residual needs path components the scan won't fetch
+        base_rows = ctx.memo.group(get_gid).props.cardinality
+        matches = base_rows * ctx.selectivity.comparison(comparison)
+        return index, residual, matches
+
+
+# ----------------------------------------------------------------------
+# Tuple-at-a-time operators
+# ----------------------------------------------------------------------
+
+
+class FilterImpl(ImplementationRule):
+    """Select -> Filter; requires the predicate's variables in memory."""
+
+    name = rule_names.FILTER
+
+    def candidates(self, mexpr, group, required, ctx):
+        if not isinstance(mexpr.op, Select):
+            return
+        op = mexpr.op
+        child_gid = mexpr.children[0]
+        child_scope = ctx.memo.group(child_gid).props.scope
+        needed = required.union(PhysProps(op.predicate.memory_vars))
+        if not (needed.in_memory <= child_scope.object_names):
+            return
+        rows_in = ctx.memo.group(child_gid).props.cardinality
+        cost = ctx.cost_model.filter(rows_in, len(op.predicate.comparisons))
+        rows = group.props.cardinality
+
+        def build(children: tuple[PhysicalNode, ...]) -> PhysicalNode:
+            (child,) = children
+            return FilterNode(
+                op.predicate,
+                children=children,
+                delivered=child.delivered,
+                rows=rows,
+                local_cost=cost,
+            )
+
+        yield Candidate(((child_gid, needed),), cost, build)
+
+
+class AlgUnnestImpl(ImplementationRule):
+    """Unnest -> Alg-Unnest (requires the holding object resident)."""
+
+    name = rule_names.ALG_UNNEST
+
+    def candidates(self, mexpr, group, required, ctx):
+        if not isinstance(mexpr.op, Unnest):
+            return
+        op = mexpr.op
+        child_gid = mexpr.children[0]
+        child_scope = ctx.memo.group(child_gid).props.scope
+        # Reading the set-valued attribute requires the holder in memory.
+        needed = required.add(op.var)
+        if not (needed.in_memory <= child_scope.object_names):
+            return
+        rows = group.props.cardinality
+        cost = ctx.cost_model.unnest(rows)
+
+        def build(children: tuple[PhysicalNode, ...]) -> PhysicalNode:
+            (child,) = children
+            return AlgUnnestNode(
+                op.var,
+                op.attr,
+                op.out,
+                children=children,
+                delivered=child.delivered,
+                rows=rows,
+                local_cost=cost,
+            )
+
+        yield Candidate(((child_gid, needed),), cost, build)
+
+
+class AlgProjectImpl(ImplementationRule):
+    """Project -> Alg-Project; demands the projected (and ordering)
+    variables resident from its input — the Figure 11 mechanism."""
+
+    name = rule_names.ALG_PROJECT
+
+    def candidates(self, mexpr, group, required, ctx):
+        if not isinstance(mexpr.op, Project):
+            return
+        if not required.is_empty:
+            return  # projection produces new objects; nothing to deliver
+        op = mexpr.op
+        child_gid = mexpr.children[0]
+        child_scope = ctx.memo.group(child_gid).props.scope
+        needed_vars: frozenset[str] = frozenset()
+        from repro.algebra.predicates import term_memory_vars
+
+        for item in op.items:
+            needed_vars |= term_memory_vars(item.term)
+        order = None
+        if op.order_by is not None:
+            order_var, order_attr, ascending = op.order_by
+            order = SortKey(order_var, order_attr, ascending)
+            if order_attr is not None:
+                needed_vars |= {order_var}
+        needed = PhysProps(needed_vars, order)
+        if not (needed.in_memory <= child_scope.object_names):
+            return
+        rows_in = ctx.memo.group(child_gid).props.cardinality
+        cost = ctx.cost_model.project(rows_in, op.distinct)
+        rows = group.props.cardinality
+
+        def build(children: tuple[PhysicalNode, ...]) -> PhysicalNode:
+            return AlgProjectNode(
+                op.items,
+                op.distinct,
+                children=children,
+                delivered=PhysProps.none(),
+                rows=rows,
+                local_cost=cost,
+            )
+
+        yield Candidate(((child_gid, needed),), cost, build)
+
+
+# ----------------------------------------------------------------------
+# Joins and set operations
+# ----------------------------------------------------------------------
+
+
+def _join_child_reqs(op: Join, mexpr, required, ctx, order_side: str):
+    """Split required + predicate properties across the join inputs.
+
+    ``order_side`` names the input whose order the algorithm preserves
+    ("right" for the probe-driven hash join, "left" for nested loops); a
+    required order on the other side cannot be delivered and fails the
+    candidate (the sort enforcer covers that goal instead).
+    """
+    left_gid, right_gid = mexpr.children
+    left_scope = ctx.memo.group(left_gid).props.scope
+    right_scope = ctx.memo.group(right_gid).props.scope
+    demanded = required.union(PhysProps(op.predicate.memory_vars))
+    left_req = demanded.restrict(left_scope.object_names)
+    right_req = demanded.restrict(right_scope.object_names)
+    covered = left_req.in_memory | right_req.in_memory
+    if demanded.in_memory - covered:
+        return None  # some demanded variable is not an object var anywhere
+    if required.order is not None:
+        preserved = left_scope if order_side == "left" else right_scope
+        if required.order.var not in preserved.names:
+            return None
+        if order_side == "left":
+            left_req = left_req.with_order(required.order)
+            right_req = right_req.without_order()
+        else:
+            right_req = right_req.with_order(required.order)
+            left_req = left_req.without_order()
+    return (left_gid, left_req), (right_gid, right_req)
+
+
+class HybridHashJoinImpl(ImplementationRule):
+    """Join with at least one equality conjunct -> hybrid hash join.
+
+    The build input is the left child; join commutativity in the logical
+    space supplies the mirrored alternative.  "This algorithm also
+    supports equality of a reference attribute on one side and object
+    identifiers on the other side."
+    """
+
+    name = rule_names.HYBRID_HASH_JOIN
+
+    def candidates(self, mexpr, group, required, ctx):
+        if not isinstance(mexpr.op, Join):
+            return
+        op = mexpr.op
+        left_gid, right_gid = mexpr.children
+        left_names = ctx.memo.group(left_gid).props.scope.names
+        right_names = ctx.memo.group(right_gid).props.scope.names
+        if not any(
+            c.is_equijoin_between(left_names, right_names)
+            for c in op.predicate.comparisons
+        ):
+            return
+        reqs = _join_child_reqs(op, mexpr, required, ctx, order_side="right")
+        if reqs is None:
+            return
+        left_props = ctx.memo.group(left_gid).props
+        right_props = ctx.memo.group(right_gid).props
+        build_bytes = left_props.cardinality * ctx.scope_width(left_props.scope)
+        cost = ctx.cost_model.hybrid_hash_join(
+            left_props.cardinality, right_props.cardinality, build_bytes
+        )
+        rows = group.props.cardinality
+
+        def build(children: tuple[PhysicalNode, ...]) -> PhysicalNode:
+            left, right = children
+            # The probe input streams through, so its order survives.
+            delivered = PhysProps(
+                left.delivered.in_memory | right.delivered.in_memory,
+                right.delivered.order,
+            )
+            return HashJoinNode(
+                op.predicate,
+                children=children,
+                delivered=delivered,
+                rows=rows,
+                local_cost=cost,
+            )
+
+        yield Candidate(reqs, cost, build)
+
+
+def _term_sort_key(term) -> SortKey | None:
+    """The sort key under which a join-key term's values stream in order."""
+    from repro.algebra.predicates import RefAttr, SelfOid, VarRef
+
+    if isinstance(term, FieldRef) or isinstance(term, RefAttr):
+        return SortKey(term.var, term.attr)
+    if isinstance(term, SelfOid):
+        return SortKey(term.var, None)
+    if isinstance(term, VarRef):
+        return SortKey(term.var, None)
+    return None
+
+
+class MergeJoinImpl(ImplementationRule):
+    """Join -> merge join over inputs sorted on the join key.
+
+    The sort-order property the paper calls "the standard example" — its
+    optimizer omitted merge join and therefore tracked only presence in
+    memory; this reproduction completes the pair.  Merge join wins when an
+    input is already ordered (a file scan joined on its own OID) or when
+    the query demands an order a hash join would destroy.
+    """
+
+    name = rule_names.MERGE_JOIN
+
+    def candidates(self, mexpr, group, required, ctx):
+        if not isinstance(mexpr.op, Join):
+            return
+        op = mexpr.op
+        left_gid, right_gid = mexpr.children
+        left_scope = ctx.memo.group(left_gid).props.scope
+        right_scope = ctx.memo.group(right_gid).props.scope
+        for comparison in op.predicate.comparisons:
+            if not comparison.is_equijoin_between(
+                left_scope.names, right_scope.names
+            ):
+                continue
+            from repro.algebra.predicates import term_vars
+
+            left_term, right_term = comparison.left, comparison.right
+            if not (term_vars(left_term) <= left_scope.names):
+                left_term, right_term = right_term, left_term
+            left_key = _term_sort_key(left_term)
+            right_key = _term_sort_key(right_term)
+            if left_key is None or right_key is None:
+                continue
+            if required.order is not None and required.order != left_key:
+                continue  # merge join delivers left-key order only
+            base = _join_child_reqs(op, mexpr, required.without_order(), ctx, "left")
+            if base is None:
+                continue
+            (lg, lreq), (rg, rreq) = base
+            lreq = lreq.with_order(left_key)
+            rreq = rreq.with_order(right_key)
+            left_props = ctx.memo.group(left_gid).props
+            right_props = ctx.memo.group(right_gid).props
+            cost = ctx.cost_model.merge_join(
+                left_props.cardinality, right_props.cardinality
+            )
+            rows = group.props.cardinality
+
+            def build(
+                children: tuple[PhysicalNode, ...],
+                left_key=left_key,
+                left_term=left_term,
+                right_term=right_term,
+                cost=cost,
+                rows=rows,
+            ) -> PhysicalNode:
+                left, right = children
+                delivered = PhysProps(
+                    left.delivered.in_memory | right.delivered.in_memory,
+                    left_key,
+                )
+                return MergeJoinNode(
+                    op.predicate,
+                    left_term,
+                    right_term,
+                    children=children,
+                    delivered=delivered,
+                    rows=rows,
+                    local_cost=cost,
+                )
+
+            yield Candidate(((lg, lreq), (rg, rreq)), cost, build)
+
+
+class NestedLoopsImpl(ImplementationRule):
+    """Join with any predicate (including cartesian) -> nested loops."""
+
+    name = rule_names.NESTED_LOOPS
+
+    def candidates(self, mexpr, group, required, ctx):
+        if not isinstance(mexpr.op, Join):
+            return
+        op = mexpr.op
+        reqs = _join_child_reqs(op, mexpr, required, ctx, order_side="left")
+        if reqs is None:
+            return
+        left_props = ctx.memo.group(mexpr.children[0]).props
+        right_props = ctx.memo.group(mexpr.children[1]).props
+        cost = ctx.cost_model.nested_loops_join(
+            left_props.cardinality, right_props.cardinality
+        )
+        rows = group.props.cardinality
+
+        def build(children: tuple[PhysicalNode, ...]) -> PhysicalNode:
+            left, right = children
+            # Outer-major iteration preserves the left input's order.
+            delivered = PhysProps(
+                left.delivered.in_memory | right.delivered.in_memory,
+                left.delivered.order,
+            )
+            return NestedLoopsNode(
+                op.predicate,
+                children=children,
+                delivered=delivered,
+                rows=rows,
+                local_cost=cost,
+            )
+
+        yield Candidate(reqs, cost, build)
+
+
+class HashAntiJoinImpl(ImplementationRule):
+    """AntiJoin -> hash anti-join (build right keys, stream left)."""
+
+    name = rule_names.HASH_ANTI_JOIN
+
+    def candidates(self, mexpr, group, required, ctx):
+        from repro.algebra.operators import AntiJoin
+
+        if not isinstance(mexpr.op, AntiJoin):
+            return
+        op = mexpr.op
+        left_gid, right_gid = mexpr.children
+        left_scope = ctx.memo.group(left_gid).props.scope
+        right_scope = ctx.memo.group(right_gid).props.scope
+        if not any(
+            c.is_equijoin_between(left_scope.names, right_scope.names)
+            for c in op.predicate.comparisons
+        ):
+            return
+        demanded = required.union(PhysProps(op.predicate.memory_vars))
+        left_req = demanded.restrict(left_scope.object_names)
+        right_req = PhysProps(
+            op.predicate.memory_vars & right_scope.object_names
+        )
+        if required.order is not None:
+            if required.order.var not in left_scope.names:
+                return  # output order follows the streamed left input
+            left_req = left_req.with_order(required.order)
+        left_props = ctx.memo.group(left_gid).props
+        right_props = ctx.memo.group(right_gid).props
+        cost = ctx.cost_model.hybrid_hash_join(
+            right_props.cardinality,
+            left_props.cardinality,
+            right_props.cardinality * 24.0,  # key set only, not full tuples
+        )
+        rows = group.props.cardinality
+
+        def build(children: tuple[PhysicalNode, ...]) -> PhysicalNode:
+            left, right = children
+            return HashAntiJoinNode(
+                op.predicate,
+                children=children,
+                delivered=left.delivered,
+                rows=rows,
+                local_cost=cost,
+            )
+
+        yield Candidate(
+            ((left_gid, left_req), (right_gid, right_req)), cost, build
+        )
+
+
+class HashGroupByImpl(ImplementationRule):
+    """GroupBy -> hash aggregation (with optional sorted output)."""
+
+    name = rule_names.HASH_GROUP_BY
+
+    def candidates(self, mexpr, group, required, ctx):
+        from repro.algebra.operators import GroupBy
+        from repro.algebra.predicates import term_memory_vars
+
+        if not isinstance(mexpr.op, GroupBy):
+            return
+        if not required.is_empty:
+            return  # aggregation produces new values; nothing to deliver
+        op = mexpr.op
+        child_gid = mexpr.children[0]
+        child_scope = ctx.memo.group(child_gid).props.scope
+        needed_vars: frozenset[str] = frozenset()
+        for key in op.keys:
+            needed_vars |= term_memory_vars(key.term)
+        for agg in op.aggregates:
+            if agg.term is not None:
+                needed_vars |= term_memory_vars(agg.term)
+        needed = PhysProps(needed_vars)
+        if not (needed.in_memory <= child_scope.object_names):
+            return
+        rows_in = ctx.memo.group(child_gid).props.cardinality
+        groups = group.props.cardinality
+        cost = ctx.cost_model.hash_group_by(
+            rows_in, groups, op.order_output is not None
+        )
+
+        def build(children: tuple[PhysicalNode, ...]) -> PhysicalNode:
+            return HashGroupByNode(
+                op.keys,
+                op.aggregates,
+                op.order_output,
+                op.having,
+                children=children,
+                delivered=PhysProps.none(),
+                rows=groups,
+                local_cost=cost,
+            )
+
+        yield Candidate(((child_gid, needed),), cost, build)
+
+
+class HashSetOpImpl(ImplementationRule):
+    """Union/intersect/difference by hashed object identity."""
+
+    name = rule_names.HASH_SET_OP
+
+    def candidates(self, mexpr, group, required, ctx):
+        if not isinstance(mexpr.op, SetOp):
+            return
+        op = mexpr.op
+        left_gid, right_gid = mexpr.children
+        scope = group.props.scope
+        # Identity-based matching needs every object variable resident.
+        needed = required.union(PhysProps(scope.object_names))
+        left_props = ctx.memo.group(left_gid).props
+        right_props = ctx.memo.group(right_gid).props
+        cost = ctx.cost_model.hash_set_op(
+            left_props.cardinality, right_props.cardinality
+        )
+        rows = group.props.cardinality
+
+        def build(children: tuple[PhysicalNode, ...]) -> PhysicalNode:
+            left, right = children
+            return HashSetOpNode(
+                op.kind,
+                children=children,
+                delivered=PhysProps(
+                    left.delivered.in_memory & right.delivered.in_memory
+                ),
+                rows=rows,
+                local_cost=cost,
+            )
+
+        yield Candidate(((left_gid, needed), (right_gid, needed)), cost, build)
+
+
+# ----------------------------------------------------------------------
+# Materialize implementations
+# ----------------------------------------------------------------------
+
+
+def _mat_target_info(op: Mat, mexpr, ctx) -> tuple[str, int | None]:
+    """(target type, known page count or None) for a Mat's referenced type."""
+    child_scope = ctx.memo.group(mexpr.children[0]).props.scope
+    if op.source.attr is None:
+        target_type = child_scope.binding(op.source.var).type_name
+    else:
+        holder = child_scope.binding(op.source.var).type_name
+        attr = ctx.catalog.attribute(holder, op.source.attr)
+        target_type = attr.target_type or ""
+    return target_type, ctx.type_pages(target_type)
+
+
+def _mat_child_req(op: Mat, required: PhysProps) -> PhysProps:
+    needed = required.remove(op.out)
+    if op.source.attr is not None:
+        # The holding object's record must be resident to read the reference.
+        needed = needed.add(op.source.var)
+    return needed
+
+
+class AssemblyImpl(ImplementationRule):
+    """Mat -> the assembly operator (window of open references)."""
+
+    name = rule_names.ASSEMBLY
+
+    def candidates(self, mexpr, group, required, ctx):
+        if not isinstance(mexpr.op, Mat):
+            return
+        op = mexpr.op
+        child_gid = mexpr.children[0]
+        child_req = _mat_child_req(op, required)
+        child_scope = ctx.memo.group(child_gid).props.scope
+        if not (child_req.in_memory <= child_scope.object_names):
+            return
+        _, target_pages = _mat_target_info(op, mexpr, ctx)
+        refs = ctx.memo.group(child_gid).props.cardinality
+        window = ctx.config.cost.assembly_window
+        cost = ctx.cost_model.assembly(refs, target_pages, window)
+        rows = group.props.cardinality
+
+        def build(children: tuple[PhysicalNode, ...]) -> PhysicalNode:
+            (child,) = children
+            return AssemblyNode(
+                op.source,
+                op.out,
+                window,
+                children=children,
+                delivered=child.delivered.add(op.out),
+                rows=rows,
+                local_cost=cost,
+            )
+
+        yield Candidate(((child_gid, child_req),), cost, build)
+
+
+class PointerJoinImpl(ImplementationRule):
+    """Mat -> partitioned pointer-based join (Shekita and Carey).
+
+    Requires a known target population (partitioning needs the segment
+    layout) and workspace for the reference table.
+    """
+
+    name = rule_names.POINTER_JOIN
+
+    def candidates(self, mexpr, group, required, ctx):
+        if not isinstance(mexpr.op, Mat):
+            return
+        op = mexpr.op
+        child_gid = mexpr.children[0]
+        child_req = _mat_child_req(op, required)
+        child_scope = ctx.memo.group(child_gid).props.scope
+        if not (child_req.in_memory <= child_scope.object_names):
+            return
+        _, target_pages = _mat_target_info(op, mexpr, ctx)
+        if target_pages is None:
+            return
+        refs = ctx.memo.group(child_gid).props.cardinality
+        width = ctx.scope_width(child_scope)
+        if refs * width > ctx.config.cost.work_mem_bytes:
+            return  # the blocking reference table must fit in workspace
+        cost = ctx.cost_model.pointer_join(refs, target_pages)
+        rows = group.props.cardinality
+
+        def build(children: tuple[PhysicalNode, ...]) -> PhysicalNode:
+            (child,) = children
+            return PointerJoinNode(
+                op.source,
+                op.out,
+                children=children,
+                delivered=child.delivered.add(op.out),
+                rows=rows,
+                local_cost=cost,
+            )
+
+        yield Candidate(((child_gid, child_req),), cost, build)
+
+
+class WarmStartAssemblyImpl(ImplementationRule):
+    """Lesson 7's warm-start assembly (off by default; see config)."""
+
+    name = rule_names.WARM_START_ASSEMBLY
+
+    def candidates(self, mexpr, group, required, ctx):
+        if not isinstance(mexpr.op, Mat):
+            return
+        op = mexpr.op
+        child_gid = mexpr.children[0]
+        child_req = _mat_child_req(op, required)
+        child_scope = ctx.memo.group(child_gid).props.scope
+        if not (child_req.in_memory <= child_scope.object_names):
+            return
+        target_type, target_pages = _mat_target_info(op, mexpr, ctx)
+        extent = ctx.catalog.extent_of(target_type)
+        if (
+            extent is None
+            or target_pages is None
+            or target_pages > ctx.config.cost.buffer_pages
+        ):
+            return
+        refs = ctx.memo.group(child_gid).props.cardinality
+        cost = ctx.cost_model.warm_start_assembly(refs, target_pages)
+        rows = group.props.cardinality
+
+        def build(children: tuple[PhysicalNode, ...]) -> PhysicalNode:
+            (child,) = children
+            return WarmStartAssemblyNode(
+                op.source,
+                op.out,
+                extent.name,
+                children=children,
+                delivered=child.delivered.add(op.out),
+                rows=rows,
+                local_cost=cost,
+            )
+
+        yield Candidate(((child_gid, child_req),), cost, build)
+
+
+ALL_RULES: tuple[ImplementationRule, ...] = (
+    FileScanImpl(),
+    CollapseToIndexScanImpl(),
+    FilterImpl(),
+    AlgUnnestImpl(),
+    AlgProjectImpl(),
+    HybridHashJoinImpl(),
+    HashAntiJoinImpl(),
+    HashGroupByImpl(),
+    MergeJoinImpl(),
+    NestedLoopsImpl(),
+    HashSetOpImpl(),
+    AssemblyImpl(),
+    PointerJoinImpl(),
+    WarmStartAssemblyImpl(),
+)
+
+
+__all__ = [
+    "ALL_RULES",
+    "Candidate",
+    "ImplementationRule",
+] + [rule.__class__.__name__ for rule in ALL_RULES]

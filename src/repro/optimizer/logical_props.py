@@ -1,0 +1,128 @@
+"""Logical properties of memo groups, and query-wide variable origins.
+
+A group's logical properties — its scope and estimated output cardinality
+— are shared by every expression in the group, so the derivations here are
+deliberately *composition-order independent* (selectivities multiply, Mat
+is 1:1, and the reference-equality selectivity is defined so that
+``Mat c.country`` and ``Join(..., Get extent(Country))`` estimate the same
+cardinality).
+
+Variable *origins* are computed once from the initial expression: every
+scope variable traces back to a root collection and an attribute path
+(``c.mayor`` -> (Cities, ("mayor",))).  Origins power index-assisted
+selectivity, unnest fan-outs, enforcer sources, and the
+collapse-to-index-scan match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.operators import Get, LogicalOp, Mat, RefSource, Unnest
+from repro.algebra.scopes import Scope, BindingKind
+from repro.catalog.catalog import Catalog
+from repro.errors import OptimizerError
+
+
+@dataclass(frozen=True)
+class VarOrigin:
+    """Where a variable's objects come from.
+
+    ``collection`` is the root collection scanned, ``path`` the attribute
+    links followed from it, and ``type_name`` the variable's object type.
+    """
+
+    collection: str
+    path: tuple[str, ...]
+    type_name: str
+
+
+@dataclass(frozen=True)
+class QueryVars:
+    """Query-wide variable information, fixed before exploration starts."""
+
+    origins: dict[str, VarOrigin]
+    # The reference each Mat-introduced object variable resolves — used by
+    # the assembly *enforcer* to know how to bring a variable into memory.
+    enforce_sources: dict[str, RefSource]
+
+    def origin(self, var: str) -> VarOrigin:
+        """A variable's origin; raises OptimizerError when untracked."""
+        if var not in self.origins:
+            raise OptimizerError(f"unknown variable origin for {var!r}")
+        return self.origins[var]
+
+    def source_of(self, var: str) -> RefSource | None:
+        return self.enforce_sources.get(var)
+
+
+def build_query_vars(tree: LogicalOp, catalog: Catalog) -> QueryVars:
+    """Trace every variable of the initial expression to its origin."""
+    origins: dict[str, VarOrigin] = {}
+    sources: dict[str, RefSource] = {}
+
+    def walk(op: LogicalOp) -> None:
+        for child in op.children:
+            walk(child)
+        if isinstance(op, Get):
+            element = catalog.collection(op.collection).element_type
+            origins[op.var] = VarOrigin(op.collection, (), element)
+        elif isinstance(op, Mat):
+            src = op.source
+            parent = origins.get(src.var)
+            if parent is None:
+                raise OptimizerError(f"Mat source {src.var!r} has no origin")
+            if src.attr is None:
+                origins[op.out] = parent
+            else:
+                attr = catalog.attribute(parent.type_name, src.attr)
+                origins[op.out] = VarOrigin(
+                    parent.collection,
+                    parent.path + (src.attr,),
+                    attr.target_type or "",
+                )
+            sources[op.out] = src
+        elif isinstance(op, Unnest):
+            parent = origins.get(op.var)
+            if parent is None:
+                raise OptimizerError(f"Unnest source {op.var!r} has no origin")
+            attr = catalog.attribute(parent.type_name, op.attr)
+            origins[op.out] = VarOrigin(
+                parent.collection,
+                parent.path + (op.attr,),
+                attr.target_type or "",
+            )
+
+    walk(tree)
+    return QueryVars(origins, sources)
+
+
+@dataclass(frozen=True)
+class LogicalProps:
+    """Scope and estimated cardinality of one memo group."""
+
+    scope: Scope
+    cardinality: float
+
+    def __str__(self) -> str:
+        return f"{self.scope} ~{self.cardinality:.0f} rows"
+
+
+def tuple_width_bytes(scope: Scope, catalog: Catalog, overhead: int = 16) -> float:
+    """Approximate width of a tuple carrying the scope's objects."""
+    width = float(overhead)
+    for binding in scope.bindings:
+        if binding.kind is BindingKind.OBJECT:
+            width += catalog.type_of(binding.type_name).object_size
+        else:
+            width += 8.0  # a bare reference value
+    return width
+
+
+__all__ = [
+    "LogicalProps",
+    "QueryVars",
+    "VarOrigin",
+    "build_query_vars",
+    "tuple_width_bytes",
+]

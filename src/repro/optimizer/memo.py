@@ -1,0 +1,248 @@
+"""The memo: groups of logically equivalent expressions.
+
+The memo is the Volcano search engine's core data structure.  A *group*
+collects logically equivalent expressions (m-exprs); an m-expr is an
+operator whose inputs are groups.  Inserting an expression dedups it
+against everything seen so far, which is how the framework provides
+global common-subexpression factorization "for free" (the paper's reply
+to Cluet and Delobel's factorization technique).
+
+Rule applications can discover that two existing groups are equivalent
+(e.g. via Mat commutativity followed by Mat-to-Join); a union-find over
+group ids merges them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.algebra.operators import LogicalOp
+from repro.algebra.scopes import derive_scope
+from repro.catalog.catalog import Catalog
+from repro.errors import OptimizerError
+from repro.optimizer.logical_props import LogicalProps
+from repro.optimizer.selectivity import SelectivityModel
+
+from repro.algebra.operators import (  # isort: skip
+    AntiJoin,
+    Get,
+    GroupBy,
+    Join,
+    Mat,
+    Project,
+    Select,
+    SetOp,
+    SetOpKind,
+    Unnest,
+)
+
+# A tree produced by a transformation rule: an operator template whose
+# children are either group ids (reuse) or nested trees (new expressions).
+Tree = tuple[LogicalOp, tuple[Union[int, "Tree"], ...]]
+
+
+@dataclass(frozen=True)
+class MExpr:
+    """One operator with group-valued inputs."""
+
+    op: LogicalOp
+    children: tuple[int, ...]
+
+    def key(self) -> tuple:
+        return (self.op.signature(), self.children)
+
+
+@dataclass
+class Group:
+    gid: int
+    props: LogicalProps
+    mexprs: list[MExpr] = field(default_factory=list)
+    # Bumped whenever the group gains an m-expr or absorbs another group;
+    # exploration uses it to skip re-running rules against unchanged inputs.
+    version: int = 0
+
+
+class Memo:
+    """Groups, dedup index, and union-find merging."""
+
+    def __init__(self, catalog: Catalog, selectivity: SelectivityModel) -> None:
+        self.catalog = catalog
+        self.selectivity = selectivity
+        self._groups: list[Group] = []
+        self._parent: list[int] = []
+        self._index: dict[tuple, int] = {}
+        self.mexpr_count = 0
+        self.merge_count = 0
+
+    # ------------------------------------------------------------------
+    # Union-find over group ids
+    # ------------------------------------------------------------------
+
+    def find(self, gid: int) -> int:
+        """Canonical (root) group id under merges, with path compression."""
+        root = gid
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[gid] != root:
+            self._parent[gid], gid = root, self._parent[gid]
+        return root
+
+    def group(self, gid: int) -> Group:
+        return self._groups[self.find(gid)]
+
+    def groups(self) -> list[Group]:
+        """All live (root) groups."""
+        return [g for g in self._groups if self._parent[g.gid] == g.gid]
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert_expression(self, expr: LogicalOp) -> int:
+        """Insert a full logical operator tree; returns its group id."""
+        child_gids = tuple(self.insert_expression(c) for c in expr.children)
+        gid, _ = self.insert_mexpr(expr, child_gids)
+        return gid
+
+    def insert_tree(self, tree: Tree, target_gid: int | None = None) -> int:
+        """Insert a rule-produced tree (group ids at reuse points)."""
+        op, children = tree
+        child_gids: list[int] = []
+        for child in children:
+            if isinstance(child, int):
+                child_gids.append(self.find(child))
+            else:
+                child_gids.append(self.insert_tree(child))
+        gid, _ = self.insert_mexpr(op, tuple(child_gids), target_gid)
+        return gid
+
+    def insert_mexpr(
+        self,
+        op: LogicalOp,
+        child_gids: tuple[int, ...],
+        target_gid: int | None = None,
+    ) -> tuple[int, bool]:
+        """Insert one m-expr; dedup, create or merge groups as needed.
+
+        Returns ``(group id, inserted_new)``.
+        """
+        child_gids = tuple(self.find(c) for c in child_gids)
+        mexpr = MExpr(op, child_gids)
+        key = mexpr.key()
+        existing = self._index.get(key)
+        if existing is not None:
+            existing = self.find(existing)
+            if target_gid is not None and self.find(target_gid) != existing:
+                self._merge(existing, self.find(target_gid))
+            return self.find(existing), False
+
+        if target_gid is None:
+            props = self._derive_props(op, child_gids)
+            gid = len(self._groups)
+            self._groups.append(Group(gid, props))
+            self._parent.append(gid)
+        else:
+            gid = self.find(target_gid)
+        self._groups[gid].mexprs.append(mexpr)
+        self._groups[gid].version += 1
+        self._index[key] = gid
+        self.mexpr_count += 1
+        return gid, True
+
+    def _merge(self, a: int, b: int) -> None:
+        """Union two groups discovered to be equivalent."""
+        a, b = self.find(a), self.find(b)
+        if a == b:
+            return
+        keep, drop = (a, b) if len(self._groups[a].mexprs) >= len(
+            self._groups[b].mexprs
+        ) else (b, a)
+        self._groups[keep].mexprs.extend(self._groups[drop].mexprs)
+        self._groups[drop].mexprs.clear()
+        self._parent[drop] = keep
+        self._groups[keep].version += 1
+        self.merge_count += 1
+
+    def dedup_group(self, gid: int) -> None:
+        """Re-canonicalize one group's m-exprs after merges."""
+        group = self.group(gid)
+        seen: dict[tuple, MExpr] = {}
+        for mexpr in group.mexprs:
+            canon = MExpr(mexpr.op, tuple(self.find(c) for c in mexpr.children))
+            seen.setdefault(canon.key(), canon)
+        group.mexprs = list(seen.values())
+
+    # ------------------------------------------------------------------
+    # Logical property derivation (order-independent; see logical_props)
+    # ------------------------------------------------------------------
+
+    def _derive_props(self, op: LogicalOp, child_gids: tuple[int, ...]) -> LogicalProps:
+        child_props = tuple(self.group(g).props for g in child_gids)
+        scope = derive_scope(op, tuple(p.scope for p in child_props), self.catalog)
+        card = self._derive_cardinality(op, child_props)
+        return LogicalProps(scope, card)
+
+    def _derive_cardinality(
+        self, op: LogicalOp, child_props: tuple[LogicalProps, ...]
+    ) -> float:
+        if isinstance(op, Get):
+            if not self.catalog.has_stats(op.collection):
+                raise OptimizerError(
+                    f"no statistics for collection {op.collection!r}"
+                )
+            return float(self.catalog.cardinality(op.collection))
+        if isinstance(op, Mat):
+            return child_props[0].cardinality
+        if isinstance(op, Unnest):
+            fanout = self.selectivity.unnest_fanout(op.var, op.attr)
+            return child_props[0].cardinality * fanout
+        if isinstance(op, Select):
+            sel = self.selectivity.predicate(op.predicate)
+            return child_props[0].cardinality * sel
+        if isinstance(op, Project):
+            return child_props[0].cardinality
+        if isinstance(op, GroupBy):
+            groups = self.selectivity.grouping_cardinality(
+                op.keys, child_props[0].cardinality
+            )
+            # Post-aggregation HAVING filters: a flat 50% per clause (no
+            # distribution information exists for aggregate outputs).
+            return groups * (0.5 ** len(op.having))
+        if isinstance(op, Join):
+            sel = self.selectivity.predicate(op.predicate)
+            return child_props[0].cardinality * child_props[1].cardinality * sel
+        if isinstance(op, AntiJoin):
+            left, right = child_props
+            matches = left.cardinality * right.cardinality * (
+                self.selectivity.predicate(op.predicate)
+            )
+            # Crude anti-join estimate: survivors = left minus matched
+            # (each match eliminates at most one left tuple), floored.
+            survivors = left.cardinality - min(matches, left.cardinality)
+            return max(survivors, 0.05 * left.cardinality)
+        if isinstance(op, SetOp):
+            left, right = child_props
+            if op.kind is SetOpKind.UNION:
+                return left.cardinality + right.cardinality
+            if op.kind is SetOpKind.INTERSECT:
+                return min(left.cardinality, right.cardinality)
+            return left.cardinality
+        raise OptimizerError(f"cannot derive cardinality for {op!r}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def dump(self) -> str:
+        """Debug rendering: every group with its m-exprs and properties."""
+        lines = []
+        for group in self.groups():
+            lines.append(f"group {group.gid}: {group.props}")
+            for mexpr in group.mexprs:
+                children = ", ".join(str(self.find(c)) for c in mexpr.children)
+                lines.append(f"  {mexpr.op.describe()} [{children}]")
+        return "\n".join(lines)
+
+
+__all__ = ["Group", "MExpr", "Memo", "Tree"]

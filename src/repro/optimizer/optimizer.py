@@ -1,0 +1,133 @@
+"""The optimizer facade: logical expression in, physical plan out."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.algebra.operators import LogicalOp, Project, SetOp
+from repro.catalog.catalog import Catalog
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.context import OptimizeContext
+from repro.optimizer.cost import Cost, CostModel
+from repro.optimizer.logical_props import build_query_vars
+from repro.optimizer.memo import Memo
+from repro.optimizer.physical_props import PhysProps, SortKey
+from repro.optimizer.plans import PhysicalNode
+from repro.optimizer.search import SearchEngine, SearchStats
+from repro.optimizer.selectivity import SelectivityModel
+
+
+@dataclass
+class OptimizationResult:
+    """The chosen plan plus everything needed to reason about the search."""
+
+    plan: PhysicalNode
+    cost: Cost
+    stats: SearchStats
+    optimization_seconds: float
+    groups: int
+    logical: LogicalOp
+    required: PhysProps
+    # One line per optimization task: goal properties and the winning
+    # algorithm (the paper's Figure 11 search states, made observable).
+    search_trace: tuple[str, ...] = ()
+
+    def explain(self, costs: bool = False) -> str:
+        """Header (time, cost, search size) plus the rendered plan."""
+        header = (
+            f"-- optimized in {self.optimization_seconds * 1000:.1f} ms, "
+            f"estimated cost {self.cost.total:.3f} s, "
+            f"{self.groups} groups, {self.stats.mexprs_generated} expressions --"
+        )
+        return header + "\n" + self.plan.pretty(costs=costs)
+
+
+def default_required_props(
+    tree: LogicalOp,
+    result_vars: tuple[str, ...],
+    order: tuple[str, str | None, bool] | None = None,
+) -> PhysProps:
+    """The root physical properties a query's consumer demands.
+
+    Projection produces new objects (and carries any ORDER BY itself), so
+    it needs nothing from above; a bare tree must deliver the user-visible
+    range variables resident, in the requested order if any.
+    """
+    if isinstance(tree, Project):
+        return PhysProps.none()
+    if isinstance(tree, SetOp) and not result_vars:
+        return PhysProps.none()
+    sort_key = SortKey(order[0], order[1], order[2]) if order else None
+    return PhysProps.of(*result_vars, order=sort_key)
+
+
+class Optimizer:
+    """A generated-optimizer instance for one catalog and configuration.
+
+    Extensibility — the paper's central design goal — is first-class:
+    pass additional transformation or implementation rules and they join
+    the built-in rule sets (subject to the same enable/disable toggles,
+    keyed by each rule's ``name``).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: OptimizerConfig | None = None,
+        extra_transformations: tuple = (),
+        extra_implementations: tuple = (),
+    ) -> None:
+        self.catalog = catalog
+        self.config = config or OptimizerConfig()
+        self.cost_model = CostModel(self.config.cost)
+        self.extra_transformations = tuple(extra_transformations)
+        self.extra_implementations = tuple(extra_implementations)
+
+    def optimize(
+        self,
+        logical: LogicalOp,
+        required: PhysProps | None = None,
+        result_vars: tuple[str, ...] = (),
+        order: tuple[str, str | None, bool] | None = None,
+    ) -> OptimizationResult:
+        """Optimize a logical expression into its cheapest physical plan."""
+        started = time.perf_counter()
+        query_vars = build_query_vars(logical, self.catalog)
+        selectivity = SelectivityModel(self.catalog, query_vars)
+        memo = Memo(self.catalog, selectivity)
+        root_gid = memo.insert_expression(logical)
+        ctx = OptimizeContext(
+            memo=memo,
+            catalog=self.catalog,
+            cost_model=self.cost_model,
+            selectivity=selectivity,
+            query_vars=query_vars,
+            config=self.config,
+        )
+        from repro.optimizer.implementations import ALL_RULES as IMPLS
+        from repro.optimizer.transformations import ALL_RULES as TRANSFORMS
+
+        engine = SearchEngine(
+            ctx,
+            transformations=TRANSFORMS + self.extra_transformations,
+            implementations=IMPLS + self.extra_implementations,
+        )
+        engine.explore()
+        if required is None:
+            required = default_required_props(logical, result_vars, order)
+        plan = engine.best_plan(root_gid, required)
+        elapsed = time.perf_counter() - started
+        return OptimizationResult(
+            plan=plan,
+            cost=plan.total_cost,
+            stats=engine.stats,
+            optimization_seconds=elapsed,
+            groups=len(memo.groups()),
+            logical=logical,
+            required=required,
+            search_trace=tuple(engine.trace),
+        )
+
+
+__all__ = ["OptimizationResult", "Optimizer", "default_required_props"]

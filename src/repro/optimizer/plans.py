@@ -1,0 +1,282 @@
+"""Physical plan trees.
+
+Each node records the execution algorithm, its arguments, the physical
+properties it *delivers* (which variables are present in memory), the
+estimated output cardinality, and local/total estimated cost.  The pretty
+printer renders the same shapes as the paper's figures ("Hybrid Hash Join
+j.self == e.job", "Assembly d.plant", "Index Scan Cities: c, ...").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.operators import ProjectItem, RefSource, SetOpKind
+from repro.algebra.predicates import Comparison, Conjunction, Term
+from repro.catalog.catalog import IndexDef
+from repro.optimizer.cost import Cost
+from repro.optimizer.physical_props import PhysProps
+
+
+@dataclass
+class PhysicalNode:
+    """Base class for all plan nodes."""
+
+    children: tuple["PhysicalNode", ...] = field(default=(), kw_only=True)
+    delivered: PhysProps = field(default_factory=PhysProps.none, kw_only=True)
+    rows: float = field(default=0.0, kw_only=True)
+    local_cost: Cost = field(default_factory=Cost.zero, kw_only=True)
+
+    @property
+    def total_cost(self) -> Cost:
+        """Estimated cost of the whole subtree (local + children)."""
+        cost = self.local_cost
+        for child in self.children:
+            cost = cost + child.total_cost
+        return cost
+
+    @property
+    def algorithm(self) -> str:
+        return type(self).__name__.removesuffix("Node")
+
+    def describe(self) -> str:
+        """One-line rendering in the paper's figure style."""
+        raise NotImplementedError
+
+    def pretty(
+        self, indent: int = 0, costs: bool = False, props: bool = False
+    ) -> str:
+        """Render the plan tree in the paper's figure style.
+
+        ``costs`` appends row and cost estimates; ``props`` appends each
+        node's delivered physical property vector (Figure 11's view of
+        the search)."""
+        line = " " * indent + self.describe()
+        if costs:
+            line += f"   [~{self.rows:.0f} rows, total {self.total_cost.total:.3f}s]"
+        if props:
+            line += f"   <delivers {self.delivered}>"
+        lines = [line]
+        for child in self.children:
+            lines.append(child.pretty(indent + 2, costs, props))
+        return "\n".join(lines)
+
+    def walk(self):
+        """Pre-order iteration over the plan tree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class FileScanNode(PhysicalNode):
+    collection: str
+    var: str
+
+    def describe(self) -> str:
+        return f"File Scan {self.collection}: {self.var}"
+
+
+@dataclass
+class IndexScanNode(PhysicalNode):
+    collection: str
+    var: str
+    index: IndexDef
+    comparison: Comparison
+    residual: Conjunction
+
+    def describe(self) -> str:
+        text = f"Index Scan {self.collection}: {self.var}, {self.comparison}"
+        if not self.residual.is_true:
+            text += f" [residual {self.residual}]"
+        return text
+
+
+@dataclass
+class FilterNode(PhysicalNode):
+    predicate: Conjunction
+
+    def describe(self) -> str:
+        return f"Filter {self.predicate}"
+
+
+@dataclass
+class HashJoinNode(PhysicalNode):
+    """Hybrid hash join; the left child is the build input."""
+
+    predicate: Conjunction
+
+    def describe(self) -> str:
+        return f"Hybrid Hash Join {self.predicate}"
+
+
+@dataclass
+class HashAntiJoinNode(PhysicalNode):
+    """NOT EXISTS execution: build a key set from the right (subquery)
+    input, stream the left, emit tuples with no match."""
+
+    predicate: Conjunction
+
+    def describe(self) -> str:
+        return f"Hash Anti-Join {self.predicate}"
+
+
+@dataclass
+class MergeJoinNode(PhysicalNode):
+    """Merge join over inputs sorted on the join key (left drives order).
+
+    The key terms are recorded explicitly: the executor must merge on the
+    same comparison the optimizer required the inputs sorted by, not on an
+    arbitrary equi-conjunct of the predicate.
+    """
+
+    predicate: Conjunction
+    left_key: Term
+    right_key: Term
+
+    def describe(self) -> str:
+        return (
+            f"Merge Join {self.predicate} [merge on {self.left_key} = "
+            f"{self.right_key}]"
+        )
+
+
+@dataclass
+class SortNode(PhysicalNode):
+    """The sort-order enforcer."""
+
+    def describe(self) -> str:
+        return f"Sort by {self.delivered.order}"
+
+
+@dataclass
+class NestedLoopsNode(PhysicalNode):
+    predicate: Conjunction
+
+    def describe(self) -> str:
+        return f"Nested Loops {self.predicate}"
+
+
+@dataclass
+class AssemblyNode(PhysicalNode):
+    """Windowed reference resolution; also the presence-in-memory enforcer."""
+
+    source: RefSource
+    out: str
+    window: int
+    enforcer: bool = False
+
+    def describe(self) -> str:
+        suffix = " (enforcer)" if self.enforcer else ""
+        if str(self.source) == self.out:
+            return f"Assembly {self.out}{suffix}"
+        return f"Assembly {self.source}: {self.out}{suffix}"
+
+
+@dataclass
+class PointerJoinNode(PhysicalNode):
+    """Shekita/Carey partitioned pointer-based join implementing Mat."""
+
+    source: RefSource
+    out: str
+
+    def describe(self) -> str:
+        if str(self.source) == self.out:
+            return f"Pointer Join {self.out}"
+        return f"Pointer Join {self.source}: {self.out}"
+
+
+@dataclass
+class WarmStartAssemblyNode(PhysicalNode):
+    """Lesson 7: pre-scan the scannable target, then resolve from memory."""
+
+    source: RefSource
+    out: str
+    target_collection: str
+
+    def describe(self) -> str:
+        return f"Warm-Start Assembly {self.source}: {self.out} (scan {self.target_collection})"
+
+
+@dataclass
+class AlgUnnestNode(PhysicalNode):
+    var: str
+    attr: str
+    out: str
+
+    def describe(self) -> str:
+        return f"Alg-Unnest {self.var}.{self.attr}: {self.out}"
+
+
+@dataclass
+class AlgProjectNode(PhysicalNode):
+    items: tuple[ProjectItem, ...]
+    distinct: bool = False
+
+    def describe(self) -> str:
+        cols = ", ".join(str(item) for item in self.items)
+        prefix = "Alg-Project distinct" if self.distinct else "Alg-Project"
+        return f"{prefix} {cols}"
+
+
+@dataclass
+class HashSetOpNode(PhysicalNode):
+    kind: SetOpKind
+
+    def describe(self) -> str:
+        return f"Hash {self.kind.value.capitalize()}"
+
+
+@dataclass
+class HashGroupByNode(PhysicalNode):
+    keys: tuple[ProjectItem, ...]
+    aggregates: tuple  # of algebra.operators.AggSpec
+    order_output: tuple[str, bool] | None = None
+    having: tuple = ()  # of algebra.operators.HavingClause
+
+    def describe(self) -> str:
+        keys = ", ".join(str(k) for k in self.keys)
+        aggs = ", ".join(str(a) for a in self.aggregates)
+        body = "; ".join(part for part in (keys, aggs) if part)
+        text = f"Hash Group-By {body}"
+        if self.having:
+            text += " having " + " and ".join(str(h) for h in self.having)
+        if self.order_output is not None:
+            name, ascending = self.order_output
+            text += f" order by {name}{'' if ascending else ' desc'}"
+        return text
+
+
+def plan_signature(plan: PhysicalNode) -> tuple:
+    """A structural fingerprint of a plan (for tests comparing shapes)."""
+    return (
+        plan.algorithm,
+        tuple(plan_signature(child) for child in plan.children),
+    )
+
+
+def plan_algorithms(plan: PhysicalNode) -> list[str]:
+    """Pre-order list of algorithm names (for shape assertions)."""
+    return [node.algorithm for node in plan.walk()]
+
+
+__all__ = [
+    "AlgProjectNode",
+    "AlgUnnestNode",
+    "AssemblyNode",
+    "FileScanNode",
+    "FilterNode",
+    "HashAntiJoinNode",
+    "HashGroupByNode",
+    "HashJoinNode",
+    "HashSetOpNode",
+    "IndexScanNode",
+    "MergeJoinNode",
+    "NestedLoopsNode",
+    "PhysicalNode",
+    "SortNode",
+    "PointerJoinNode",
+    "WarmStartAssemblyNode",
+    "plan_algorithms",
+    "plan_signature",
+]

@@ -1,0 +1,331 @@
+"""The Volcano-style search engine.
+
+Two phases, both bounded and memoized:
+
+1. **Exploration** applies the enabled transformation rules to every
+   m-expr of every group until fixpoint, so each group comes to contain
+   its full equivalence class (the paper performs exhaustive search:
+   "exhaustive search and therefore truly optimal plans are feasible for
+   moderately complex queries").
+
+2. **Optimization** is top-down and *goal-directed by physical
+   properties*: ``optimize(group, required, limit)`` considers every
+   implementation rule of every m-expr, requests the child properties
+   each algorithm needs, and additionally considers the assembly
+   *enforcer* — optimizing the same group for a weaker property vector and
+   assembling the missing component on top.  That enforcer step is what
+   discovers the paper's Query 3 plan, which no purely algebraic
+   optimizer can reach.  Results are memoized per (group, properties) and
+   branch-and-bound limits prune dominated alternatives.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import NoPlanFoundError
+from repro.optimizer import config as rule_names
+from repro.optimizer.context import OptimizeContext
+from repro.optimizer.implementations import ALL_RULES as ALL_IMPLEMENTATIONS
+from repro.optimizer.implementations import ImplementationRule
+from repro.optimizer.physical_props import PhysProps
+from repro.optimizer.plans import AssemblyNode, PhysicalNode, SortNode
+from repro.optimizer.transformations import ALL_RULES as ALL_TRANSFORMATIONS
+from repro.optimizer.transformations import TransformationRule
+
+_MAX_EXPLORATION_ROUNDS = 64
+
+
+@dataclass
+class SearchStats:
+    """Effort counters (the basis of Table 2's '% of exhaustive search')."""
+
+    exploration_rounds: int = 0
+    rule_applications: int = 0
+    mexprs_generated: int = 0
+    optimization_tasks: int = 0
+    candidates_costed: int = 0
+    enforcer_applications: int = 0
+    group_merges: int = 0
+
+    @property
+    def total_effort(self) -> int:
+        """A single scalar summarizing search work."""
+        return (
+            self.rule_applications
+            + self.mexprs_generated
+            + self.optimization_tasks
+            + self.candidates_costed
+        )
+
+
+@dataclass
+class _Winner:
+    plan: PhysicalNode | None
+    searched_limit: float
+
+
+class SearchEngine:
+    """Exploration + goal-directed optimization over one memo."""
+
+    def __init__(
+        self,
+        ctx: OptimizeContext,
+        transformations: tuple[TransformationRule, ...] = ALL_TRANSFORMATIONS,
+        implementations: tuple[ImplementationRule, ...] = ALL_IMPLEMENTATIONS,
+    ) -> None:
+        self.ctx = ctx
+        self.transformations = tuple(
+            rule for rule in transformations if ctx.config.is_enabled(rule.name)
+        )
+        self.implementations = tuple(
+            rule for rule in implementations if ctx.config.is_enabled(rule.name)
+        )
+        self.stats = SearchStats()
+        self._winners: dict[tuple[int, PhysProps], _Winner] = {}
+        # The observable trace of optimization goals and winners — the
+        # paper's Figure 11 "state of the search", one line per task.
+        self.trace: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Phase 1: exhaustive logical exploration
+    # ------------------------------------------------------------------
+
+    def explore(self) -> None:
+        """Apply enabled transformation rules to fixpoint (phase 1)."""
+        memo = self.ctx.memo
+        # A rule application depends only on the m-expr and the contents of
+        # its input groups; re-running it is useless until one of those
+        # groups gains an expression.  Track the input-group versions seen
+        # at the last application of each m-expr and skip unchanged ones.
+        seen_versions: dict[tuple, tuple[int, ...]] = {}
+        for _ in range(_MAX_EXPLORATION_ROUNDS):
+            self.stats.exploration_rounds += 1
+            changed = False
+            for group in list(memo.groups()):
+                if memo.find(group.gid) != group.gid:
+                    continue  # merged away mid-round
+                for mexpr in list(group.mexprs):
+                    children = tuple(memo.find(c) for c in mexpr.children)
+                    key = (group.gid, mexpr.op.signature(), children)
+                    versions = tuple(memo.group(c).version for c in children)
+                    if seen_versions.get(key) == versions:
+                        continue
+                    seen_versions[key] = versions
+                    for rule in self.transformations:
+                        for tree in rule.apply(mexpr, memo):
+                            self.stats.rule_applications += 1
+                            before = memo.mexpr_count
+                            memo.insert_tree(tree, target_gid=group.gid)
+                            if memo.mexpr_count > before:
+                                changed = True
+            if not changed:
+                break
+        for group in memo.groups():
+            memo.dedup_group(group.gid)
+        self.stats.mexprs_generated = memo.mexpr_count
+        self.stats.group_merges = memo.merge_count
+
+    # ------------------------------------------------------------------
+    # Phase 2: top-down, property-driven optimization
+    # ------------------------------------------------------------------
+
+    def optimize(
+        self, gid: int, required: PhysProps, limit: float = math.inf
+    ) -> PhysicalNode | None:
+        """Cheapest plan for a group under required properties (phase 2).
+
+        Memoized per (group, properties); ``limit`` is the branch-and-
+        bound budget.  Returns None when no plan fits the properties
+        within the limit.
+        """
+        memo = self.ctx.memo
+        gid = memo.find(gid)
+        group = memo.group(gid)
+        if not (required.in_memory <= group.props.scope.object_names):
+            return None
+        if required.order is not None and not group.props.scope.has(
+            required.order.var
+        ):
+            return None
+
+        cached = self._winners.get((gid, required))
+        if cached is not None:
+            if cached.plan is not None:
+                return cached.plan if cached.plan.total_cost.total <= limit else None
+            if cached.searched_limit >= limit:
+                return None
+
+        self.stats.optimization_tasks += 1
+        prune = self.ctx.config.prune
+        best: PhysicalNode | None = None
+        best_cost = limit if prune else math.inf
+
+        cap = self.ctx.config.candidate_cap
+        completed = 0
+        for rule in self.implementations:
+            # Rule-major iteration realises promise ordering: with a
+            # candidate cap, earlier (more promising) rules get first shot.
+            if cap is not None and completed >= cap:
+                break
+            for mexpr in list(group.mexprs):
+                if cap is not None and completed >= cap:
+                    break
+                for candidate in rule.candidates(mexpr, group, required, self.ctx):
+                    self.stats.candidates_costed += 1
+                    plan = self._complete_candidate(candidate, best_cost, prune)
+                    if plan is None or not plan.delivered.satisfies(required):
+                        continue
+                    completed += 1
+                    if best is None or plan.total_cost.total < best_cost:
+                        best = plan
+                        best_cost = plan.total_cost.total
+                    if cap is not None and completed >= cap:
+                        break
+
+        enforced = self._try_enforcers(gid, group, required, best_cost, prune)
+        if enforced is not None and (
+            best is None or enforced.total_cost.total < best_cost
+        ):
+            best = enforced
+            best_cost = enforced.total_cost.total
+
+        sorted_plan = self._try_sort_enforcer(gid, group, required, best_cost, prune)
+        if sorted_plan is not None and (
+            best is None or sorted_plan.total_cost.total < best_cost
+        ):
+            best = sorted_plan
+            best_cost = sorted_plan.total_cost.total
+
+        self._winners[(gid, required)] = _Winner(best, limit)
+        top = group.mexprs[0].op.name if group.mexprs else "?"
+        if best is None:
+            outcome = "no plan"
+        else:
+            outcome = f"{best.algorithm} @ {best.total_cost.total:.3f}s"
+        self.trace.append(
+            f"optimize(group {gid} [{top}], require {required}) -> {outcome}"
+        )
+        if best is not None and best.total_cost.total > limit:
+            return None
+        return best
+
+    def _complete_candidate(self, candidate, budget: float, prune: bool):
+        if prune:
+            # prune_factor < 1 is the aggressive (epsilon) pruning knob:
+            # alternatives must promise a real improvement to be pursued.
+            budget = budget * self.ctx.config.prune_factor
+        accumulated = candidate.local_cost.total
+        if prune and accumulated > budget:
+            return None
+        child_plans: list[PhysicalNode] = []
+        for child_gid, child_req in candidate.child_reqs:
+            child_limit = (budget - accumulated) if prune else math.inf
+            plan = self.optimize(child_gid, child_req, child_limit)
+            if plan is None:
+                return None
+            child_plans.append(plan)
+            accumulated += plan.total_cost.total
+            if prune and accumulated > budget:
+                return None
+        return candidate.build(tuple(child_plans))
+
+    # ------------------------------------------------------------------
+    # Enforcers (assembly for presence-in-memory)
+    # ------------------------------------------------------------------
+
+    def _try_sort_enforcer(self, gid, group, required, budget: float, prune: bool):
+        """Deliver a required sort order by sorting a weaker-goal plan.
+
+        The order-property twin of the assembly enforcer: optimize the same
+        group without the order requirement, then apply Sort on top.
+        Sorting by an attribute needs the attribute's object resident, so
+        that variable joins the weaker goal's residency set.
+        """
+        if not self.ctx.config.is_enabled(rule_names.SORT_ENFORCER):
+            return None
+        order = required.order
+        if order is None:
+            return None
+        child_req = required.without_order()
+        if order.attr is not None:
+            if order.var not in group.props.scope.object_names:
+                return None
+            child_req = child_req.add(order.var)
+        rows = group.props.cardinality
+        width = self.ctx.scope_width(group.props.scope)
+        sort_cost = self.ctx.cost_model.sort(rows, width)
+        if prune and sort_cost.total > budget:
+            return None
+        child_limit = (budget - sort_cost.total) if prune else math.inf
+        sub = self.optimize(gid, child_req, child_limit)
+        if sub is None:
+            return None
+        return SortNode(
+            children=(sub,),
+            delivered=sub.delivered.with_order(order),
+            rows=rows,
+            local_cost=sort_cost,
+        )
+
+    def _try_enforcers(self, gid, group, required, budget: float, prune: bool):
+        if not self.ctx.config.is_enabled(rule_names.ASSEMBLY_ENFORCER):
+            return None
+        if not required.in_memory:
+            return None
+        best: PhysicalNode | None = None
+        best_cost = budget
+        scope = group.props.scope
+        window = self.ctx.config.cost.assembly_window
+        for var in required:
+            source = self.ctx.query_vars.source_of(var)
+            if source is None or not scope.has(var):
+                continue
+            if not scope.has(source.var):
+                continue
+            child_req = required.remove(var)
+            if source.attr is not None:
+                child_req = child_req.add(source.var)
+            if child_req == required:
+                continue
+            target_type = scope.binding(var).type_name
+            target_pages = self.ctx.type_pages(target_type)
+            refs = group.props.cardinality
+            enforce_cost = self.ctx.cost_model.assembly(refs, target_pages, window)
+            if prune and enforce_cost.total > best_cost:
+                continue
+            child_limit = (best_cost - enforce_cost.total) if prune else math.inf
+            sub = self.optimize(gid, child_req, child_limit)
+            if sub is None:
+                continue
+            self.stats.enforcer_applications += 1
+            node = AssemblyNode(
+                source,
+                var,
+                window,
+                enforcer=True,
+                children=(sub,),
+                delivered=sub.delivered.add(var),
+                rows=group.props.cardinality,
+                local_cost=enforce_cost,
+            )
+            total = node.total_cost.total
+            if best is None or total < best_cost:
+                best = node
+                best_cost = total
+        return best
+
+    # ------------------------------------------------------------------
+
+    def best_plan(self, gid: int, required: PhysProps) -> PhysicalNode:
+        """Like :meth:`optimize` but raises when no plan exists."""
+        plan = self.optimize(gid, required)
+        if plan is None:
+            raise NoPlanFoundError(
+                f"no plan delivers properties {required} for group {gid}"
+            )
+        return plan
+
+
+__all__ = ["SearchEngine", "SearchStats"]

@@ -1,0 +1,18 @@
+"""Query simplification: user algebra -> optimizer-input algebra.
+
+The paper: "The Open OODB query processing model uses a query
+simplification stage to transform ZQL[C++] parse trees into an equivalent
+algebraic operator graph with simple arguments suitable as input to the
+Open OODB optimizer. ... This translation, called simplification, is very
+straightforward because there is no need for optimality and therefore for
+choices in this translation."
+"""
+
+from repro.simplify.simplifier import (
+    SimplifiedQuery,
+    Simplifier,
+    simplify,
+    simplify_full,
+)
+
+__all__ = ["SimplifiedQuery", "Simplifier", "simplify", "simplify_full"]

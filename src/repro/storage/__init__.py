@@ -1,0 +1,26 @@
+"""Simulated storage substrate.
+
+The paper's experiments compare *anticipated* execution costs produced by a
+cost model calibrated against early-1990s disks.  This subpackage provides
+the concrete substrate those costs describe: a paged disk simulator with
+distance-based seek times, an LRU buffer pool, an object store with
+per-type segments and density (clustering) control, and runtime hash
+indexes (attribute and path indexes).  The execution engine runs real plans
+against this substrate and reports *simulated* I/O time, which the
+benchmarks compare against the optimizer's estimates.
+"""
+
+from repro.storage.disk import DiskParameters, DiskSimulator
+from repro.storage.buffer import BufferPool
+from repro.storage.objects import Oid
+from repro.storage.store import ObjectStore
+from repro.storage.index import IndexRuntime
+
+__all__ = [
+    "BufferPool",
+    "DiskParameters",
+    "DiskSimulator",
+    "IndexRuntime",
+    "ObjectStore",
+    "Oid",
+]

@@ -1,0 +1,243 @@
+"""Deterministic data generator for the Table 1 world.
+
+The generator materialises an :class:`~repro.storage.store.ObjectStore`
+whose population matches the catalog statistics of
+:mod:`repro.catalog.sample_db`, so that the optimizer's estimates and the
+execution engine's observed cardinalities agree to within sampling noise:
+
+* person names are uniform over ``distinct_person_names`` values, with
+  value 0 spelled ``"Joe"`` — so roughly 2 of the 10,000 city mayors are
+  named Joe, the figure the paper's optimizer estimates for Query 2;
+* employee names are uniform over ``distinct_employee_names`` values, with
+  value 0 spelled ``"Fred"`` (Query 4);
+* plant locations are uniform over ``distinct_locations`` values, with
+  value 0 spelled ``"Dallas"`` (Query 1);
+* task times are uniform over ``distinct_task_times`` values, one of which
+  is exactly 100 (Query 4);
+* named sets are dense prefixes of their type's segment, and ``Plant``
+  lives in a sparse segment (one object per page), reproducing the paper's
+  clustering assumptions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.sample_db import SampleSizes, build_catalog
+from repro.storage.objects import Oid
+from repro.storage.store import ObjectStore
+
+JOE = "Joe"
+FRED = "Fred"
+DALLAS = "Dallas"
+QUERY4_TIME = 100
+
+
+def scaled_sizes(factor: float) -> SampleSizes:
+    """A proportionally smaller Table 1 world (for fast tests).
+
+    Distinct-value counts shrink with the same factor (floored at small
+    minimums) so selectivities — and therefore plan choices — are stable
+    across scales.
+    """
+    base = SampleSizes()
+
+    def scale(n: int, minimum: int = 4) -> int:
+        return max(minimum, int(n * factor))
+
+    return replace(
+        base,
+        capitals=scale(base.capitals),
+        cities=scale(base.cities),
+        countries=scale(base.countries),
+        departments=scale(base.departments),
+        employees_set=scale(base.employees_set),
+        employee_extent=scale(base.employee_extent),
+        information=scale(base.information),
+        jobs=scale(base.jobs),
+        persons=scale(base.persons),
+        plants=scale(base.plants),
+        tasks_set=scale(base.tasks_set),
+        task_extent=scale(base.task_extent),
+        distinct_person_names=scale(base.distinct_person_names),
+        distinct_employee_names=scale(base.distinct_employee_names),
+        distinct_task_times=scale(base.distinct_task_times, minimum=10),
+        distinct_locations=scale(base.distinct_locations, minimum=5),
+    )
+
+
+def _person_name(value: int) -> str:
+    return JOE if value == 0 else f"pname{value}"
+
+
+def _employee_name(value: int) -> str:
+    return FRED if value == 0 else f"ename{value}"
+
+
+def _location(value: int) -> str:
+    return DALLAS if value == 0 else f"loc{value}"
+
+
+def generate_store(
+    catalog: Catalog | None = None,
+    sizes: SampleSizes | None = None,
+    seed: int = 20130526,
+) -> ObjectStore:
+    """Build, populate, and seal the Table 1 object store."""
+    sizes = sizes or SampleSizes()
+    catalog = catalog or build_catalog(sizes)
+    rng = random.Random(seed)
+    store = ObjectStore(catalog)
+
+    # --- people -------------------------------------------------------
+    store.create_segment("Person")
+    persons: list[Oid] = []
+    for serial in range(sizes.persons):
+        name = _person_name(serial % sizes.distinct_person_names)
+        persons.append(
+            store.insert("Person", {"name": name, "age": 20 + serial % 60})
+        )
+
+    # --- geography (Country <-> Capital are mutually referential) ------
+    store.create_segment("Country")
+    countries: list[Oid] = []
+    for serial in range(sizes.countries):
+        countries.append(
+            store.insert(
+                "Country",
+                {
+                    "name": f"country{serial}",
+                    "president": rng.choice(persons),
+                    "capital": None,  # patched below
+                },
+            )
+        )
+
+    store.create_segment("Capital")
+    capitals: list[Oid] = []
+    for serial in range(sizes.capitals):
+        country = countries[serial % sizes.countries]
+        capital = store.insert(
+            "Capital",
+            {
+                "name": f"capital{serial}",
+                "population": rng.randrange(50_000, 5_000_000),
+                "mayor": rng.choice(persons),
+                "country": country,
+            },
+        )
+        capitals.append(capital)
+        store.peek(country)["capital"] = capital
+
+    store.create_segment("City")
+    cities: list[Oid] = []
+    for serial in range(sizes.cities):
+        cities.append(
+            store.insert(
+                "City",
+                {
+                    "name": f"city{serial}",
+                    "population": rng.randrange(1_000, 1_000_000),
+                    "mayor": rng.choice(persons),
+                    "country": rng.choice(countries),
+                },
+            )
+        )
+
+    # --- industry ------------------------------------------------------
+    store.create_segment("Plant", dense=False)  # scattered: 1 object/page
+    plants: list[Oid] = []
+    for serial in range(sizes.plants):
+        plants.append(
+            store.insert(
+                "Plant",
+                {
+                    "location": _location(serial % sizes.distinct_locations),
+                    "products": f"products{serial}",
+                },
+            )
+        )
+
+    store.create_segment("Department")
+    departments: list[Oid] = []
+    for serial in range(sizes.departments):
+        departments.append(
+            store.insert(
+                "Department",
+                {
+                    "name": f"dept{serial}",
+                    "floor": 1 + serial % sizes.distinct_floors,
+                    "plant": plants[serial % sizes.plants],
+                },
+            )
+        )
+
+    store.create_segment("Job")
+    jobs: list[Oid] = []
+    for serial in range(sizes.jobs):
+        jobs.append(
+            store.insert(
+                "Job", {"name": f"job{serial}", "pay_grade": 1 + serial % 20}
+            )
+        )
+
+    store.create_segment("Employee")
+    employees: list[Oid] = []
+    for serial in range(sizes.employee_extent):
+        employees.append(
+            store.insert(
+                "Employee",
+                {
+                    "name": _employee_name(serial % sizes.distinct_employee_names),
+                    "age": 20 + serial % 45,
+                    "salary": 20_000 + (serial * 7) % 80_000,
+                    "last_raise": 19900101 + serial % 40000,
+                    "department": rng.choice(departments),
+                    "job": rng.choice(jobs),
+                },
+            )
+        )
+    employees_set = employees[: sizes.employees_set]
+
+    store.create_segment("Task")
+    tasks: list[Oid] = []
+    for serial in range(sizes.task_extent):
+        time_value = (serial % sizes.distinct_task_times + 1) * 10
+        team_size = rng.randint(4, 12)  # mean 8 == catalog avg_set_size
+        tasks.append(
+            store.insert(
+                "Task",
+                {
+                    "name": f"task{serial}",
+                    "time": time_value,
+                    "team_members": tuple(rng.sample(employees_set, team_size)),
+                },
+            )
+        )
+
+    store.create_segment("Information")
+    for serial in range(sizes.information):
+        store.insert(
+            "Information", {"topic": f"topic{serial}", "body": f"body{serial}"}
+        )
+
+    # --- named sets (dense prefixes of their segments) -----------------
+    store.register_collection("Capitals", capitals)
+    store.register_collection("Cities", cities)
+    store.register_collection("Employees", employees_set)
+    store.register_collection("Tasks", tasks[: sizes.tasks_set])
+
+    store.seal()
+    return store
+
+
+__all__ = [
+    "DALLAS",
+    "FRED",
+    "JOE",
+    "QUERY4_TIME",
+    "generate_store",
+    "scaled_sizes",
+]

@@ -1,0 +1,26 @@
+"""Object identity.
+
+Every stored object is identified by an :class:`Oid` — a (type name,
+serial) pair.  OIDs are the values held by reference attributes and are
+what the paper's ``e.department() == d`` predicate compares.  OIDs are
+orderable so that assembly and pointer-join can sort outstanding
+references into elevator order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Oid:
+    """A globally unique, immutable object identifier."""
+
+    type_name: str
+    serial: int
+
+    def __repr__(self) -> str:  # compact for plan/result dumps
+        return f"{self.type_name}#{self.serial}"
+
+
+__all__ = ["Oid"]

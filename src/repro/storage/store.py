@@ -1,0 +1,204 @@
+"""The simulated object store: segments, pages, fetches, and scans.
+
+Layout model
+------------
+
+Each object type owns one *segment* — a contiguous range of page ids.
+Within a dense segment, objects are packed ``page_size // object_size`` to
+a page in insertion order; this realises the paper's "objects in
+user-defined sets and type extents are assumed to be densely packed on
+pages" (data generation inserts named-set members first so a named set is
+a dense prefix of its type's segment).  A sparse segment places one object
+per page, modelling types like ``Plant`` whose instances are clustered
+with unrelated data — fetching each plant is a fresh page fault.
+
+All reads are charged through the buffer pool, so the store yields both
+result data and faithful simulated I/O time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.catalog.catalog import Catalog
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskSimulator
+from repro.storage.objects import Oid
+
+
+@dataclass
+class Segment:
+    """A contiguous page range holding all objects of one type."""
+
+    type_name: str
+    dense: bool
+    objects_per_page: int
+    first_page: int = -1  # assigned when the store is sealed
+    oids: list[Oid] = field(default_factory=list)
+
+    @property
+    def page_count(self) -> int:
+        """Pages this segment occupies (>= 1 once sealed non-empty)."""
+        if not self.oids:
+            return 0
+        return -(-len(self.oids) // self.objects_per_page)
+
+    def page_of(self, position: int) -> int:
+        """Absolute page id of the object at an insertion position."""
+        if self.first_page < 0:
+            raise StorageError(f"segment {self.type_name!r} not yet sealed")
+        return self.first_page + position // self.objects_per_page
+
+
+class ObjectStore:
+    """Typed object storage over the simulated disk.
+
+    Usage: create segments, insert objects, register named collections,
+    then :meth:`seal` to assign page ranges.  After sealing the store is
+    read-only and every fetch/scan is charged through the buffer pool.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        disk: DiskSimulator | None = None,
+        buffer_pool: BufferPool | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.disk = disk or DiskSimulator()
+        self.buffer = buffer_pool or BufferPool(self.disk)
+        self._segments: dict[str, Segment] = {}
+        self._data: dict[Oid, dict[str, Any]] = {}
+        self._position: dict[Oid, int] = {}
+        self._collections: dict[str, list[Oid]] = {}
+        self._sealed = False
+
+    # ------------------------------------------------------------------
+    # Loading phase
+    # ------------------------------------------------------------------
+
+    def create_segment(self, type_name: str, dense: bool = True) -> Segment:
+        """Declare a type's segment (dense packing or one object/page)."""
+        if self._sealed:
+            raise StorageError("store is sealed")
+        if type_name in self._segments:
+            raise StorageError(f"segment for {type_name!r} already exists")
+        type_def = self.catalog.type_of(type_name)
+        per_page = (
+            max(1, self.catalog.page_size // type_def.object_size) if dense else 1
+        )
+        segment = Segment(type_name, dense, per_page)
+        self._segments[type_name] = segment
+        return segment
+
+    def insert(self, type_name: str, data: dict[str, Any]) -> Oid:
+        """Append an object to its type's segment; returns its new OID."""
+        if self._sealed:
+            raise StorageError("store is sealed")
+        if type_name not in self._segments:
+            self.create_segment(type_name)
+        segment = self._segments[type_name]
+        oid = Oid(type_name, len(segment.oids))
+        self._position[oid] = len(segment.oids)
+        segment.oids.append(oid)
+        self._data[oid] = data
+        return oid
+
+    def register_collection(self, name: str, oids: list[Oid]) -> None:
+        """Declare the member list (and scan order) of a named collection."""
+        self.catalog.collection(name)  # validate against the schema
+        self._collections[name] = list(oids)
+
+    def seal(self) -> None:
+        """Assign contiguous page ranges and auto-register extents."""
+        if self._sealed:
+            return
+        next_page = 0
+        for segment in self._segments.values():
+            segment.first_page = next_page
+            next_page += max(1, segment.page_count)
+        self.disk.extend_span(max(1, next_page))
+        for type_name, segment in self._segments.items():
+            extent = self.catalog.extent_of(type_name)
+            if extent is not None and extent.name not in self._collections:
+                self._collections[extent.name] = list(segment.oids)
+        self._sealed = True
+
+    # ------------------------------------------------------------------
+    # Read phase (all I/O charged)
+    # ------------------------------------------------------------------
+
+    def page_of(self, oid: Oid) -> int:
+        segment = self._segment_of(oid)
+        return segment.page_of(self._position[oid])
+
+    def fetch(self, oid: Oid) -> dict[str, Any]:
+        """Read one object, charging a (possibly cached) page read."""
+        self._require_sealed()
+        if oid not in self._data:
+            raise StorageError(f"dangling reference {oid!r}")
+        self.buffer.read_page(self.page_of(oid))
+        return self._data[oid]
+
+    def peek(self, oid: Oid) -> dict[str, Any]:
+        """Read object data without I/O accounting (index builds, checks)."""
+        if oid not in self._data:
+            raise StorageError(f"dangling reference {oid!r}")
+        return self._data[oid]
+
+    def scan(self, collection_name: str) -> Iterator[tuple[Oid, dict[str, Any]]]:
+        """Sequentially scan a collection, charging one read per page."""
+        self._require_sealed()
+        for oid in self.collection_oids(collection_name):
+            self.buffer.read_page(self.page_of(oid))
+            yield oid, self._data[oid]
+
+    def collection_oids(self, collection_name: str) -> list[Oid]:
+        """Member OIDs of a loaded collection, in scan order."""
+        if collection_name not in self._collections:
+            raise StorageError(f"collection {collection_name!r} not loaded")
+        return self._collections[collection_name]
+
+    def collection_cardinality(self, collection_name: str) -> int:
+        return len(self.collection_oids(collection_name))
+
+    def has_collection(self, collection_name: str) -> bool:
+        return collection_name in self._collections
+
+    def segment(self, type_name: str) -> Segment:
+        """A type's segment; raises StorageError when absent."""
+        if type_name not in self._segments:
+            raise StorageError(f"no segment for type {type_name!r}")
+        return self._segments[type_name]
+
+    def total_pages(self) -> int:
+        return sum(max(1, s.page_count) for s in self._segments.values())
+
+    # ------------------------------------------------------------------
+    # Accounting helpers
+    # ------------------------------------------------------------------
+
+    def reset_accounting(self, cold: bool = True) -> None:
+        """Zero the I/O clocks; optionally also empty the buffer pool."""
+        self.disk.reset_stats()
+        self.buffer.reset_stats()
+        if cold:
+            self.buffer.flush()
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.disk.elapsed_seconds
+
+    def _segment_of(self, oid: Oid) -> Segment:
+        if oid.type_name not in self._segments:
+            raise StorageError(f"no segment for type {oid.type_name!r}")
+        return self._segments[oid.type_name]
+
+    def _require_sealed(self) -> None:
+        if not self._sealed:
+            raise StorageError("store must be sealed before reading")
+
+
+__all__ = ["ObjectStore", "Segment"]

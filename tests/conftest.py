@@ -1,0 +1,82 @@
+"""Shared fixtures: scaled-down Table 1 databases.
+
+The small scale (2%) keeps data generation under ~50 ms per database while
+preserving the catalog's selectivity structure, so plan choices at test
+scale mirror full scale for most queries.  Plan-*shape* assertions that
+depend on full-scale cardinalities build their own full-size *catalog*
+(statistics only, no data).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Database
+from repro.catalog.sample_db import (
+    build_catalog,
+    index_cities_mayor_name,
+    index_employees_name,
+    index_tasks_time,
+)
+
+SCALE = 0.02
+
+
+@pytest.fixture(scope="session")
+def plain_db() -> Database:
+    """Populated sample database without any indexes (session-shared;
+    treat as read-only — tests that mutate the catalog build their own)."""
+    return Database.sample(scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def indexed_db() -> Database:
+    """Populated sample database with the paper's three indexes."""
+    db = Database.sample(scale=SCALE)
+    db.create_index("ix_cities_mayor_name", "Cities", ("mayor", "name"))
+    db.create_index("ix_tasks_time", "Tasks", ("time",))
+    db.create_index("ix_employees_name", "extent(Employee)", ("name",))
+    return db
+
+
+@pytest.fixture()
+def fresh_db() -> Database:
+    """A private database instance safe to mutate."""
+    return Database.sample(scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def paper_catalog():
+    """Full-scale catalog (statistics only) with the paper's indexes."""
+    catalog = build_catalog()
+    catalog.add_index(index_cities_mayor_name())
+    catalog.add_index(index_tasks_time())
+    catalog.add_index(index_employees_name())
+    return catalog
+
+
+@pytest.fixture(scope="session")
+def paper_catalog_plain():
+    """Full-scale catalog (statistics only) without indexes."""
+    return build_catalog()
+
+
+QUERY_1 = (
+    "SELECT Newobject(e.name(), e.department().name(), e.job().name()) "
+    "FROM Employee e IN Employees "
+    'WHERE e.department().plant().location() == "Dallas"'
+)
+QUERY_2 = 'SELECT * FROM City c IN Cities WHERE c.mayor.name == "Joe"'
+QUERY_3 = (
+    "SELECT c.mayor.age, c.name FROM City c IN Cities "
+    'WHERE c.mayor.name == "Joe"'
+)
+QUERY_4 = (
+    "SELECT * FROM Task t IN Tasks WHERE t.time == 100 AND EXISTS ("
+    'SELECT m FROM Employee m IN t.team_members WHERE m.name == "Fred")'
+)
+
+
+@pytest.fixture(scope="session")
+def paper_queries() -> dict[str, str]:
+    return {"Q1": QUERY_1, "Q2": QUERY_2, "Q3": QUERY_3, "Q4": QUERY_4}

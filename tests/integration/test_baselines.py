@@ -1,0 +1,124 @@
+"""Integration tests for the greedy and naive baseline optimizers."""
+
+import pytest
+
+from repro.errors import OptimizerError
+from repro.optimizer import Optimizer, OptimizerConfig
+from repro.optimizer.plans import (
+    AssemblyNode,
+    FileScanNode,
+    FilterNode,
+    HashJoinNode,
+    IndexScanNode,
+)
+from repro.baselines.greedy import GreedyOptimizer
+from repro.baselines.naive import NaiveOptimizer
+from repro.lang.parser import parse_query
+from repro.simplify.simplifier import simplify_full
+
+from tests.conftest import QUERY_1, QUERY_2, QUERY_4
+
+
+def _greedy(catalog, sql):
+    sq = simplify_full(parse_query(sql), catalog)
+    return GreedyOptimizer(catalog).optimize(sq.tree, result_vars=sq.result_vars)
+
+
+def _naive(catalog, sql):
+    tree = simplify_full(parse_query(sql), catalog).tree
+    return NaiveOptimizer(catalog).optimize(tree)
+
+
+def _cost_based(catalog, sql):
+    sq = simplify_full(parse_query(sql), catalog)
+    return Optimizer(catalog, OptimizerConfig()).optimize(
+        sq.tree, result_vars=sq.result_vars
+    )
+
+
+class TestGreedy:
+    def test_uses_both_indexes_on_query4(self, paper_catalog):
+        """Figure 13: greedy exploits the time AND the name index."""
+        plan = _greedy(paper_catalog, QUERY_4)
+        index_scans = [n for n in plan.walk() if isinstance(n, IndexScanNode)]
+        assert {s.index.name for s in index_scans} == {
+            "ix_tasks_time",
+            "ix_employees_name",
+        }
+        assert any(isinstance(n, HashJoinNode) for n in plan.walk())
+
+    def test_greedy_slower_than_cost_based_with_both_indexes(
+        self, paper_catalog
+    ):
+        """Table 3's 'Both' column: the paper reports 10.1 s vs 1.73 s —
+        greedy loses by >4x."""
+        greedy_cost = _greedy(paper_catalog, QUERY_4).total_cost.total
+        optimal_cost = _cost_based(paper_catalog, QUERY_4).cost.total
+        assert greedy_cost > 4 * optimal_cost
+
+    def test_agrees_with_cost_based_on_single_index(self):
+        """Table 3's single-index columns: both optimizers use the one
+        index and land on comparable costs."""
+        from repro.catalog.sample_db import build_catalog, index_tasks_time
+
+        catalog = build_catalog()
+        catalog.add_index(index_tasks_time())
+        greedy_cost = _greedy(catalog, QUERY_4).total_cost.total
+        optimal_cost = _cost_based(catalog, QUERY_4).cost.total
+        # Greedy uses the same index; its only handicap left is window-1
+        # navigation, a small constant factor (the paper's Table 3 shows
+        # identical numbers because its optimal plan navigated too).
+        assert greedy_cost <= 4 * optimal_cost
+
+    def test_path_index_used_for_query2(self, paper_catalog):
+        plan = _greedy(paper_catalog, QUERY_2)
+        assert isinstance(plan, IndexScanNode)
+        assert plan.index.name == "ix_cities_mayor_name"
+
+    def test_falls_back_to_scan_without_index(self, paper_catalog_plain):
+        plan = _greedy(paper_catalog_plain, QUERY_2)
+        scans = [n for n in plan.walk() if isinstance(n, FileScanNode)]
+        assert scans
+
+    def test_naive_assembly_for_unindexed_mats(self, paper_catalog):
+        """Query 1 has no applicable index: greedy pointer-chases with
+        window 1."""
+        plan = _greedy(paper_catalog, QUERY_1)
+        assemblies = [n for n in plan.walk() if isinstance(n, AssemblyNode)]
+        assert assemblies
+        assert all(a.window == 1 for a in assemblies)
+
+    def test_rejects_multi_collection_queries(self, paper_catalog):
+        sql = (
+            "SELECT e.name FROM e IN Employees, d IN extent(Department) "
+            "WHERE e.department == d"
+        )
+        tree = simplify_full(parse_query(sql), paper_catalog).tree
+        with pytest.raises(OptimizerError):
+            GreedyOptimizer(paper_catalog).optimize(tree)
+
+
+class TestNaive:
+    def test_always_scans_and_chases(self, paper_catalog):
+        plan = _naive(paper_catalog, QUERY_2)
+        assert isinstance(plan, FilterNode)
+        algos = [type(n).__name__ for n in plan.walk()]
+        assert "IndexScanNode" not in algos
+        assert "HashJoinNode" not in algos
+        assemblies = [n for n in plan.walk() if isinstance(n, AssemblyNode)]
+        assert all(a.window == 1 for a in assemblies)
+
+    def test_never_uses_indexes(self, paper_catalog):
+        plan = _naive(paper_catalog, QUERY_4)
+        assert not [n for n in plan.walk() if isinstance(n, IndexScanNode)]
+
+    def test_cost_dominates_optimal(self, paper_catalog):
+        for sql in (QUERY_1, QUERY_2, QUERY_4):
+            naive_cost = _naive(paper_catalog, sql).total_cost.total
+            optimal_cost = _cost_based(paper_catalog, sql).cost.total
+            assert naive_cost > optimal_cost
+
+    def test_filter_sits_on_top(self, paper_catalog):
+        plan = _naive(paper_catalog, QUERY_4)
+        assert isinstance(plan, FilterNode)
+        assert len(plan.predicate.comparisons) == 2

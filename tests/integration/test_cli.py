@@ -1,0 +1,135 @@
+"""Integration tests for the interactive shell (driven via a Shell object)."""
+
+import io
+
+import pytest
+
+from repro.api import Database
+from repro.cli import Shell
+
+
+@pytest.fixture()
+def shell(fresh_db) -> Shell:
+    return Shell(fresh_db)
+
+
+def run_lines(shell: Shell, *lines: str) -> str:
+    """Feed lines to the shell, capturing stdout."""
+    import contextlib
+
+    out = io.StringIO()
+    stream = io.StringIO("\n".join(lines) + "\n")
+    with contextlib.redirect_stdout(out):
+        shell.run(stream, interactive=False)
+    return out.getvalue()
+
+
+class TestCommands:
+    def test_catalog(self, shell):
+        output = run_lines(shell, ".catalog")
+        assert "Cities" in output
+
+    def test_help(self, shell):
+        assert ".analyze" in run_lines(shell, ".help")
+
+    def test_index_lifecycle(self, shell):
+        output = run_lines(
+            shell,
+            ".index ixm Cities mayor.name",
+            ".indexes",
+            ".drop ixm",
+            ".indexes",
+        )
+        assert "created ixm" in output
+        assert "Cities on mayor.name" in output
+        assert "dropped ixm" in output
+
+    def test_analyze(self, shell):
+        output = run_lines(shell, ".analyze Cities")
+        assert "analyzed Cities" in output
+
+    def test_explain_does_not_execute(self, shell):
+        output = run_lines(
+            shell, ".explain SELECT * FROM c IN Cities WHERE c.name == 'x'"
+        )
+        assert "File Scan Cities" in output
+        assert "simulated I/O" not in output  # no execution summary
+
+    def test_rules_listing_and_toggle(self, shell):
+        output = run_lines(
+            shell, ".disable collapse-to-index-scan", ".rules"
+        )
+        assert "collapse-to-index-scan (disabled)" in output
+        output = run_lines(shell, ".enable collapse-to-index-scan", ".rules")
+        assert "collapse-to-index-scan\n" in output
+
+    def test_disabled_rule_changes_plan(self, shell):
+        run_lines(shell, ".index ixm Cities mayor.name")
+        with_rule = run_lines(
+            shell, ".explain SELECT * FROM c IN Cities WHERE c.mayor.name == 'Joe'"
+        )
+        assert "Index Scan" in with_rule
+        without = run_lines(
+            shell,
+            ".disable collapse-to-index-scan",
+            ".explain SELECT * FROM c IN Cities WHERE c.mayor.name == 'Joe'",
+        )
+        assert "Index Scan" not in without
+
+    def test_unknown_command(self, shell):
+        assert "unknown command" in run_lines(shell, ".bogus")
+
+    def test_error_reported_not_raised(self, shell):
+        output = run_lines(shell, "SELECT * FROM x IN Nowhere")
+        assert "error:" in output
+
+    def test_quit_stops(self, shell):
+        output = run_lines(shell, ".quit", ".catalog")
+        assert "Cities" not in output
+
+
+class TestQueries:
+    def test_query_prints_plan_rows_and_costs(self, shell):
+        output = run_lines(
+            shell,
+            "SELECT c.name FROM c IN Cities WHERE c.population >= 900000",
+        )
+        assert "File Scan Cities" in output
+        assert "simulated I/O" in output
+        assert "c.name=" in output
+
+    def test_row_cap(self, shell):
+        output = run_lines(shell, "SELECT c.name FROM c IN Cities")
+        assert "more rows" in output
+
+    def test_object_rows_render_names(self, shell):
+        output = run_lines(
+            shell, "SELECT * FROM c IN Cities WHERE c.population >= 990000"
+        )
+        assert "c=city" in output
+
+
+class TestExtendedCommands:
+    def test_trace_command(self, shell):
+        output = run_lines(
+            shell,
+            ".index ixm Cities mayor.name",
+            ".trace SELECT c.mayor.age, c.name FROM c IN Cities "
+            "WHERE c.mayor.name == 'Joe'",
+        )
+        assert "optimize(group" in output
+        assert "require {c, c.mayor}" in output
+
+    def test_validate_command(self, shell):
+        output = run_lines(shell, ".validate")
+        assert "sequential scan" in output
+        assert "ratio" in output
+
+    def test_dynamic_command(self, shell):
+        output = run_lines(
+            shell,
+            ".index ixm Cities mayor.name",
+            ".dynamic SELECT * FROM c IN Cities WHERE c.mayor.name == 'Joe'",
+        )
+        assert "scenarios" in output
+        assert "(no indexes)" in output

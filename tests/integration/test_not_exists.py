@@ -1,0 +1,190 @@
+"""Integration tests for NOT EXISTS (anti-join decorrelation).
+
+EXISTS flattens (the paper's translation); NOT EXISTS cannot — it becomes
+an AntiJoin whose right input is a decorrelated rebuild of the subquery
+over cloned outer ranges, matched by object identity.
+"""
+
+import pytest
+
+from repro.algebra.operators import AntiJoin
+from repro.errors import SimplificationError
+from repro.optimizer import OptimizerConfig
+from repro.optimizer import config as C
+from repro.optimizer.plans import HashAntiJoinNode
+from repro.storage.datagen import FRED, QUERY4_TIME
+
+NOT_Q4 = (
+    "SELECT * FROM Task t IN Tasks WHERE t.time == 100 AND NOT EXISTS ("
+    'SELECT m FROM Employee m IN t.team_members WHERE m.name == "Fred")'
+)
+
+
+def _ground_truth(db):
+    store = db.store
+    out = set()
+    for oid in store.collection_oids("Tasks"):
+        task = store.peek(oid)
+        if task["time"] != QUERY4_TIME:
+            continue
+        if not any(
+            store.peek(member)["name"] == FRED
+            for member in task["team_members"]
+        ):
+            out.add(oid)
+    return out
+
+
+class TestSimplification:
+    def test_anti_join_operator_emitted(self, indexed_db):
+        tree = indexed_db.simplify(NOT_Q4).tree
+        assert isinstance(tree, AntiJoin)
+        # The left input carries the outer conjunct, not the inner one.
+        assert "t.time" in str(tree.left.pretty())
+        assert "Fred" in tree.right.pretty()
+
+    def test_cloned_variables_disjoint(self, indexed_db):
+        from repro.algebra.scopes import derive_scope_tree
+
+        tree = indexed_db.simplify(NOT_Q4).tree
+        scope = derive_scope_tree(tree, indexed_db.catalog)
+        # Output scope is the LEFT scope only: the clones do not leak.
+        assert scope.names == {"t"}
+
+    def test_uncorrelated_not_exists_rejected(self, indexed_db):
+        with pytest.raises(SimplificationError):
+            indexed_db.simplify(
+                "SELECT * FROM t IN Tasks WHERE NOT EXISTS ("
+                "SELECT c FROM c IN Cities WHERE c.population > 5)"
+            )
+
+    def test_contradictory_subquery_vacuously_true(self, indexed_db):
+        """NOT EXISTS over an unsatisfiable subquery keeps every row."""
+        result = indexed_db.query(
+            "SELECT * FROM t IN Tasks WHERE t.time == 100 AND NOT EXISTS ("
+            "SELECT m FROM Employee m IN t.team_members "
+            "WHERE m.age == 1 AND m.age == 2)"
+        )
+        plain = indexed_db.query(
+            "SELECT * FROM t IN Tasks WHERE t.time == 100"
+        )
+        assert {r["t"].oid for r in result.rows} == {
+            r["t"].oid for r in plain.rows
+        }
+
+
+class TestExecution:
+    def test_matches_navigation(self, indexed_db):
+        result = indexed_db.query(NOT_Q4)
+        assert {row["t"].oid for row in result.rows} == _ground_truth(indexed_db)
+        assert all(set(row.keys()) == {"t"} for row in result.rows)
+
+    def test_no_duplicates(self, indexed_db):
+        """Anti-join emits each surviving outer tuple exactly once, even
+        when the outer side was never duplicated by unnesting."""
+        result = indexed_db.query(NOT_Q4)
+        oids = [row["t"].oid for row in result.rows]
+        assert len(oids) == len(set(oids))
+
+    def test_exists_and_not_exists_partition(self, indexed_db):
+        positive = indexed_db.query(
+            "SELECT * FROM Task t IN Tasks WHERE t.time == 100 AND EXISTS ("
+            'SELECT m FROM Employee m IN t.team_members WHERE m.name == "Fred")'
+        )
+        negative = indexed_db.query(NOT_Q4)
+        base = indexed_db.query("SELECT * FROM Task t IN Tasks WHERE t.time == 100")
+        pos = {r["t"].oid for r in positive.rows}
+        neg = {r["t"].oid for r in negative.rows}
+        assert pos | neg == {r["t"].oid for r in base.rows}
+        assert not (pos & neg)
+
+    def test_plan_uses_hash_anti_join(self, indexed_db):
+        result = indexed_db.optimize(NOT_Q4)
+        assert any(
+            isinstance(n, HashAntiJoinNode) for n in result.plan.walk()
+        )
+
+    def test_results_config_independent(self, indexed_db):
+        reference = {r["t"].oid for r in indexed_db.query(NOT_Q4).rows}
+        for config in (
+            OptimizerConfig().without(C.MAT_TO_JOIN),
+            OptimizerConfig().without(C.POINTER_JOIN),
+            OptimizerConfig().without(C.COLLAPSE_TO_INDEX_SCAN),
+        ):
+            rows = indexed_db.query(NOT_Q4, config=config).rows
+            assert {r["t"].oid for r in rows} == reference
+
+    def test_with_projection(self, indexed_db):
+        result = indexed_db.query(
+            "SELECT t.name FROM Task t IN Tasks WHERE t.time == 100 AND "
+            'NOT EXISTS (SELECT m FROM Employee m IN t.team_members '
+            'WHERE m.name == "Fred")'
+        )
+        store = indexed_db.store
+        expected = {store.peek(oid)["name"] for oid in _ground_truth(indexed_db)}
+        assert {row["t.name"] for row in result.rows} == expected
+
+    def test_with_aggregation(self, indexed_db):
+        result = indexed_db.query(
+            "SELECT COUNT(*) AS n FROM Task t IN Tasks WHERE t.time == 100 "
+            'AND NOT EXISTS (SELECT m FROM Employee m IN t.team_members '
+            'WHERE m.name == "Fred")'
+        )
+        assert result.rows == [{"n": len(_ground_truth(indexed_db))}]
+
+
+class TestNesting:
+    def test_exists_inside_not_exists(self, indexed_db):
+        """A positive EXISTS inside a NOT EXISTS flattens into the cloned
+        right-hand block."""
+        sql = (
+            "SELECT * FROM Task t IN Tasks WHERE t.time == 100 AND NOT EXISTS ("
+            "SELECT m FROM Employee m IN t.team_members WHERE "
+            'm.name == "Fred" AND EXISTS ('
+            "SELECT m2 FROM Employee m2 IN t.team_members WHERE m2.age < 30))"
+        )
+        result = indexed_db.query(sql)
+        store = indexed_db.store
+        expected = set()
+        for oid in store.collection_oids("Tasks"):
+            task = store.peek(oid)
+            if task["time"] != QUERY4_TIME:
+                continue
+            members = task["team_members"]
+            has_young = any(store.peek(m)["age"] < 30 for m in members)
+            has_fred = any(store.peek(m)["name"] == FRED for m in members)
+            if not (has_fred and has_young):
+                expected.add(oid)
+        assert {r["t"].oid for r in result.rows} == expected
+
+    def test_not_exists_inside_not_exists_rejected(self, indexed_db):
+        with pytest.raises(SimplificationError):
+            indexed_db.simplify(
+                "SELECT * FROM Task t IN Tasks WHERE NOT EXISTS ("
+                "SELECT m FROM Employee m IN t.team_members WHERE NOT EXISTS ("
+                "SELECT m2 FROM Employee m2 IN t.team_members "
+                "WHERE m2.age < 30))"
+            )
+
+    def test_two_sibling_not_exists(self, indexed_db):
+        sql = (
+            "SELECT * FROM Task t IN Tasks WHERE t.time == 100 "
+            'AND NOT EXISTS (SELECT m FROM Employee m IN t.team_members '
+            'WHERE m.name == "Fred") '
+            "AND NOT EXISTS (SELECT m2 FROM Employee m2 IN t.team_members "
+            "WHERE m2.age < 25)"
+        )
+        result = indexed_db.query(sql)
+        store = indexed_db.store
+        expected = set()
+        for oid in store.collection_oids("Tasks"):
+            task = store.peek(oid)
+            if task["time"] != QUERY4_TIME:
+                continue
+            members = task["team_members"]
+            if any(store.peek(m)["name"] == FRED for m in members):
+                continue
+            if any(store.peek(m)["age"] < 25 for m in members):
+                continue
+            expected.add(oid)
+        assert {r["t"].oid for r in result.rows} == expected

@@ -1,0 +1,91 @@
+"""Property-based tests: the group-by iterator vs a reference
+implementation, over random inputs."""
+
+from collections import defaultdict
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algebra.operators import AggFunc, AggSpec, ProjectItem
+from repro.algebra.predicates import FieldRef
+from repro.engine.iterators import group_by
+from repro.engine.tuples import Obj
+from repro.storage.objects import Oid
+
+
+@st.composite
+def input_rows(draw):
+    n = draw(st.integers(0, 40))
+    rows = []
+    for i in range(n):
+        data = {
+            "k": draw(st.integers(0, 4)),
+            "v": draw(
+                st.one_of(st.none(), st.integers(-100, 100))
+            ),
+        }
+        rows.append({"x": Obj(Oid("T", i), data)})
+    return rows
+
+
+KEYS = (ProjectItem("k", FieldRef("x", "k")),)
+AGGS = (
+    AggSpec("cnt", AggFunc.COUNT, None),
+    AggSpec("cnt_v", AggFunc.COUNT, FieldRef("x", "v")),
+    AggSpec("sum_v", AggFunc.SUM, FieldRef("x", "v")),
+    AggSpec("avg_v", AggFunc.AVG, FieldRef("x", "v")),
+    AggSpec("min_v", AggFunc.MIN, FieldRef("x", "v")),
+    AggSpec("max_v", AggFunc.MAX, FieldRef("x", "v")),
+)
+
+
+def reference(rows):
+    buckets = defaultdict(list)
+    for row in rows:
+        data = row["x"].data
+        buckets[data["k"]].append(data["v"])
+    out = {}
+    for key, values in buckets.items():
+        present = [v for v in values if v is not None]
+        out[key] = {
+            "cnt": len(values),
+            "cnt_v": len(present),
+            "sum_v": sum(present) if present else None,
+            "avg_v": sum(present) / len(present) if present else None,
+            "min_v": min(present) if present else None,
+            "max_v": max(present) if present else None,
+        }
+    return out
+
+
+class TestGroupByAgainstReference:
+    @given(input_rows())
+    def test_matches_reference(self, rows):
+        got = {
+            out["k"]: {name: out[name] for name in (
+                "cnt", "cnt_v", "sum_v", "avg_v", "min_v", "max_v"
+            )}
+            for out in group_by(rows, KEYS, AGGS, None)
+        }
+        assert got == reference(rows)
+
+    @given(input_rows())
+    def test_group_count_bounded_by_distinct_keys(self, rows):
+        out = list(group_by(rows, KEYS, AGGS, None))
+        distinct = {r["x"].data["k"] for r in rows}
+        assert len(out) == len(distinct)
+
+    @given(input_rows(), st.booleans())
+    def test_order_output_sorts_groups(self, rows, ascending):
+        out = list(group_by(rows, KEYS, AGGS, ("k", ascending)))
+        keys = [r["k"] for r in out]
+        assert keys == sorted(keys, reverse=not ascending)
+
+    @given(input_rows())
+    def test_empty_keys_single_group(self, rows):
+        out = list(group_by(rows, (), AGGS, None))
+        if not rows:
+            assert out == []
+        else:
+            assert len(out) == 1
+            assert out[0]["cnt"] == len(rows)

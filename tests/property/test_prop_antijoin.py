@@ -1,0 +1,101 @@
+"""Property-based tests: anti-join vs a reference implementation, and the
+EXISTS/NOT-EXISTS partition law over random data."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.predicates import (
+    CompOp,
+    Comparison,
+    Conjunction,
+    Const,
+    FieldRef,
+    SelfOid,
+)
+from repro.engine.iterators import anti_join, hash_join
+from repro.engine.tuples import Obj
+from repro.storage.objects import Oid
+
+
+@st.composite
+def sides(draw):
+    left = [
+        {"a": Obj(Oid("A", i), {"k": draw(st.integers(0, 5)), "w": i})}
+        for i in range(draw(st.integers(0, 15)))
+    ]
+    right = [
+        {"b": Obj(Oid("B", i), {"k": draw(st.integers(0, 5)), "v": draw(st.integers(0, 9))})}
+        for i in range(draw(st.integers(0, 15)))
+    ]
+    return left, right
+
+
+KEY_PRED = Conjunction.of(
+    Comparison(FieldRef("a", "k"), CompOp.EQ, FieldRef("b", "k"))
+)
+
+
+def reference_anti(left, right, residual_min=None):
+    out = []
+    for lrow in left:
+        matched = False
+        for rrow in right:
+            if lrow["a"].field("k") != rrow["b"].field("k"):
+                continue
+            if residual_min is not None and rrow["b"].field("v") < residual_min:
+                continue
+            matched = True
+            break
+        if not matched:
+            out.append(lrow)
+    return out
+
+
+class TestAntiJoin:
+    @given(sides())
+    @settings(max_examples=60)
+    def test_matches_reference(self, data):
+        left, right = data
+        got = list(anti_join(left, right, KEY_PRED))
+        expected = reference_anti(left, right)
+        assert [r["a"].oid for r in got] == [r["a"].oid for r in expected]
+
+    @given(sides())
+    @settings(max_examples=60)
+    def test_residual_honoured(self, data):
+        left, right = data
+        pred = Conjunction.of(
+            Comparison(FieldRef("a", "k"), CompOp.EQ, FieldRef("b", "k")),
+            Comparison(FieldRef("b", "v"), CompOp.GE, Const(5)),
+        )
+        got = list(anti_join(left, right, pred))
+        expected = reference_anti(left, right, residual_min=5)
+        assert [r["a"].oid for r in got] == [r["a"].oid for r in expected]
+
+    @given(sides())
+    @settings(max_examples=60)
+    def test_partition_with_semi_join(self, data):
+        """anti(L, R) and the L-side of join(L, R) partition L (by id)."""
+        left, right = data
+        anti_ids = {r["a"].oid for r in anti_join(left, right, KEY_PRED)}
+        joined_ids = {
+            r["a"].oid for r in hash_join(right, left, KEY_PRED)
+        }
+        all_ids = {r["a"].oid for r in left}
+        assert anti_ids | joined_ids == all_ids
+        assert not (anti_ids & joined_ids)
+
+    @given(sides())
+    @settings(max_examples=30)
+    def test_no_duplicates_and_order_preserved(self, data):
+        left, right = data
+        got = [r["a"].field("w") for r in anti_join(left, right, KEY_PRED)]
+        assert got == sorted(got)
+        assert len(got) == len(set(got))
+
+    @given(sides())
+    @settings(max_examples=30)
+    def test_empty_right_passes_everything(self, data):
+        left, _ = data
+        got = list(anti_join(left, [], KEY_PRED))
+        assert [r["a"].oid for r in got] == [r["a"].oid for r in left]

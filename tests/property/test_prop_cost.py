@@ -1,0 +1,99 @@
+"""Property-based tests for the cost model's invariants."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.optimizer.cost import Cost, CostModel, yao_distinct_pages
+
+model = CostModel()
+
+costs = st.builds(
+    Cost,
+    st.floats(0, 1e6, allow_nan=False),
+    st.floats(0, 1e6, allow_nan=False),
+)
+counts = st.floats(0, 1e7, allow_nan=False)
+pages = st.integers(1, 10**6)
+windows = st.integers(1, 4096)
+
+
+class TestCostAdt:
+    @given(costs, costs)
+    def test_addition_commutative(self, a, b):
+        assert (a + b).total == (b + a).total
+
+    @given(costs, costs, costs)
+    def test_addition_associative(self, a, b, c):
+        left = ((a + b) + c).total
+        right = (a + (b + c)).total
+        assert math.isclose(left, right, rel_tol=1e-12)
+
+    @given(costs)
+    def test_zero_identity(self, a):
+        assert (a + Cost.zero()).total == a.total
+
+    @given(costs, costs)
+    def test_order_total_consistent(self, a, b):
+        assert (a < b) == (a.total < b.total)
+
+
+class TestYao:
+    @given(counts, pages)
+    def test_bounds(self, fetches, p):
+        value = yao_distinct_pages(fetches, p)
+        assert 0.0 <= value <= min(fetches, p) + 1e-9
+
+    @given(counts, counts, pages)
+    def test_monotone_in_fetches(self, a, b, p):
+        lo, hi = sorted((a, b))
+        assert yao_distinct_pages(lo, p) <= yao_distinct_pages(hi, p) + 1e-9
+
+
+class TestFormulas:
+    @given(windows)
+    def test_windowed_fetch_bounded(self, window):
+        fetch = model.windowed_fetch_s(window)
+        floor = (
+            model.params.disk.transfer_ms + model.params.disk.rotational_ms
+        ) / 1000.0
+        assert floor <= fetch <= model.random_page_s + 1e-12
+
+    @given(windows, windows)
+    def test_windowed_fetch_monotone(self, a, b):
+        lo, hi = sorted((a, b))
+        assert model.windowed_fetch_s(hi) <= model.windowed_fetch_s(lo) + 1e-12
+
+    @given(counts, st.one_of(st.none(), pages), windows)
+    def test_assembly_nonnegative(self, refs, target_pages, window):
+        cost = model.assembly(refs, target_pages, window)
+        assert cost.io_seconds >= 0.0
+        assert cost.cpu_seconds >= 0.0
+
+    @given(counts, pages, windows)
+    def test_known_population_never_costs_more_io(self, refs, p, window):
+        """Statistics can only help: bounded assembly <= unbounded."""
+        bounded = model.assembly(refs, p, window)
+        unbounded = model.assembly(refs, None, window)
+        assert bounded.io_seconds <= unbounded.io_seconds + 1e-9
+
+    @given(counts, counts)
+    def test_hash_join_monotone_in_rows(self, a, b):
+        lo, hi = sorted((a, b))
+        small = model.hybrid_hash_join(lo, lo, lo * 100)
+        big = model.hybrid_hash_join(hi, hi, hi * 100)
+        assert small.total <= big.total + 1e-9
+
+    @given(pages, counts)
+    def test_file_scan_components_nonnegative(self, p, rows):
+        cost = model.file_scan(p, rows)
+        assert cost.io_seconds >= 0 and cost.cpu_seconds >= 0
+
+    @given(counts, pages)
+    def test_pointer_join_io_bounded_by_pages(self, refs, p):
+        cost = model.pointer_join(refs, p)
+        sweep = (
+            model.params.disk.transfer_ms + model.params.disk.rotational_ms
+        ) / 1000.0
+        assert cost.io_seconds <= p * sweep + 1e-9

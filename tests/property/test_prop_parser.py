@@ -1,0 +1,146 @@
+"""Property-based round-trip tests for the parser.
+
+Random query ASTs are rendered to query text via the AST's own __str__
+(which emits valid dialect syntax) and re-parsed; the round trip must
+reproduce the structure.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lang.ast import (
+    ComparisonAst,
+    ConstAst,
+    PathAst,
+    QueryAst,
+    RangeAst,
+    SelectItemAst,
+)
+from repro.lang.parser import parse_query
+
+idents = st.sampled_from(["c", "e", "d", "t", "m"])
+attrs = st.sampled_from(["name", "age", "population", "mayor", "country"])
+collections = st.sampled_from(["Cities", "Employees", "Tasks", "Capitals"])
+
+paths = st.builds(
+    PathAst, idents, st.lists(attrs, max_size=3).map(tuple)
+)
+
+constants = st.one_of(
+    st.integers(0, 10_000).map(ConstAst),
+    st.sampled_from(["Joe", "Fred", "Dallas"]).map(ConstAst),
+)
+
+operators = st.sampled_from(["==", "!=", "<", "<=", ">", ">="])
+
+comparisons = st.builds(
+    ComparisonAst, paths, operators, st.one_of(paths, constants)
+)
+
+
+@st.composite
+def queries(draw):
+    n_ranges = draw(st.integers(1, 3))
+    vars_pool = ["c", "e", "d"][:n_ranges]
+    ranges = tuple(
+        RangeAst(var, draw(collections)) for var in vars_pool
+    )
+    # Conditions over declared range variables only.
+    conds = tuple(
+        draw(
+            st.builds(
+                ComparisonAst,
+                st.builds(
+                    PathAst,
+                    st.sampled_from(vars_pool),
+                    st.lists(attrs, max_size=2).map(tuple),
+                ),
+                operators,
+                constants,
+            )
+        )
+        for _ in range(draw(st.integers(0, 3)))
+    )
+    items = tuple(
+        SelectItemAst(
+            PathAst(draw(st.sampled_from(vars_pool)), (draw(attrs),))
+        )
+        for _ in range(draw(st.integers(0, 3)))
+    )
+    return QueryAst(items, ranges, conds, distinct=False)
+
+
+class TestRoundTrip:
+    @given(queries())
+    def test_render_parse_roundtrip(self, query):
+        text = str(query)
+        reparsed = parse_query(text)
+        assert isinstance(reparsed, QueryAst)
+        assert len(reparsed.ranges) == len(query.ranges)
+        assert [r.var for r in reparsed.ranges] == [r.var for r in query.ranges]
+        assert len(reparsed.where) == len(query.where)
+        assert len(reparsed.select_items) == len(query.select_items)
+        for a, b in zip(reparsed.where, query.where):
+            assert str(a) == str(b)
+
+    @given(queries())
+    def test_roundtrip_idempotent(self, query):
+        once = parse_query(str(query))
+        twice = parse_query(str(once))
+        assert str(once) == str(twice)
+
+    @given(paths)
+    def test_path_roundtrip(self, path):
+        query = QueryAst(
+            (SelectItemAst(path),), (RangeAst(path.root, "Cities"),), ()
+        )
+        reparsed = parse_query(str(query))
+        assert reparsed.select_items[0].path == path
+
+
+@st.composite
+def aggregate_queries(draw):
+    from repro.lang.ast import AggregateAst, OrderByAst
+
+    key = draw(paths)
+    agg = AggregateAst(
+        draw(st.sampled_from(["count", "sum", "avg", "min", "max"])),
+        draw(st.one_of(st.none(), paths)),
+        alias="agg0",
+    )
+    if agg.func != "count" and agg.path is None:
+        agg = AggregateAst(agg.func, key, alias="agg0")
+    order = draw(
+        st.one_of(
+            st.none(),
+            st.just(OrderByAst(key, True)),
+            st.just(OrderByAst(PathAst("agg0"), False)),
+        )
+    )
+    having = draw(
+        st.one_of(
+            st.just(()),
+            st.just((ComparisonAst(PathAst("agg0"), ">=", ConstAst(2)),)),
+        )
+    )
+    return QueryAst(
+        (SelectItemAst(key), agg),
+        (RangeAst(key.root, "Cities"),),
+        (),
+        order_by=order,
+        group_by=(key,),
+        having=having,
+    )
+
+
+class TestExtendedClauseRoundTrip:
+    @given(aggregate_queries())
+    def test_group_having_order_roundtrip(self, query):
+        reparsed = parse_query(str(query))
+        assert reparsed.group_by == query.group_by
+        assert len(reparsed.having) == len(query.having)
+        assert (reparsed.order_by is None) == (query.order_by is None)
+        if query.order_by is not None:
+            assert reparsed.order_by.path == query.order_by.path
+            assert reparsed.order_by.ascending == query.order_by.ascending
+        assert str(parse_query(str(reparsed))) == str(reparsed)

@@ -1,0 +1,114 @@
+"""Property-based tests for the predicate language (hypothesis)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algebra.predicates import (
+    CompOp,
+    Comparison,
+    Conjunction,
+    Const,
+    FieldRef,
+    RefAttr,
+    SelfOid,
+    VarRef,
+)
+from repro.engine.tuples import eval_comparison
+from repro.storage.objects import Oid
+from repro.engine.tuples import Obj
+
+VARS = ("a", "b", "c", "d")
+ATTRS = ("x", "y", "z")
+
+terms = st.one_of(
+    st.integers(-5, 5).map(Const),
+    st.sampled_from(VARS).flatmap(
+        lambda v: st.sampled_from(ATTRS).map(lambda a: FieldRef(v, a))
+    ),
+    st.sampled_from(VARS).flatmap(
+        lambda v: st.sampled_from(ATTRS).map(lambda a: RefAttr(v, a))
+    ),
+    st.sampled_from(VARS).map(SelfOid),
+    st.sampled_from(VARS).map(VarRef),
+)
+
+comparisons = st.builds(
+    Comparison, terms, st.sampled_from(list(CompOp)), terms
+)
+
+conjunctions = st.lists(comparisons, max_size=6).map(
+    Conjunction.from_iterable
+)
+
+
+class TestCanonicalisation:
+    @given(comparisons)
+    def test_canonical_idempotent(self, comp):
+        assert comp.canonical() == comp.canonical().canonical()
+
+    @given(comparisons)
+    def test_canonical_preserves_vars(self, comp):
+        assert comp.canonical().vars == comp.vars
+        assert comp.canonical().memory_vars == comp.memory_vars
+
+    @given(st.lists(comparisons, max_size=6))
+    def test_conjunction_order_insensitive(self, comps):
+        forward = Conjunction.from_iterable(comps)
+        backward = Conjunction.from_iterable(reversed(comps))
+        assert forward == backward
+        assert hash(forward) == hash(backward)
+
+    @given(conjunctions)
+    def test_conjoin_identity(self, conj):
+        assert conj.conjoin(Conjunction.true()) == conj
+
+    @given(conjunctions, conjunctions)
+    def test_conjoin_commutative(self, a, b):
+        assert a.conjoin(b) == b.conjoin(a)
+
+
+class TestSplitLaws:
+    @given(conjunctions, st.frozensets(st.sampled_from(VARS)))
+    def test_split_partitions(self, conj, available):
+        inside, outside = conj.split_by_vars(available)
+        assert inside.conjoin(outside) == conj
+
+    @given(conjunctions, st.frozensets(st.sampled_from(VARS)))
+    def test_split_respects_availability(self, conj, available):
+        inside, outside = conj.split_by_vars(available)
+        assert inside.vars <= available
+        for comp in outside.comparisons:
+            assert not (comp.vars <= available)
+
+    @given(conjunctions)
+    def test_without_each_comparison(self, conj):
+        for comp in conj.comparisons:
+            reduced = conj.without(comp)
+            assert len(reduced.comparisons) == len(conj.comparisons) - 1
+            assert comp not in reduced.comparisons
+
+
+@st.composite
+def rows(draw):
+    row = {}
+    for i, var in enumerate(VARS):
+        data = {attr: draw(st.integers(-5, 5)) for attr in ATTRS}
+        row[var] = Obj(Oid("T", i), data)
+    return row
+
+
+class TestEvaluationConsistency:
+    @given(comparisons.filter(lambda c: "z" not in str(c)), rows())
+    def test_canonical_evaluates_identically(self, comp, row):
+        assert eval_comparison(comp, row) == eval_comparison(
+            comp.canonical(), row
+        )
+
+    @given(st.lists(comparisons.filter(lambda c: "z" not in str(c)), max_size=4), rows())
+    def test_conjunction_is_logical_and(self, comps, row):
+        from repro.engine.tuples import eval_conjunction
+
+        conj = Conjunction.from_iterable(comps)
+        assert eval_conjunction(conj, row) == all(
+            eval_comparison(c, row) for c in conj.comparisons
+        )

@@ -1,0 +1,118 @@
+"""Property-based tests for the storage substrate."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.catalog import Catalog, IndexDef, extent_name
+from repro.catalog.schema import Schema, TypeDef, scalar
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskSimulator
+from repro.storage.index import IndexRuntime
+from repro.storage.objects import Oid
+from repro.storage.store import ObjectStore
+
+
+class TestBufferPoolModel:
+    """Model-check the LRU pool against a reference OrderedDict."""
+
+    @given(
+        st.lists(st.integers(0, 30), max_size=200),
+        st.integers(1, 8),
+    )
+    def test_matches_reference_lru(self, accesses, capacity):
+        pool = BufferPool(DiskSimulator(span_pages=100), capacity=capacity)
+        reference: OrderedDict[int, None] = OrderedDict()
+        for page in accesses:
+            expected_hit = page in reference
+            cost = pool.read_page(page)
+            assert (cost == 0.0) == expected_hit
+            if page in reference:
+                reference.move_to_end(page)
+            else:
+                reference[page] = None
+                if len(reference) > capacity:
+                    reference.popitem(last=False)
+        assert set(reference) == {
+            p for p in range(31) if pool.contains(p)
+        }
+
+    @given(st.lists(st.integers(0, 100), max_size=300), st.integers(1, 16))
+    def test_capacity_never_exceeded(self, accesses, capacity):
+        pool = BufferPool(DiskSimulator(span_pages=200), capacity=capacity)
+        for page in accesses:
+            pool.read_page(page)
+            assert pool.resident_pages <= capacity
+
+
+def _store_with(names: list[str], object_size: int) -> ObjectStore:
+    schema = Schema()
+    schema.add_type(
+        TypeDef("T", object_size, (scalar("name", "str"),)), with_extent=True
+    )
+    catalog = Catalog(schema)
+    store = ObjectStore(catalog)
+    for name in names:
+        store.insert("T", {"name": name})
+    store.seal()
+    return store
+
+
+class TestStoreLayout:
+    @given(
+        st.lists(st.text(min_size=0, max_size=5), min_size=1, max_size=60),
+        st.sampled_from([100, 500, 1000, 2048, 4096, 5000]),
+    )
+    @settings(max_examples=40)
+    def test_objects_per_page_respects_capacity(self, names, object_size):
+        store = _store_with(names, object_size)
+        per_page = max(1, 4096 // object_size)
+        from collections import Counter
+
+        counts = Counter(
+            store.page_of(Oid("T", i)) for i in range(len(names))
+        )
+        assert all(c <= per_page for c in counts.values())
+
+    @given(st.lists(st.text(max_size=5), min_size=1, max_size=60))
+    @settings(max_examples=40)
+    def test_scan_preserves_insertion_order(self, names):
+        store = _store_with(names, 500)
+        scanned = [data["name"] for _, data in store.scan(extent_name("T"))]
+        assert scanned == names
+
+
+class TestIndexAgainstScan:
+    @given(
+        st.lists(st.integers(0, 10), min_size=1, max_size=80),
+        st.integers(0, 10),
+    )
+    @settings(max_examples=40)
+    def test_index_lookup_equals_scan_filter(self, values, probe):
+        store = _store_with([str(v) for v in values], 500)
+        index = IndexRuntime.build(
+            store, IndexDef("ix", extent_name("T"), ("name",), 11)
+        )
+        via_index = sorted(index.lookup_eq(store, str(probe)))
+        via_scan = sorted(
+            oid
+            for oid, data in store.scan(extent_name("T"))
+            if data["name"] == str(probe)
+        )
+        assert via_index == via_scan
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=80))
+    @settings(max_examples=40)
+    def test_range_lookup_equals_scan_filter(self, values):
+        store = _store_with([str(v).zfill(2) for v in values], 500)
+        index = IndexRuntime.build(
+            store, IndexDef("ix", extent_name("T"), ("name",), 51)
+        )
+        via_index = sorted(index.lookup_range(store, low="10", high="30"))
+        via_scan = sorted(
+            oid
+            for oid, data in store.scan(extent_name("T"))
+            if "10" <= data["name"] <= "30"
+        )
+        assert via_index == via_scan

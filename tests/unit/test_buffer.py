@@ -1,0 +1,63 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskSimulator
+
+
+@pytest.fixture()
+def pool() -> BufferPool:
+    return BufferPool(DiskSimulator(span_pages=10_000), capacity=4)
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self, pool):
+        first = pool.read_page(7)
+        second = pool.read_page(7)
+        assert first > 0.0
+        assert second == 0.0
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+
+    def test_lru_eviction(self, pool):
+        for page in (1, 2, 3, 4):
+            pool.read_page(page)
+        pool.read_page(5)  # evicts 1
+        assert not pool.contains(1)
+        assert pool.contains(5)
+        assert pool.read_page(1) > 0.0  # page 1 faults again
+
+    def test_touch_refreshes_recency(self, pool):
+        for page in (1, 2, 3, 4):
+            pool.read_page(page)
+        pool.read_page(1)  # 1 becomes most recent
+        pool.read_page(5)  # evicts 2, not 1
+        assert pool.contains(1)
+        assert not pool.contains(2)
+
+    def test_capacity_bound(self, pool):
+        for page in range(100):
+            pool.read_page(page)
+        assert pool.resident_pages == 4
+
+    def test_flush(self, pool):
+        pool.read_page(1)
+        pool.flush()
+        assert pool.resident_pages == 0
+        assert pool.read_page(1) > 0.0
+
+    def test_hit_rate(self, pool):
+        pool.read_page(1)
+        pool.read_page(1)
+        pool.read_page(1)
+        assert pool.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_hit_rate_empty(self, pool):
+        assert pool.stats.hit_rate == 0.0
+
+    def test_small_working_set_reads_disk_once(self, pool):
+        for _ in range(10):
+            for page in (1, 2, 3):
+                pool.read_page(page)
+        assert pool.disk.stats.page_reads == 3

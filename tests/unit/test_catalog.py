@@ -1,0 +1,117 @@
+"""Unit tests for the catalog (stats, indexes, path resolution, pages)."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog, IndexDef, extent_name
+from repro.catalog.sample_db import build_catalog, build_schema
+from repro.catalog.statistics import AttributeStats, CollectionStats
+from repro.errors import CatalogError
+
+
+@pytest.fixture()
+def catalog() -> Catalog:
+    return build_catalog()
+
+
+class TestStats:
+    def test_cardinality(self, catalog):
+        assert catalog.cardinality("Cities") == 10_000
+        assert catalog.cardinality(extent_name("Employee")) == 200_000
+
+    def test_missing_stats_raises(self):
+        cat = Catalog(build_schema())
+        with pytest.raises(CatalogError):
+            cat.cardinality("Cities")
+
+    def test_pages_ceiling(self, catalog):
+        # 10,000 cities at 200 bytes, 20 per 4 KB page -> 500 pages.
+        assert catalog.pages("Cities") == 500
+
+    def test_pages_minimum_one(self, catalog):
+        cat = build_catalog()
+        cat.set_stats("Capitals", CollectionStats(1))
+        assert cat.pages("Capitals") == 1
+
+    def test_type_population_with_extent(self, catalog):
+        assert catalog.type_population("Department") == 1_000
+
+    def test_type_population_without_extent_is_none(self, catalog):
+        # Plant has neither extent nor named set: the paper's catalog
+        # limitation that forces pessimistic assembly estimates.
+        assert catalog.type_population("Plant") is None
+
+    def test_attribute_stats(self, catalog):
+        stats = catalog.stats("Tasks")
+        assert stats.avg_set_size("team_members") == 8.0
+        assert stats.distinct_values("time") == 1_000
+        assert stats.distinct_values("missing") is None
+
+
+class TestPathResolution:
+    def test_multi_link_path(self, catalog):
+        attrs = catalog.resolve_path(
+            "Employee", ("department", "plant", "location")
+        )
+        assert [a.name for a in attrs] == ["department", "plant", "location"]
+        assert attrs[-1].kind.name == "SCALAR"
+
+    def test_scalar_mid_path_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.resolve_path("Employee", ("name", "length"))
+
+    def test_unknown_link_rejected(self, catalog):
+        with pytest.raises(Exception):
+            catalog.resolve_path("Employee", ("boss",))
+
+
+class TestIndexes:
+    def test_add_and_find(self, catalog):
+        ix = IndexDef("ix", "Cities", ("mayor", "name"), 5000)
+        catalog.add_index(ix)
+        assert catalog.find_index("Cities", ("mayor", "name")) is ix
+        assert ix.is_path_index
+        assert catalog.indexes_on("Cities") == (ix,)
+
+    def test_find_missing_returns_none(self, catalog):
+        assert catalog.find_index("Cities", ("name",)) is None
+
+    def test_duplicate_name_rejected(self, catalog):
+        catalog.add_index(IndexDef("ix", "Cities", ("name",), 10))
+        with pytest.raises(CatalogError):
+            catalog.add_index(IndexDef("ix", "Tasks", ("time",), 10))
+
+    def test_path_must_end_scalar(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.add_index(IndexDef("bad", "Cities", ("mayor",), 10))
+
+    def test_path_links_must_be_refs(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.add_index(
+                IndexDef("bad", "Tasks", ("team_members", "name"), 10)
+            )
+
+    def test_drop_index(self, catalog):
+        catalog.add_index(IndexDef("ix", "Cities", ("name",), 10))
+        catalog.drop_index("ix")
+        assert catalog.find_index("Cities", ("name",)) is None
+        with pytest.raises(CatalogError):
+            catalog.drop_index("ix")
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(CatalogError):
+            IndexDef("bad", "Cities", (), 10)
+
+    def test_nonpositive_distinct_rejected(self):
+        with pytest.raises(CatalogError):
+            IndexDef("bad", "Cities", ("name",), 0)
+
+
+class TestDescribe:
+    def test_table1_rendering(self, catalog):
+        text = catalog.describe()
+        assert "Cities" in text
+        assert "10000" in text  # set cardinality
+        assert "200000" in text  # employee extent
+        # Plant has no extent and no set.
+        plant_line = next(l for l in text.splitlines() if l.startswith("Plant"))
+        assert "No" in plant_line

@@ -1,0 +1,76 @@
+"""Unit tests for optimizer configuration semantics."""
+
+import pytest
+
+from repro.optimizer import config as C
+from repro.optimizer.config import OptimizerConfig
+
+
+class TestRuleToggles:
+    def test_default_enables_everything_but_warm_start(self):
+        config = OptimizerConfig()
+        for name in C.ALL_TRANSFORMATIONS + C.ALL_IMPLEMENTATIONS:
+            expected = name != C.WARM_START_ASSEMBLY
+            assert config.is_enabled(name) is expected
+        assert config.is_enabled(C.ASSEMBLY_ENFORCER)
+        assert config.is_enabled(C.SORT_ENFORCER)
+
+    def test_without_accumulates(self):
+        config = OptimizerConfig().without(C.MAT_TO_JOIN).without(C.FILTER)
+        assert not config.is_enabled(C.MAT_TO_JOIN)
+        assert not config.is_enabled(C.FILTER)
+
+    def test_with_rules_reenables(self):
+        config = OptimizerConfig().with_rules(C.WARM_START_ASSEMBLY)
+        assert config.is_enabled(C.WARM_START_ASSEMBLY)
+
+    def test_configs_are_immutable_values(self):
+        base = OptimizerConfig()
+        derived = base.without(C.MAT_TO_JOIN)
+        assert base.is_enabled(C.MAT_TO_JOIN)
+        assert base != derived
+        assert hash(base) != hash(derived)
+
+    def test_rule_names_unique(self):
+        names = C.ALL_TRANSFORMATIONS + C.ALL_IMPLEMENTATIONS + (
+            C.ASSEMBLY_ENFORCER,
+            C.SORT_ENFORCER,
+        )
+        assert len(names) == len(set(names))
+
+
+class TestTunables:
+    def test_with_window(self):
+        config = OptimizerConfig().with_window(1)
+        assert config.cost.assembly_window == 1
+        # Other cost constants untouched.
+        assert config.cost.page_size == OptimizerConfig().cost.page_size
+
+    def test_with_heuristics(self):
+        config = OptimizerConfig().with_heuristics(
+            candidate_cap=2, prune_factor=0.5
+        )
+        assert config.candidate_cap == 2
+        assert config.prune_factor == 0.5
+        assert OptimizerConfig().candidate_cap is None
+
+    def test_every_named_rule_is_disableable_end_to_end(self, paper_catalog):
+        """Disabling any single rule must never break optimization of the
+        paper queries (a weaker rule set only loses alternatives)."""
+        from repro.lang.parser import parse_query
+        from repro.optimizer import Optimizer
+        from repro.simplify.simplifier import simplify_full
+
+        sql = (
+            "SELECT c.name FROM City c IN Cities "
+            'WHERE c.mayor.name == "Joe"'
+        )
+        sq = simplify_full(parse_query(sql), paper_catalog)
+        for name in C.ALL_TRANSFORMATIONS + C.ALL_IMPLEMENTATIONS:
+            if name in (C.FILTER, C.FILE_SCAN, C.ALG_PROJECT):
+                continue  # the last-resort implementations must stay
+            config = OptimizerConfig().without(name)
+            result = Optimizer(paper_catalog, config).optimize(
+                sq.tree, result_vars=sq.result_vars
+            )
+            assert result.plan is not None, name

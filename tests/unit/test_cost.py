@@ -1,0 +1,144 @@
+"""Unit tests for the cost model."""
+
+import pytest
+
+from repro.optimizer.cost import Cost, CostModel, CostParams, yao_distinct_pages
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CostModel()
+
+
+class TestCostAdt:
+    def test_total_and_add(self):
+        c = Cost(1.0, 0.5) + Cost(2.0, 0.25)
+        assert c.io_seconds == 3.0
+        assert c.cpu_seconds == 0.75
+        assert c.total == 3.75
+
+    def test_ordering_by_total(self):
+        assert Cost(1.0, 0.0) < Cost(0.0, 2.0)
+        assert Cost(2.0, 0.0) >= Cost(1.0, 1.0)
+
+    def test_zero_and_infinite(self):
+        assert Cost.zero().total == 0.0
+        assert Cost.zero() < Cost.infinite()
+
+
+class TestYao:
+    def test_few_fetches_few_pages(self):
+        assert yao_distinct_pages(1, 1000) == pytest.approx(1.0, rel=0.01)
+
+    def test_many_fetches_saturate(self):
+        assert yao_distinct_pages(1_000_000, 100) == pytest.approx(100.0)
+
+    def test_monotone_in_fetches(self):
+        assert yao_distinct_pages(10, 100) < yao_distinct_pages(100, 100)
+
+    def test_bounded_by_pages(self):
+        assert yao_distinct_pages(500, 100) <= 100.0
+
+    def test_degenerate(self):
+        assert yao_distinct_pages(0, 100) == 0.0
+        assert yao_distinct_pages(10, 0) == 0.0
+
+
+class TestPrimitives:
+    def test_sequential_cheaper_than_random(self, model):
+        assert model.seq_page_s < model.random_page_s
+
+    def test_window_discount(self, model):
+        """The assembly window discounts the seek; window 1 = fully random."""
+        assert model.windowed_fetch_s(1) == pytest.approx(model.random_page_s)
+        assert model.windowed_fetch_s(8) < model.windowed_fetch_s(1)
+        assert model.windowed_fetch_s(64) < model.windowed_fetch_s(8)
+        # Transfer + rotation are irreducible.
+        floor = (
+            model.params.disk.transfer_ms + model.params.disk.rotational_ms
+        ) / 1000.0
+        assert model.windowed_fetch_s(10**9) >= floor
+
+
+class TestAssembly:
+    def test_unknown_population_charges_per_ref(self, model):
+        """The paper's Plant case: no extent stats -> one fault per ref."""
+        cost = model.assembly(50_000, target_pages=None)
+        per_fetch = model.windowed_fetch_s(model.params.assembly_window)
+        assert cost.io_seconds == pytest.approx(50_000 * per_fetch)
+
+    def test_small_target_bounded_by_pages(self, model):
+        """The paper's Department case: 50k refs into a 98-page extent."""
+        cost = model.assembly(50_000, target_pages=98)
+        per_fetch = model.windowed_fetch_s(model.params.assembly_window)
+        assert cost.io_seconds <= 98 * per_fetch * 1.01
+
+    def test_target_larger_than_pool_pessimistic(self, model):
+        pages = model.params.buffer_pages * 2
+        cost = model.assembly(10_000, target_pages=pages)
+        per_fetch = model.windowed_fetch_s(model.params.assembly_window)
+        assert cost.io_seconds == pytest.approx(10_000 * per_fetch)
+
+    def test_window_one_is_naive(self, model):
+        naive = model.assembly(1_000, None, window=1)
+        windowed = model.assembly(1_000, None, window=8)
+        assert naive.io_seconds > windowed.io_seconds
+        # sqrt(8) discount applies only to the seek component.
+        assert naive.io_seconds < 3 * windowed.io_seconds
+
+
+class TestJoins:
+    def test_in_memory_build_no_io(self, model):
+        cost = model.hybrid_hash_join(1_000, 10_000, build_bytes=1_000 * 100)
+        assert cost.io_seconds == 0.0
+        assert cost.cpu_seconds > 0.0
+
+    def test_spill_when_build_exceeds_workmem(self, model):
+        big = model.params.work_mem_bytes * 4
+        cost = model.hybrid_hash_join(1_000_000, 10, build_bytes=big)
+        assert cost.io_seconds > 0.0
+
+    def test_build_costs_more_than_probe(self, model):
+        """Asymmetry drives the optimizer to build on the small side."""
+        small_build = model.hybrid_hash_join(100, 10_000, 100 * 50)
+        big_build = model.hybrid_hash_join(10_000, 100, 10_000 * 50)
+        assert small_build.total < big_build.total
+
+    def test_nested_loops_quadratic(self, model):
+        small = model.nested_loops_join(10, 10)
+        big = model.nested_loops_join(100, 100)
+        assert big.cpu_seconds == pytest.approx(small.cpu_seconds * 100)
+
+
+class TestOtherOperators:
+    def test_file_scan_components(self, model):
+        cost = model.file_scan(100, 2_000)
+        assert cost.io_seconds == pytest.approx(100 * model.seq_page_s)
+        assert cost.cpu_seconds > 0.0
+
+    def test_index_scan_scales_with_matches(self, model):
+        few = model.index_scan(2, 1, 1, 500)
+        many = model.index_scan(400, 1, 2, 500)
+        assert few.total < many.total
+
+    def test_pointer_join_cheaper_io_than_naive_assembly(self, model):
+        pj = model.pointer_join(10_000, 2_500)
+        naive = model.assembly(10_000, None, window=1)
+        assert pj.io_seconds < naive.io_seconds
+
+    def test_warm_start_is_scan_priced(self, model):
+        cost = model.warm_start_assembly(50_000, 98)
+        assert cost.io_seconds == pytest.approx(98 * model.seq_page_s)
+
+    def test_filter_project_unnest_cpu_only(self, model):
+        for cost in (
+            model.filter(1000, 2),
+            model.project(1000),
+            model.unnest(1000),
+            model.hash_set_op(10, 10),
+        ):
+            assert cost.io_seconds == 0.0
+            assert cost.cpu_seconds > 0.0
+
+    def test_distinct_projection_costs_more(self, model):
+        assert model.project(1000, distinct=True).total > model.project(1000).total

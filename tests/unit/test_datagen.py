@@ -1,0 +1,127 @@
+"""Unit tests for the Table 1 data generator."""
+
+import pytest
+
+from repro.catalog.catalog import extent_name
+from repro.catalog.sample_db import SampleSizes, build_catalog
+from repro.storage.datagen import (
+    DALLAS,
+    FRED,
+    JOE,
+    QUERY4_TIME,
+    generate_store,
+    scaled_sizes,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    sizes = scaled_sizes(0.02)
+    return sizes, generate_store(build_catalog(sizes), sizes)
+
+
+class TestCardinalities:
+    def test_collections_match_catalog(self, world):
+        sizes, store = world
+        assert store.collection_cardinality("Cities") == sizes.cities
+        assert store.collection_cardinality("Employees") == sizes.employees_set
+        assert (
+            store.collection_cardinality(extent_name("Employee"))
+            == sizes.employee_extent
+        )
+        assert store.collection_cardinality("Tasks") == sizes.tasks_set
+
+    def test_named_set_is_prefix_of_extent(self, world):
+        _, store = world
+        extent = store.collection_oids(extent_name("Employee"))
+        members = store.collection_oids("Employees")
+        assert members == extent[: len(members)]
+
+
+class TestReferentialIntegrity:
+    def test_all_references_resolve(self, world):
+        _, store = world
+        for oid in store.collection_oids("Cities"):
+            data = store.peek(oid)
+            assert store.peek(data["mayor"])["name"]
+            assert store.peek(data["country"])["name"]
+
+    def test_country_capital_cycle_patched(self, world):
+        _, store = world
+        for oid in store.collection_oids("Capitals"):
+            country = store.peek(store.peek(oid)["country"])
+            assert country["capital"] is not None
+
+    def test_team_members_are_set_employees(self, world):
+        _, store = world
+        member_set = set(store.collection_oids("Employees"))
+        for oid in store.collection_oids("Tasks")[:50]:
+            for member in store.peek(oid)["team_members"]:
+                assert member in member_set
+
+
+class TestDistributions:
+    def test_query_constants_present(self, world):
+        _, store = world
+        names = {store.peek(o)["name"] for o in store.collection_oids(extent_name("Person"))}
+        assert JOE in names
+        employee_names = {
+            store.peek(o)["name"]
+            for o in store.collection_oids(extent_name("Employee"))
+        }
+        assert FRED in employee_names
+
+    def test_dallas_plants_exist(self, world):
+        _, store = world
+        locations = {
+            store.peek(o)["location"]
+            for o in store.segment("Plant").oids
+        }
+        assert DALLAS in locations
+
+    def test_query4_time_value_exists(self, world):
+        _, store = world
+        times = {store.peek(o)["time"] for o in store.collection_oids("Tasks")}
+        assert QUERY4_TIME in times
+
+    def test_team_size_near_catalog_average(self, world):
+        sizes, store = world
+        tasks = store.collection_oids("Tasks")
+        mean = sum(len(store.peek(o)["team_members"]) for o in tasks) / len(tasks)
+        assert abs(mean - sizes.avg_team_size) < 1.0
+
+    def test_plants_sparse(self, world):
+        _, store = world
+        assert not store.segment("Plant").dense
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        sizes = scaled_sizes(0.01)
+        a = generate_store(build_catalog(sizes), sizes, seed=7)
+        b = generate_store(build_catalog(sizes), sizes, seed=7)
+        for oid in a.collection_oids("Cities")[:20]:
+            assert a.peek(oid) == b.peek(oid)
+
+    def test_different_seed_differs(self):
+        sizes = scaled_sizes(0.01)
+        a = generate_store(build_catalog(sizes), sizes, seed=7)
+        b = generate_store(build_catalog(sizes), sizes, seed=8)
+        differs = any(
+            a.peek(oid)["mayor"] != b.peek(oid)["mayor"]
+            for oid in a.collection_oids("Cities")[:50]
+        )
+        assert differs
+
+
+class TestScaledSizes:
+    def test_scaling_preserves_ratios(self):
+        base = SampleSizes()
+        scaled = scaled_sizes(0.1)
+        assert scaled.cities == int(base.cities * 0.1)
+        assert scaled.employee_extent == int(base.employee_extent * 0.1)
+
+    def test_minimums_respected(self):
+        tiny = scaled_sizes(0.00001)
+        assert tiny.cities >= 4
+        assert tiny.distinct_task_times >= 10

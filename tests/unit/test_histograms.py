@@ -1,0 +1,124 @@
+"""Unit tests for histograms and MCV sketches (selectivity refinement)."""
+
+import pytest
+
+from repro.catalog.histograms import (
+    Histogram,
+    MostCommonValues,
+    build_histogram,
+    build_mcv,
+)
+
+
+class TestBuildHistogram:
+    def test_counts_partition_total(self):
+        values = list(range(100))
+        hist = build_histogram(values, bins=10)
+        assert hist is not None
+        assert sum(hist.counts) == 100
+        assert hist.total == 100
+        assert hist.distinct == 100
+
+    def test_non_numeric_returns_none(self):
+        assert build_histogram(["a", "b"]) is None
+        assert build_histogram([1, "b"]) is None
+        assert build_histogram([True, False]) is None  # bools excluded
+
+    def test_empty_returns_none(self):
+        assert build_histogram([]) is None
+
+    def test_constant_values_single_bin(self):
+        hist = build_histogram([5, 5, 5])
+        assert hist.counts == (3,)
+        assert hist.distinct == 1
+
+
+class TestHistogramEstimates:
+    @pytest.fixture()
+    def uniform(self) -> Histogram:
+        return build_histogram(list(range(1000)), bins=20)
+
+    def test_eq_close_to_uniform(self, uniform):
+        assert uniform.selectivity_eq(500) == pytest.approx(1 / 1000, rel=0.2)
+
+    def test_eq_outside_domain_zero(self, uniform):
+        assert uniform.selectivity_eq(-5) == 0.0
+        assert uniform.selectivity_eq(5000) == 0.0
+
+    def test_eq_non_numeric_zero(self, uniform):
+        assert uniform.selectivity_eq("abc") == 0.0
+
+    def test_range_half(self, uniform):
+        assert uniform.selectivity_range(low=500) == pytest.approx(0.5, abs=0.05)
+        assert uniform.selectivity_range(high=250) == pytest.approx(0.25, abs=0.05)
+
+    def test_range_full_is_one(self, uniform):
+        assert uniform.selectivity_range() == pytest.approx(1.0, abs=0.01)
+
+    def test_range_empty(self, uniform):
+        assert uniform.selectivity_range(low=600, high=400) == 0.0
+
+    def test_range_on_skewed_data(self):
+        values = [1] * 900 + list(range(2, 102))
+        hist = build_histogram(values, bins=10)
+        # 90% of the mass sits at 1.
+        assert hist.selectivity_range(high=10) > 0.8
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(Exception):
+            Histogram((0.0, 1.0, 2.0), (1,), 1, 1)
+
+
+class TestMcv:
+    def test_tracked_value_exact(self):
+        mcv = build_mcv(["a"] * 70 + ["b"] * 20 + ["c"] * 10, k=2)
+        assert mcv.selectivity_eq("a") == pytest.approx(0.7)
+        assert mcv.selectivity_eq("b") == pytest.approx(0.2)
+
+    def test_untracked_value_uniform_remainder(self):
+        values = ["a"] * 50 + [f"v{i}" for i in range(50)]
+        mcv = build_mcv(values, k=1)
+        # 50 remaining rows over 50 remaining distinct values / 100 total.
+        assert mcv.selectivity_eq("v7") == pytest.approx(0.01, rel=0.5)
+
+    def test_unknown_value_small_not_zero(self):
+        mcv = build_mcv(["a", "b", "c"], k=2)
+        assert 0 <= mcv.selectivity_eq("zzz") <= 0.34
+
+    def test_empty(self):
+        mcv = MostCommonValues((), 0, 0)
+        assert mcv.selectivity_eq("x") == 0.0
+
+
+class TestAnalyzeIntegration:
+    def test_analyze_improves_range_estimate(self, fresh_db):
+        query = "SELECT * FROM c IN Cities WHERE c.population >= 900000"
+        naive = fresh_db.optimize(query).plan.rows
+        actual = len(fresh_db.query(query).rows)
+        fresh_db.analyze("Cities")
+        refined = fresh_db.optimize(query).plan.rows
+        assert abs(refined - actual) < abs(naive - actual)
+
+    def test_analyze_equality_via_mcv(self, fresh_db):
+        fresh_db.analyze("Cities", attributes=("name",))
+        estimate = fresh_db.optimize(
+            'SELECT * FROM c IN Cities WHERE c.name == "city3"'
+        ).plan.rows
+        assert estimate == pytest.approx(1.0, rel=0.01)
+
+    def test_analyze_rejects_reference_attribute(self, fresh_db):
+        from repro.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            fresh_db.analyze("Cities", attributes=("mayor",))
+
+    def test_analyze_returns_attribute_list(self, fresh_db):
+        analyzed = fresh_db.analyze("Cities")
+        assert set(analyzed) == {"name", "population"}
+
+    def test_analyzed_stats_do_not_change_results(self, fresh_db):
+        query = "SELECT * FROM c IN Cities WHERE c.population >= 900000"
+        before = {r["c"].oid for r in fresh_db.query(query).rows}
+        fresh_db.analyze("Cities")
+        after = {r["c"].oid for r in fresh_db.query(query).rows}
+        assert before == after

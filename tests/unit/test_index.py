@@ -1,0 +1,86 @@
+"""Unit tests for runtime attribute and path indexes."""
+
+import pytest
+
+from repro.catalog.catalog import IndexDef, extent_name
+from repro.storage.datagen import JOE, generate_store, scaled_sizes
+from repro.catalog.sample_db import build_catalog
+from repro.storage.index import IndexRuntime
+
+
+@pytest.fixture(scope="module")
+def store():
+    sizes = scaled_sizes(0.02)
+    return generate_store(build_catalog(sizes), sizes)
+
+
+class TestAttributeIndex:
+    def test_equality_lookup(self, store):
+        index = IndexRuntime.build(
+            store, IndexDef("ix", "Tasks", ("time",), 10)
+        )
+        oids = index.lookup_eq(store, 100)
+        assert oids
+        for oid in oids:
+            assert store.peek(oid)["time"] == 100
+
+    def test_lookup_miss(self, store):
+        index = IndexRuntime.build(store, IndexDef("ix", "Tasks", ("time",), 10))
+        assert index.lookup_eq(store, -1) == []
+
+    def test_entries_cover_collection(self, store):
+        index = IndexRuntime.build(store, IndexDef("ix", "Tasks", ("time",), 10))
+        assert index.entry_count == store.collection_cardinality("Tasks")
+
+    def test_range_lookup(self, store):
+        index = IndexRuntime.build(store, IndexDef("ix", "Tasks", ("time",), 10))
+        oids = index.lookup_range(store, low=10, high=30)
+        assert oids
+        for oid in oids:
+            assert 10 <= store.peek(oid)["time"] <= 30
+
+    def test_range_exclusive_bounds(self, store):
+        index = IndexRuntime.build(store, IndexDef("ix", "Tasks", ("time",), 10))
+        inclusive = index.lookup_range(store, low=10, high=30)
+        exclusive = index.lookup_range(
+            store, low=10, high=30, low_inclusive=False, high_inclusive=False
+        )
+        assert len(exclusive) < len(inclusive)
+
+
+class TestPathIndex:
+    def test_path_index_matches_navigation(self, store):
+        """Path-index lookup must agree with a full scan + dereference."""
+        index = IndexRuntime.build(
+            store, IndexDef("ix", "Cities", ("mayor", "name"), 100)
+        )
+        via_index = set(index.lookup_eq(store, JOE))
+        via_scan = {
+            oid
+            for oid in store.collection_oids("Cities")
+            if store.peek(store.peek(oid)["mayor"])["name"] == JOE
+        }
+        assert via_index == via_scan
+        assert via_index  # the generator plants Joes
+
+    def test_lookup_charges_io(self, store):
+        index = IndexRuntime.build(
+            store, IndexDef("ix", "Cities", ("mayor", "name"), 100)
+        )
+        store.reset_accounting()
+        index.lookup_eq(store, JOE)
+        assert store.disk.stats.page_reads >= index.height
+
+    def test_distinct_keys(self, store):
+        index = IndexRuntime.build(
+            store, IndexDef("ix", "Cities", ("mayor", "name"), 100)
+        )
+        assert 1 < index.distinct_keys() <= index.entry_count
+
+    def test_shape_grows_with_entries(self, store):
+        small = IndexRuntime.build(store, IndexDef("a", "Capitals", ("name",), 4))
+        large = IndexRuntime.build(
+            store, IndexDef("b", extent_name("Employee"), ("name",), 4)
+        )
+        assert large.leaf_pages > small.leaf_pages
+        assert large.height >= small.height >= 1

@@ -1,0 +1,110 @@
+"""Unit tests for variable origins and logical property helpers."""
+
+import pytest
+
+from repro.algebra.operators import Get, Join, Mat, RefSource, Select, Unnest
+from repro.algebra.predicates import (
+    CompOp,
+    Comparison,
+    Conjunction,
+    Const,
+    FieldRef,
+)
+from repro.algebra.scopes import BindingKind, Scope, VarBinding
+from repro.catalog.sample_db import build_catalog
+from repro.errors import OptimizerError
+from repro.optimizer.logical_props import (
+    build_query_vars,
+    tuple_width_bytes,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog()
+
+
+class TestOrigins:
+    def test_get_origin(self, catalog):
+        qvars = build_query_vars(Get("Cities", "c"), catalog)
+        origin = qvars.origin("c")
+        assert origin.collection == "Cities"
+        assert origin.path == ()
+        assert origin.type_name == "City"
+
+    def test_mat_chain_origin(self, catalog):
+        tree = Mat(
+            Mat(Get("Cities", "c"), RefSource("c", "country"), "c.country"),
+            RefSource("c.country", "president"),
+            "c.country.president",
+        )
+        qvars = build_query_vars(tree, catalog)
+        origin = qvars.origin("c.country.president")
+        assert origin.collection == "Cities"
+        assert origin.path == ("country", "president")
+        assert origin.type_name == "Person"
+
+    def test_unnest_then_mat_origin(self, catalog):
+        tree = Mat(
+            Unnest(Get("Tasks", "t"), "t", "team_members", "m_ref"),
+            RefSource("m_ref", None),
+            "m",
+        )
+        qvars = build_query_vars(tree, catalog)
+        assert qvars.origin("m").path == ("team_members",)
+        assert qvars.origin("m").type_name == "Employee"
+        # The bare-ref Mat shares the unnest binding's origin.
+        assert qvars.origin("m") == qvars.origin("m_ref")
+
+    def test_join_sides_both_traced(self, catalog):
+        tree = Join(
+            Get("Employees", "e"),
+            Get("extent(Department)", "d"),
+            Conjunction.true(),
+        )
+        qvars = build_query_vars(tree, catalog)
+        assert qvars.origin("e").collection == "Employees"
+        assert qvars.origin("d").collection == "extent(Department)"
+
+    def test_unknown_variable_raises(self, catalog):
+        qvars = build_query_vars(Get("Cities", "c"), catalog)
+        with pytest.raises(OptimizerError):
+            qvars.origin("zzz")
+
+
+class TestEnforceSources:
+    def test_mat_records_source(self, catalog):
+        tree = Mat(Get("Cities", "c"), RefSource("c", "mayor"), "c.mayor")
+        qvars = build_query_vars(tree, catalog)
+        assert qvars.source_of("c.mayor") == RefSource("c", "mayor")
+
+    def test_get_variable_has_no_source(self, catalog):
+        qvars = build_query_vars(Get("Cities", "c"), catalog)
+        assert qvars.source_of("c") is None
+
+    def test_sources_survive_wrapping_operators(self, catalog):
+        tree = Select(
+            Mat(Get("Cities", "c"), RefSource("c", "mayor"), "c.mayor"),
+            Conjunction.of(
+                Comparison(FieldRef("c.mayor", "name"), CompOp.EQ, Const("J"))
+            ),
+        )
+        qvars = build_query_vars(tree, catalog)
+        assert qvars.source_of("c.mayor") is not None
+
+
+class TestTupleWidth:
+    def test_object_bindings_use_type_sizes(self, catalog):
+        scope = Scope.of(
+            VarBinding("c", "City", BindingKind.OBJECT),
+            VarBinding("p", "Person", BindingKind.OBJECT),
+        )
+        # City 200 + Person 100 + 16 overhead.
+        assert tuple_width_bytes(scope, catalog) == 316.0
+
+    def test_ref_bindings_are_cheap(self, catalog):
+        scope = Scope.of(VarBinding("m", "Employee", BindingKind.REF))
+        assert tuple_width_bytes(scope, catalog) == 24.0
+
+    def test_empty_scope_overhead_only(self, catalog):
+        assert tuple_width_bytes(Scope.of(), catalog, overhead=16) == 16.0

@@ -1,0 +1,125 @@
+"""Unit tests for the sort and merge-join iterators."""
+
+import pytest
+
+from repro.algebra.predicates import (
+    CompOp,
+    Comparison,
+    Conjunction,
+    FieldRef,
+    RefAttr,
+    SelfOid,
+)
+from repro.engine.iterators import merge_join, sort_rows
+from repro.engine.tuples import Obj
+from repro.errors import ExecutionError
+from repro.storage.objects import Oid
+
+
+def obj_row(var: str, serial: int, **fields) -> dict:
+    return {var: Obj(Oid("T", serial), fields)}
+
+
+class TestSortRows:
+    def test_sort_by_attribute(self):
+        rows = [obj_row("x", i, v=val) for i, val in enumerate([3, 1, 2])]
+        out = list(sort_rows(rows, "x", "v", ascending=True))
+        assert [r["x"].field("v") for r in out] == [1, 2, 3]
+
+    def test_sort_descending(self):
+        rows = [obj_row("x", i, v=val) for i, val in enumerate([3, 1, 2])]
+        out = list(sort_rows(rows, "x", "v", ascending=False))
+        assert [r["x"].field("v") for r in out] == [3, 2, 1]
+
+    def test_sort_by_oid(self):
+        rows = [obj_row("x", serial) for serial in (5, 1, 3)]
+        out = list(sort_rows(rows, "x", None, ascending=True))
+        assert [r["x"].oid.serial for r in out] == [1, 3, 5]
+
+    def test_sort_by_ref_binding(self):
+        rows = [{"m": Oid("T", serial)} for serial in (9, 2, 4)]
+        out = list(sort_rows(rows, "m", None, ascending=True))
+        assert [r["m"].serial for r in out] == [2, 4, 9]
+
+    def test_sort_is_stable(self):
+        rows = [obj_row("x", i, v=1, tag=i) for i in range(5)]
+        out = list(sort_rows(rows, "x", "v", ascending=True))
+        assert [r["x"].field("tag") for r in out] == [0, 1, 2, 3, 4]
+
+    def test_sort_attr_of_ref_binding_raises(self):
+        rows = [{"m": Oid("T", 1)}]
+        with pytest.raises(ExecutionError):
+            list(sort_rows(rows, "m", "name", ascending=True))
+
+
+class TestMergeJoin:
+    def _pred(self):
+        return Conjunction.of(
+            Comparison(RefAttr("a", "ref"), CompOp.EQ, SelfOid("b"))
+        )
+
+    def _sides(self, left_refs, right_serials):
+        left = [
+            {"a": Obj(Oid("A", i), {"ref": Oid("B", ref), "tag": i})}
+            for i, ref in enumerate(left_refs)
+        ]
+        right = [{"b": Obj(Oid("B", s), {"val": s})} for s in right_serials]
+        return left, right
+
+    def test_basic_match(self):
+        left, right = self._sides([1, 2, 2, 5], [1, 2, 3, 5])
+        out = list(
+            merge_join(left, right, self._pred(), RefAttr("a", "ref"), SelfOid("b"))
+        )
+        pairs = [(r["a"].field("tag"), r["b"].oid.serial) for r in out]
+        assert pairs == [(0, 1), (1, 2), (2, 2), (3, 5)]
+
+    def test_duplicates_cross_product(self):
+        left, right = self._sides([2, 2], [2])
+        right = right + [{"b": Obj(Oid("B", 2), {"val": 2})}]
+        # Two left rows x two right rows with key 2 -> 4 outputs.
+        out = list(
+            merge_join(
+                left,
+                sorted(right, key=lambda r: r["b"].oid),
+                self._pred(),
+                RefAttr("a", "ref"),
+                SelfOid("b"),
+            )
+        )
+        assert len(out) == 4
+
+    def test_none_keys_dropped(self):
+        left, right = self._sides([1], [1])
+        left.insert(0, {"a": Obj(Oid("A", 99), {"ref": None, "tag": 99})})
+        out = list(
+            merge_join(left, right, self._pred(), RefAttr("a", "ref"), SelfOid("b"))
+        )
+        assert [r["a"].field("tag") for r in out] == [0]
+
+    def test_residual_applied(self):
+        from repro.algebra.predicates import Const
+
+        pred = Conjunction.of(
+            Comparison(RefAttr("a", "ref"), CompOp.EQ, SelfOid("b")),
+            Comparison(FieldRef("b", "val"), CompOp.GE, Const(3)),
+        )
+        left, right = self._sides([1, 5], [1, 5])
+        out = list(
+            merge_join(left, right, pred, RefAttr("a", "ref"), SelfOid("b"))
+        )
+        assert [r["b"].field("val") for r in out] == [5]
+
+    def test_empty_sides(self):
+        left, right = self._sides([1], [1])
+        pred = self._pred()
+        assert list(merge_join([], right, pred, RefAttr("a", "ref"), SelfOid("b"))) == []
+        assert list(merge_join(left, [], pred, RefAttr("a", "ref"), SelfOid("b"))) == []
+
+    def test_output_order_follows_left(self):
+        left, right = self._sides([1, 3, 5, 7], [1, 3, 5, 7])
+        out = list(
+            merge_join(left, right, self._pred(), RefAttr("a", "ref"), SelfOid("b"))
+        )
+        tags = [r["a"].field("tag") for r in out]
+        assert tags == sorted(tags)

@@ -1,0 +1,135 @@
+"""Unit tests for the ZQL parser."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.lang.ast import (
+    ComparisonAst,
+    ConstAst,
+    ExistsAst,
+    PathAst,
+    QueryAst,
+    SetQueryAst,
+)
+from repro.lang.parser import parse_query
+
+
+class TestBasics:
+    def test_select_star(self):
+        q = parse_query("SELECT * FROM City c IN Cities")
+        assert isinstance(q, QueryAst)
+        assert q.select_items == ()
+        assert q.ranges[0].var == "c"
+        assert q.ranges[0].type_name == "City"
+        assert q.ranges[0].source == "Cities"
+
+    def test_untyped_range(self):
+        q = parse_query("SELECT * FROM c IN Cities")
+        assert q.ranges[0].type_name is None
+
+    def test_select_paths_with_aliases(self):
+        q = parse_query("SELECT c.name AS city, c.mayor.age FROM c IN Cities")
+        assert q.select_items[0].alias == "city"
+        assert q.select_items[1].path == PathAst("c", ("mayor", "age"))
+
+    def test_newobject_constructor_form(self):
+        q = parse_query("SELECT Newobject(e.name(), d.name()) FROM e IN Employees, d IN Departments")
+        assert len(q.select_items) == 2
+        assert q.select_items[0].path == PathAst("e", ("name",))
+
+    def test_cxx_accessor_parens_ignored(self):
+        q = parse_query("SELECT * FROM c IN Cities WHERE c.mayor().name() == 'Joe'")
+        comp = q.where[0]
+        assert comp.left == PathAst("c", ("mayor", "name"))
+
+    def test_distinct(self):
+        q = parse_query("SELECT DISTINCT c.name FROM c IN Cities")
+        assert q.distinct
+
+    def test_extent_collection_name(self):
+        q = parse_query("SELECT * FROM Department d IN extent(Department)")
+        assert q.ranges[0].source == "extent(Department)"
+
+    def test_trailing_semicolon_allowed(self):
+        parse_query("SELECT * FROM c IN Cities;")
+
+
+class TestConditions:
+    def test_conjunction_flattened(self):
+        q = parse_query(
+            "SELECT * FROM c IN Cities WHERE c.population >= 10 && c.name == 'x' AND c.population <= 99"
+        )
+        assert len(q.where) == 3
+
+    def test_all_comparison_operators(self):
+        for op in ("==", "!=", "<", "<=", ">", ">="):
+            q = parse_query(f"SELECT * FROM c IN Cities WHERE c.population {op} 5")
+            assert q.where[0].op == op
+
+    def test_constant_on_left(self):
+        q = parse_query("SELECT * FROM c IN Cities WHERE 5 < c.population")
+        assert isinstance(q.where[0].left, ConstAst)
+
+    def test_oid_comparison(self):
+        q = parse_query(
+            "SELECT * FROM e IN Employees, d IN extent(Department) WHERE e.department == d"
+        )
+        comp = q.where[0]
+        assert comp.right == PathAst("d")
+
+    def test_exists_subquery(self):
+        q = parse_query(
+            "SELECT * FROM t IN Tasks WHERE EXISTS "
+            "(SELECT m FROM m IN t.team_members WHERE m.name == 'Fred')"
+        )
+        exists = q.where[0]
+        assert isinstance(exists, ExistsAst)
+        inner = exists.query
+        assert inner.ranges[0].source == PathAst("t", ("team_members",))
+
+    def test_parenthesized_condition(self):
+        q = parse_query("SELECT * FROM c IN Cities WHERE (c.population > 5)")
+        assert isinstance(q.where[0], ComparisonAst)
+
+
+class TestSetQueries:
+    def test_union(self):
+        q = parse_query("SELECT c.name FROM c IN Cities UNION SELECT c.name FROM c IN Capitals")
+        assert isinstance(q, SetQueryAst)
+        assert q.kind == "union"
+
+    def test_left_associative_chain(self):
+        q = parse_query(
+            "SELECT c.name FROM c IN Cities UNION SELECT c.name FROM c IN Capitals "
+            "EXCEPT SELECT c.name FROM c IN Cities"
+        )
+        assert q.kind == "except"
+        assert isinstance(q.left, SetQueryAst)
+        assert q.left.kind == "union"
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT *")
+
+    def test_missing_comparison_operator(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT * FROM c IN Cities WHERE c.name")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT * FROM c IN Cities garbage")
+
+    def test_missing_in(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT * FROM City c Cities")
+
+    def test_empty_input(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("")
+
+    def test_disjunction_not_supported(self):
+        # The dialect (like the paper's simplification) is conjunctive.
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT * FROM c IN Cities WHERE c.name == 'x' || c.name == 'y'")

@@ -1,0 +1,36 @@
+"""Unit tests for the presence-in-memory property vectors."""
+
+from repro.optimizer.physical_props import PhysProps
+
+
+class TestPhysProps:
+    def test_satisfies_superset(self):
+        assert PhysProps.of("a", "b").satisfies(PhysProps.of("a"))
+        assert PhysProps.of("a").satisfies(PhysProps.none())
+        assert not PhysProps.of("a").satisfies(PhysProps.of("a", "b"))
+
+    def test_union_add_remove(self):
+        props = PhysProps.of("a").union(PhysProps.of("b"))
+        assert props == PhysProps.of("a", "b")
+        assert props.add("c") == PhysProps.of("a", "b", "c")
+        assert props.remove("a") == PhysProps.of("b")
+        assert props.remove("zzz") == props
+
+    def test_restrict(self):
+        props = PhysProps.of("a", "b", "c")
+        assert props.restrict(frozenset({"b", "z"})) == PhysProps.of("b")
+
+    def test_hashable_and_eq(self):
+        assert PhysProps.of("a", "b") == PhysProps.of("b", "a")
+        assert len({PhysProps.of("a"), PhysProps.of("a")}) == 1
+
+    def test_iteration_sorted(self):
+        assert list(PhysProps.of("b", "a")) == ["a", "b"]
+
+    def test_str(self):
+        assert str(PhysProps.none()) == "{}"
+        assert str(PhysProps.of("c", "a")) == "{a, c}"
+
+    def test_is_empty(self):
+        assert PhysProps.none().is_empty
+        assert not PhysProps.of("x").is_empty

@@ -1,0 +1,142 @@
+"""Unit tests for the physical plan model (costs, rendering, signatures)."""
+
+import pytest
+
+from repro.algebra.operators import ProjectItem, RefSource
+from repro.algebra.predicates import (
+    CompOp,
+    Comparison,
+    Conjunction,
+    Const,
+    FieldRef,
+    RefAttr,
+    SelfOid,
+)
+from repro.catalog.catalog import IndexDef
+from repro.optimizer.cost import Cost
+from repro.optimizer.physical_props import PhysProps, SortKey
+from repro.optimizer.plans import (
+    AssemblyNode,
+    FileScanNode,
+    FilterNode,
+    HashJoinNode,
+    IndexScanNode,
+    SortNode,
+    plan_algorithms,
+    plan_signature,
+)
+
+
+@pytest.fixture()
+def plan():
+    scan = FileScanNode(
+        "Cities",
+        "c",
+        delivered=PhysProps.of("c"),
+        rows=10_000,
+        local_cost=Cost(1.0, 0.5),
+    )
+    assembly = AssemblyNode(
+        RefSource("c", "mayor"),
+        "c.mayor",
+        window=8,
+        children=(scan,),
+        delivered=PhysProps.of("c", "c.mayor"),
+        rows=10_000,
+        local_cost=Cost(68.0, 0.5),
+    )
+    return FilterNode(
+        Conjunction.of(
+            Comparison(FieldRef("c.mayor", "name"), CompOp.EQ, Const("Joe"))
+        ),
+        children=(assembly,),
+        delivered=PhysProps.of("c", "c.mayor"),
+        rows=2,
+        local_cost=Cost(0.0, 0.5),
+    )
+
+
+class TestCostAggregation:
+    def test_total_cost_sums_subtree(self, plan):
+        assert plan.total_cost.total == pytest.approx(70.5)
+        assert plan.total_cost.io_seconds == pytest.approx(69.0)
+
+    def test_leaf_total_equals_local(self, plan):
+        leaf = plan.children[0].children[0]
+        assert leaf.total_cost == leaf.local_cost
+
+
+class TestRendering:
+    def test_paper_style_lines(self, plan):
+        text = plan.pretty()
+        lines = text.splitlines()
+        assert lines[0].startswith("Filter 'Joe' == c.mayor.name")
+        assert lines[1].strip() == "Assembly c.mayor"
+        assert lines[2].strip() == "File Scan Cities: c"
+
+    def test_costs_annotation(self, plan):
+        text = plan.pretty(costs=True)
+        assert "~2 rows" in text
+        assert "total 70.500s" in text
+
+    def test_props_annotation(self, plan):
+        text = plan.pretty(props=True)
+        assert "<delivers {c, c.mayor}>" in text
+
+    def test_enforcer_marker(self):
+        node = AssemblyNode(
+            RefSource("c", "mayor"), "c.mayor", window=8, enforcer=True
+        )
+        assert "(enforcer)" in node.describe()
+
+    def test_named_mat_rendering(self):
+        node = AssemblyNode(RefSource("m_ref", None), "m", window=8)
+        assert node.describe() == "Assembly m_ref: m"
+
+    def test_index_scan_residual_rendering(self):
+        node = IndexScanNode(
+            "Cities",
+            "c",
+            IndexDef("ix", "Cities", ("mayor", "name"), 10),
+            Comparison(FieldRef("c.mayor", "name"), CompOp.EQ, Const("Joe")),
+            Conjunction.of(
+                Comparison(FieldRef("c", "population"), CompOp.GT, Const(5))
+            ),
+        )
+        text = node.describe()
+        assert "Index Scan Cities" in text
+        assert "residual" in text
+
+    def test_sort_node_rendering(self):
+        node = SortNode(delivered=PhysProps.of(order=SortKey("c", "name", False)))
+        assert node.describe() == "Sort by c.name desc"
+
+
+class TestIntrospection:
+    def test_walk_preorder(self, plan):
+        assert plan_algorithms(plan) == ["Filter", "Assembly", "FileScan"]
+
+    def test_signature_ignores_parameters(self, plan):
+        other = FilterNode(
+            Conjunction.of(
+                Comparison(FieldRef("c.mayor", "name"), CompOp.EQ, Const("Sue"))
+            ),
+            children=plan.children,
+            delivered=plan.delivered,
+            rows=5,
+            local_cost=Cost(),
+        )
+        assert plan_signature(plan) == plan_signature(other)
+
+    def test_signature_distinguishes_shape(self, plan):
+        join = HashJoinNode(
+            Conjunction.of(
+                Comparison(RefAttr("c", "mayor"), CompOp.EQ, SelfOid("p"))
+            ),
+            children=(plan.children[0], plan.children[0]),
+        )
+        assert plan_signature(join) != plan_signature(plan)
+
+    def test_algorithm_name(self, plan):
+        assert plan.algorithm == "Filter"
+        assert plan.children[0].algorithm == "Assembly"

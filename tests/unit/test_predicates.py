@@ -1,0 +1,119 @@
+"""Unit tests for the simple predicate language."""
+
+from repro.algebra.predicates import (
+    CompOp,
+    Comparison,
+    Conjunction,
+    Const,
+    FieldRef,
+    ObjectTerm,
+    RefAttr,
+    SelfOid,
+    VarRef,
+    term_memory_vars,
+    term_vars,
+)
+
+
+class TestTerms:
+    def test_term_vars(self):
+        assert term_vars(Const(5)) == frozenset()
+        assert term_vars(FieldRef("c", "name")) == {"c"}
+        assert term_vars(VarRef("m")) == {"m"}
+
+    def test_memory_vars(self):
+        assert term_memory_vars(Const(5)) == frozenset()
+        assert term_memory_vars(FieldRef("c", "name")) == {"c"}
+        assert term_memory_vars(RefAttr("c", "mayor")) == {"c"}
+        assert term_memory_vars(ObjectTerm("c")) == {"c"}
+        assert term_memory_vars(SelfOid("c")) == {"c"}  # conservative
+        assert term_memory_vars(VarRef("m")) == frozenset()
+
+    def test_str_forms(self):
+        assert str(FieldRef("c.mayor", "name")) == "c.mayor.name"
+        assert str(SelfOid("d")) == "d.self"
+        assert str(Const("Dallas")) == "'Dallas'"
+
+
+class TestComparison:
+    def test_canonical_swaps_symmetric(self):
+        a = Comparison(FieldRef("c", "name"), CompOp.EQ, Const("x"))
+        b = Comparison(Const("x"), CompOp.EQ, FieldRef("c", "name"))
+        assert a.canonical() == b.canonical()
+
+    def test_canonical_flips_inequalities(self):
+        a = Comparison(FieldRef("c", "age"), CompOp.LT, Const(5))
+        b = Comparison(Const(5), CompOp.GT, FieldRef("c", "age"))
+        assert a.canonical() == b.canonical()
+
+    def test_flipped_ops(self):
+        assert CompOp.LT.flipped() is CompOp.GT
+        assert CompOp.LE.flipped() is CompOp.GE
+        assert CompOp.EQ.flipped() is CompOp.EQ
+
+    def test_equijoin_detection(self):
+        comp = Comparison(RefAttr("e", "department"), CompOp.EQ, SelfOid("d"))
+        assert comp.is_equijoin_between(frozenset({"e"}), frozenset({"d"}))
+        assert comp.is_equijoin_between(frozenset({"d"}), frozenset({"e"}))
+        assert not comp.is_equijoin_between(frozenset({"e"}), frozenset({"x"}))
+
+    def test_const_comparison_not_equijoin(self):
+        comp = Comparison(FieldRef("e", "name"), CompOp.EQ, Const("Fred"))
+        assert not comp.is_equijoin_between(frozenset({"e"}), frozenset({"d"}))
+
+    def test_non_eq_not_equijoin(self):
+        comp = Comparison(FieldRef("e", "age"), CompOp.LT, FieldRef("d", "floor"))
+        assert not comp.is_equijoin_between(frozenset({"e"}), frozenset({"d"}))
+
+
+class TestConjunction:
+    def _abc(self):
+        a = Comparison(FieldRef("c", "name"), CompOp.EQ, Const("x"))
+        b = Comparison(FieldRef("c", "age"), CompOp.GE, Const(30))
+        c = Comparison(FieldRef("d", "floor"), CompOp.EQ, Const(3))
+        return a, b, c
+
+    def test_order_insensitive_equality(self):
+        a, b, c = self._abc()
+        assert Conjunction.of(a, b, c) == Conjunction.of(c, a, b)
+        assert hash(Conjunction.of(a, b)) == hash(Conjunction.of(b, a))
+
+    def test_duplicates_collapse(self):
+        a, _, _ = self._abc()
+        flipped = Comparison(a.right, CompOp.EQ, a.left)
+        assert len(Conjunction.of(a, flipped).comparisons) == 1
+
+    def test_true_conjunction(self):
+        assert Conjunction.true().is_true
+        assert str(Conjunction.true()) == "true"
+
+    def test_vars_and_memory_vars(self):
+        a, b, c = self._abc()
+        conj = Conjunction.of(a, b, c)
+        assert conj.vars == {"c", "d"}
+        assert conj.memory_vars == {"c", "d"}
+
+    def test_conjoin(self):
+        a, b, c = self._abc()
+        merged = Conjunction.of(a).conjoin(Conjunction.of(b, c))
+        assert len(merged.comparisons) == 3
+
+    def test_split_by_vars(self):
+        a, b, c = self._abc()
+        conj = Conjunction.of(a, b, c)
+        inside, outside = conj.split_by_vars(frozenset({"c"}))
+        assert inside == Conjunction.of(a, b)
+        assert outside == Conjunction.of(c)
+
+    def test_split_everything_in(self):
+        a, b, _ = self._abc()
+        inside, outside = Conjunction.of(a, b).split_by_vars(frozenset({"c"}))
+        assert outside.is_true
+
+    def test_without(self):
+        a, b, _ = self._abc()
+        conj = Conjunction.of(a, b)
+        assert conj.without(a) == Conjunction.of(b)
+        # Removing by a flipped-but-equal comparison also works.
+        flipped = Comparison(a.right, CompOp.EQ, a.left)
+        assert conj.without(flipped) == Conjunction.of(b)

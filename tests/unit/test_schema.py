@@ -1,0 +1,131 @@
+"""Unit tests for the schema layer (types, attributes, collections)."""
+
+import pytest
+
+from repro.catalog.schema import (
+    AttrKind,
+    AttributeDef,
+    CollectionKind,
+    Schema,
+    TypeDef,
+    extent_name,
+    ref,
+    scalar,
+    set_ref,
+)
+from repro.errors import SchemaError
+
+
+def _person() -> TypeDef:
+    return TypeDef("Person", 100, (scalar("name", "str"), scalar("age")))
+
+
+class TestAttributeDef:
+    def test_scalar_constructor(self):
+        attr = scalar("age", "int")
+        assert attr.kind is AttrKind.SCALAR
+        assert attr.target_type is None
+        assert not attr.is_reference
+        assert not attr.is_set
+
+    def test_ref_constructor(self):
+        attr = ref("mayor", "Person")
+        assert attr.kind is AttrKind.REF
+        assert attr.target_type == "Person"
+        assert attr.is_reference
+
+    def test_set_ref_constructor(self):
+        attr = set_ref("team", "Employee")
+        assert attr.is_set
+        assert attr.target_type == "Employee"
+
+    def test_scalar_with_target_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeDef("x", AttrKind.SCALAR, target_type="Person")
+
+    def test_ref_without_target_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeDef("x", AttrKind.REF)
+
+
+class TestTypeDef:
+    def test_attribute_lookup(self):
+        person = _person()
+        assert person.attribute("name").scalar_type == "str"
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(SchemaError):
+            _person().attribute("salary")
+
+    def test_has_attribute(self):
+        assert _person().has_attribute("age")
+        assert not _person().has_attribute("salary")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            TypeDef("T", 10, (scalar("a"), scalar("a")))
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(SchemaError):
+            TypeDef("T", 0, ())
+
+    def test_reference_attributes_filter(self):
+        t = TypeDef(
+            "City", 200, (scalar("name"), ref("mayor", "Person"))
+        )
+        names = [a.name for a in t.reference_attributes]
+        assert names == ["mayor"]
+
+
+class TestSchema:
+    def test_add_type_with_extent(self):
+        schema = Schema()
+        schema.add_type(_person(), with_extent=True)
+        extent = schema.collection(extent_name("Person"))
+        assert extent.kind is CollectionKind.EXTENT
+        assert extent.is_extent
+        assert extent.element_type == "Person"
+
+    def test_named_set(self):
+        schema = Schema()
+        schema.add_type(_person())
+        coll = schema.add_named_set("People", "Person")
+        assert coll.kind is CollectionKind.NAMED_SET
+        assert not coll.is_extent
+
+    def test_duplicate_type_rejected(self):
+        schema = Schema()
+        schema.add_type(_person())
+        with pytest.raises(SchemaError):
+            schema.add_type(_person())
+
+    def test_duplicate_collection_rejected(self):
+        schema = Schema()
+        schema.add_type(_person())
+        schema.add_named_set("People", "Person")
+        with pytest.raises(SchemaError):
+            schema.add_named_set("People", "Person")
+
+    def test_extent_of_missing(self):
+        schema = Schema()
+        schema.add_type(_person())
+        assert schema.extent_of("Person") is None
+
+    def test_set_over_unknown_type_rejected(self):
+        schema = Schema()
+        with pytest.raises(SchemaError):
+            schema.add_named_set("People", "Person")
+
+    def test_validate_dangling_reference(self):
+        schema = Schema()
+        schema.add_type(
+            TypeDef("City", 200, (ref("mayor", "Person"),))
+        )
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+    def test_validate_ok(self):
+        schema = Schema()
+        schema.add_type(_person())
+        schema.add_type(TypeDef("City", 200, (ref("mayor", "Person"),)))
+        schema.validate()  # no raise

@@ -1,0 +1,184 @@
+"""Unit tests for the search engine: exploration, goal-direction, enforcers,
+memoization, and branch-and-bound."""
+
+import math
+
+import pytest
+
+from repro.algebra.operators import Get, Mat, RefSource, Select
+from repro.algebra.predicates import (
+    CompOp,
+    Comparison,
+    Conjunction,
+    Const,
+    FieldRef,
+)
+from repro.catalog.sample_db import build_catalog, index_cities_mayor_name
+from repro.optimizer import config as C
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.context import OptimizeContext
+from repro.optimizer.cost import CostModel
+from repro.optimizer.logical_props import build_query_vars
+from repro.optimizer.memo import Memo
+from repro.optimizer.physical_props import PhysProps
+from repro.optimizer.plans import AssemblyNode, IndexScanNode
+from repro.optimizer.search import SearchEngine
+from repro.optimizer.selectivity import SelectivityModel
+
+
+def _query2_tree():
+    return Select(
+        Mat(Get("Cities", "c"), RefSource("c", "mayor"), "c.mayor"),
+        Conjunction.of(
+            Comparison(FieldRef("c.mayor", "name"), CompOp.EQ, Const("Joe"))
+        ),
+    )
+
+
+def _engine(tree, config=None, with_index=True):
+    catalog = build_catalog()
+    if with_index:
+        catalog.add_index(index_cities_mayor_name())
+    config = config or OptimizerConfig()
+    qvars = build_query_vars(tree, catalog)
+    selectivity = SelectivityModel(catalog, qvars)
+    memo = Memo(catalog, selectivity)
+    gid = memo.insert_expression(tree)
+    ctx = OptimizeContext(
+        memo=memo,
+        catalog=catalog,
+        cost_model=CostModel(config.cost),
+        selectivity=selectivity,
+        query_vars=qvars,
+        config=config,
+    )
+    engine = SearchEngine(ctx)
+    engine.explore()
+    return engine, gid
+
+
+class TestGoalDirectedSearch:
+    def test_weak_goal_gets_index_scan(self):
+        """Requiring only {c}: the collapse rule's plan wins (Figure 8)."""
+        engine, gid = _engine(_query2_tree())
+        plan = engine.best_plan(gid, PhysProps.of("c"))
+        assert isinstance(plan, IndexScanNode)
+
+    def test_strong_goal_adds_enforcer(self):
+        """Requiring {c, c.mayor}: the assembly enforcer tops the index
+        scan — the paper's Query 3 discovery (Figure 10)."""
+        engine, gid = _engine(_query2_tree())
+        plan = engine.best_plan(gid, PhysProps.of("c", "c.mayor"))
+        assert isinstance(plan, AssemblyNode)
+        assert plan.enforcer
+        assert isinstance(plan.children[0], IndexScanNode)
+        assert plan.delivered.satisfies(PhysProps.of("c", "c.mayor"))
+
+    def test_goals_memoized_separately(self):
+        engine, gid = _engine(_query2_tree())
+        weak = engine.best_plan(gid, PhysProps.of("c"))
+        strong = engine.best_plan(gid, PhysProps.of("c", "c.mayor"))
+        assert weak.total_cost.total < strong.total_cost.total
+
+    def test_unsatisfiable_goal_returns_none(self):
+        engine, gid = _engine(_query2_tree())
+        assert engine.optimize(gid, PhysProps.of("nonexistent")) is None
+
+    def test_enforcer_disabled_changes_plan(self):
+        """Without the enforcer, the strong goal falls back to the filter
+        plan (and never discovers Figure 10)."""
+        engine, gid = _engine(
+            _query2_tree(), OptimizerConfig().without(C.ASSEMBLY_ENFORCER)
+        )
+        plan = engine.best_plan(gid, PhysProps.of("c", "c.mayor"))
+        assert not any(
+            isinstance(node, AssemblyNode) and node.enforcer
+            for node in plan.walk()
+        )
+        assert plan.delivered.satisfies(PhysProps.of("c", "c.mayor"))
+
+
+class TestMemoizationAndBounds:
+    def test_winner_cached(self):
+        engine, gid = _engine(_query2_tree())
+        engine.best_plan(gid, PhysProps.of("c"))
+        tasks_before = engine.stats.optimization_tasks
+        engine.best_plan(gid, PhysProps.of("c"))
+        assert engine.stats.optimization_tasks == tasks_before
+
+    def test_limit_prunes(self):
+        engine, gid = _engine(_query2_tree())
+        assert engine.optimize(gid, PhysProps.of("c"), limit=1e-9) is None
+
+    def test_relimit_after_failed_search(self):
+        engine, gid = _engine(_query2_tree())
+        assert engine.optimize(gid, PhysProps.of("c"), limit=1e-9) is None
+        plan = engine.optimize(gid, PhysProps.of("c"), limit=math.inf)
+        assert plan is not None
+
+    def test_pruning_preserves_optimality(self):
+        pruned, gid1 = _engine(_query2_tree(), OptimizerConfig())
+        from dataclasses import replace
+
+        exhaustive, gid2 = _engine(
+            _query2_tree(), replace(OptimizerConfig(), prune=False)
+        )
+        a = pruned.best_plan(gid1, PhysProps.of("c"))
+        b = exhaustive.best_plan(gid2, PhysProps.of("c"))
+        assert a.total_cost.total == pytest.approx(b.total_cost.total)
+
+
+class TestHeuristics:
+    def test_candidate_cap_reduces_effort(self):
+        from dataclasses import replace
+
+        exhaustive, gid1 = _engine(_query2_tree())
+        exhaustive.best_plan(gid1, PhysProps.of("c"))
+        greedy, gid2 = _engine(
+            _query2_tree(),
+            replace(OptimizerConfig(), candidate_cap=1),
+        )
+        greedy.best_plan(gid2, PhysProps.of("c"))
+        assert (
+            greedy.stats.candidates_costed
+            <= exhaustive.stats.candidates_costed
+        )
+
+    def test_candidate_cap_still_produces_valid_plan(self):
+        from dataclasses import replace
+
+        engine, gid = _engine(
+            _query2_tree(), replace(OptimizerConfig(), candidate_cap=1)
+        )
+        plan = engine.best_plan(gid, PhysProps.of("c"))
+        assert plan.delivered.satisfies(PhysProps.of("c"))
+
+    def test_prune_factor_never_beats_exhaustive(self):
+        from dataclasses import replace
+
+        exhaustive, gid1 = _engine(_query2_tree())
+        optimal = exhaustive.best_plan(gid1, PhysProps.of("c"))
+        pruned, gid2 = _engine(
+            _query2_tree(), replace(OptimizerConfig(), prune_factor=0.5)
+        )
+        plan = pruned.best_plan(gid2, PhysProps.of("c"))
+        assert plan.total_cost.total >= optimal.total_cost.total
+
+
+class TestEffortCounters:
+    def test_disabling_rules_reduces_effort(self):
+        full, gid1 = _engine(_query2_tree())
+        full.best_plan(gid1, PhysProps.of("c"))
+        crippled, gid2 = _engine(
+            _query2_tree(),
+            OptimizerConfig().without(
+                C.COLLAPSE_TO_INDEX_SCAN, C.MAT_TO_JOIN, C.MAT_PAST_JOIN
+            ),
+        )
+        crippled.best_plan(gid2, PhysProps.of("c"))
+        assert crippled.stats.total_effort < full.stats.total_effort
+
+    def test_exploration_reaches_fixpoint(self):
+        engine, _ = _engine(_query2_tree())
+        assert engine.stats.exploration_rounds >= 2
+        assert engine.stats.mexprs_generated > 3

@@ -1,0 +1,140 @@
+"""Unit tests for selectivity estimation."""
+
+import pytest
+
+from repro.algebra.operators import Get, Mat, RefSource, Unnest
+from repro.algebra.predicates import (
+    CompOp,
+    Comparison,
+    Conjunction,
+    Const,
+    FieldRef,
+    RefAttr,
+    SelfOid,
+    VarRef,
+)
+from repro.catalog.sample_db import (
+    build_catalog,
+    index_cities_mayor_name,
+    index_employees_name,
+)
+from repro.catalog.statistics import DEFAULT_SELECTIVITY
+from repro.optimizer.logical_props import build_query_vars
+from repro.optimizer.selectivity import (
+    DEFAULT_RANGE_SELECTIVITY,
+    SelectivityModel,
+)
+
+
+def _model(with_indexes: bool = True):
+    catalog = build_catalog()
+    if with_indexes:
+        catalog.add_index(index_cities_mayor_name())
+        catalog.add_index(index_employees_name())
+    tree = Mat(
+        Mat(Get("Cities", "c"), RefSource("c", "mayor"), "c.mayor"),
+        RefSource("c", "country"),
+        "c.country",
+    )
+    qvars = build_query_vars(tree, catalog)
+    return SelectivityModel(catalog, qvars), catalog
+
+
+class TestFieldVsConst:
+    def test_default_ten_percent(self):
+        """The paper's rule: no index -> 10%."""
+        model, _ = _model(with_indexes=False)
+        comp = Comparison(FieldRef("c.mayor", "name"), CompOp.EQ, Const("Joe"))
+        assert model.comparison(comp) == DEFAULT_SELECTIVITY
+
+    def test_path_index_assists(self):
+        """With the Cities path index: 1/distinct -> 2 of 10,000 cities."""
+        model, _ = _model()
+        comp = Comparison(FieldRef("c.mayor", "name"), CompOp.EQ, Const("Joe"))
+        assert model.comparison(comp) == pytest.approx(1 / 5000)
+
+    def test_const_on_left_same_estimate(self):
+        model, _ = _model()
+        a = Comparison(FieldRef("c.mayor", "name"), CompOp.EQ, Const("Joe"))
+        b = Comparison(Const("Joe"), CompOp.EQ, FieldRef("c.mayor", "name"))
+        assert model.comparison(a) == model.comparison(b)
+
+    def test_extent_index_assists_via_type(self):
+        """An attribute index on the variable's type extent also assists."""
+        catalog = build_catalog()
+        catalog.add_index(index_employees_name())
+        tree = Mat(
+            Unnest(Get("Tasks", "t"), "t", "team_members", "m"),
+            RefSource("m", None),
+            "e",
+        )
+        model = SelectivityModel(catalog, build_query_vars(tree, catalog))
+        comp = Comparison(FieldRef("e", "name"), CompOp.EQ, Const("Fred"))
+        assert model.comparison(comp) == pytest.approx(1 / 500)
+
+    def test_inequality_complement(self):
+        model, _ = _model()
+        comp = Comparison(FieldRef("c.mayor", "name"), CompOp.NE, Const("Joe"))
+        assert model.comparison(comp) == pytest.approx(1 - 1 / 5000)
+
+    def test_range_default(self):
+        model, _ = _model(with_indexes=False)
+        comp = Comparison(FieldRef("c.mayor", "age"), CompOp.GE, Const(30))
+        assert model.comparison(comp) == DEFAULT_RANGE_SELECTIVITY
+
+
+class TestReferenceEquality:
+    def test_ref_vs_self_uses_population(self):
+        """ref == self selectivity = 1/population, making Mat and its Join
+        rewriting estimate the same cardinality."""
+        model, catalog = _model()
+        comp = Comparison(
+            RefAttr("c", "country"), CompOp.EQ, SelfOid("c.country")
+        )
+        # c.country originates from a Mat, so the Country population rules.
+        assert model.comparison(comp) == pytest.approx(1 / 160)
+
+    def test_user_scanned_side_uses_collection(self):
+        catalog = build_catalog()
+        tree = Get("extent(Department)", "d")
+        model = SelectivityModel(catalog, build_query_vars(tree, catalog))
+        comp = Comparison(RefAttr("e", "department"), CompOp.EQ, SelfOid("d"))
+        assert model.comparison(comp) == pytest.approx(1 / 1000)
+
+    def test_varref_vs_self(self):
+        catalog = build_catalog()
+        tree = Get("extent(Employee)", "e")
+        model = SelectivityModel(catalog, build_query_vars(tree, catalog))
+        comp = Comparison(VarRef("m"), CompOp.EQ, SelfOid("e"))
+        assert model.comparison(comp) == pytest.approx(1 / 200_000)
+
+
+class TestConjunctions:
+    def test_product_rule(self):
+        model, _ = _model(with_indexes=False)
+        a = Comparison(FieldRef("c.mayor", "name"), CompOp.EQ, Const("Joe"))
+        b = Comparison(FieldRef("c.mayor", "age"), CompOp.EQ, Const(30))
+        conj = Conjunction.of(a, b)
+        assert model.predicate(conj) == pytest.approx(
+            DEFAULT_SELECTIVITY**2
+        )
+
+    def test_true_predicate_is_one(self):
+        model, _ = _model()
+        assert model.predicate(Conjunction.true()) == 1.0
+
+
+class TestFanout:
+    def test_catalog_set_size(self):
+        catalog = build_catalog()
+        tree = Get("Tasks", "t")
+        model = SelectivityModel(catalog, build_query_vars(tree, catalog))
+        assert model.unnest_fanout("t", "team_members") == 8.0
+
+    def test_default_fanout_without_stats(self):
+        catalog = build_catalog()
+        tree = Get("Capitals", "k")
+        model = SelectivityModel(catalog, build_query_vars(tree, catalog))
+        from repro.optimizer.selectivity import DEFAULT_UNNEST_FANOUT
+
+        assert model.unnest_fanout("k", "anything") == DEFAULT_UNNEST_FANOUT

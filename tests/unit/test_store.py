@@ -1,0 +1,135 @@
+"""Unit tests for the object store: segments, layout, fetch/scan charging."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog, extent_name
+from repro.catalog.schema import Schema, TypeDef, ref, scalar
+from repro.catalog.statistics import CollectionStats
+from repro.errors import StorageError
+from repro.storage.objects import Oid
+from repro.storage.store import ObjectStore
+
+
+def _catalog() -> Catalog:
+    schema = Schema()
+    schema.add_type(
+        TypeDef("Person", 1000, (scalar("name", "str"),)), with_extent=True
+    )
+    schema.add_type(
+        TypeDef("City", 2000, (scalar("name", "str"), ref("mayor", "Person"))),
+    )
+    schema.add_named_set("Cities", "City")
+    return Catalog(schema, page_size=4096)
+
+
+@pytest.fixture()
+def store() -> ObjectStore:
+    store = ObjectStore(_catalog())
+    people = [store.insert("Person", {"name": f"p{i}"}) for i in range(10)]
+    store.create_segment("City", dense=True)
+    cities = [
+        store.insert("City", {"name": f"c{i}", "mayor": people[i % 10]})
+        for i in range(6)
+    ]
+    store.register_collection("Cities", cities)
+    store.seal()
+    return store
+
+
+class TestLayout:
+    def test_dense_packing(self, store):
+        # 1000-byte persons, 4 per 4096-byte page: 10 persons -> 3 pages.
+        assert store.segment("Person").page_count == 3
+        assert store.page_of(Oid("Person", 0)) == store.page_of(Oid("Person", 3))
+        assert store.page_of(Oid("Person", 0)) != store.page_of(Oid("Person", 4))
+
+    def test_sparse_segment_one_per_page(self):
+        store = ObjectStore(_catalog())
+        store.create_segment("Person", dense=False)
+        for i in range(5):
+            store.insert("Person", {"name": f"p{i}"})
+        store.seal()
+        pages = {store.page_of(Oid("Person", i)) for i in range(5)}
+        assert len(pages) == 5
+
+    def test_segments_contiguous_and_disjoint(self, store):
+        person_pages = {store.page_of(Oid("Person", i)) for i in range(10)}
+        city_pages = {store.page_of(Oid("City", i)) for i in range(6)}
+        assert not (person_pages & city_pages)
+
+    def test_extent_autoregistered(self, store):
+        assert store.has_collection(extent_name("Person"))
+        assert store.collection_cardinality(extent_name("Person")) == 10
+
+
+class TestAccess:
+    def test_fetch_returns_data_and_charges(self, store):
+        store.reset_accounting()
+        data = store.fetch(Oid("Person", 4))
+        assert data["name"] == "p4"
+        assert store.disk.stats.page_reads == 1
+
+    def test_fetch_same_page_hits_buffer(self, store):
+        store.reset_accounting()
+        store.fetch(Oid("Person", 0))
+        store.fetch(Oid("Person", 1))  # same page
+        assert store.disk.stats.page_reads == 1
+        assert store.buffer.stats.hits == 1
+
+    def test_peek_charges_nothing(self, store):
+        store.reset_accounting()
+        store.peek(Oid("Person", 4))
+        assert store.disk.stats.page_reads == 0
+
+    def test_scan_sequential_page_reads(self, store):
+        store.reset_accounting()
+        rows = list(store.scan(extent_name("Person")))
+        assert len(rows) == 10
+        assert store.disk.stats.page_reads == 3  # one per page
+
+    def test_scan_named_set(self, store):
+        names = [data["name"] for _, data in store.scan("Cities")]
+        assert names == [f"c{i}" for i in range(6)]
+
+    def test_dangling_reference_raises(self, store):
+        with pytest.raises(StorageError):
+            store.fetch(Oid("Person", 99))
+
+    def test_unknown_collection_raises(self, store):
+        with pytest.raises(StorageError):
+            store.collection_oids("Nowhere")
+
+
+class TestLifecycle:
+    def test_read_before_seal_rejected(self):
+        store = ObjectStore(_catalog())
+        oid = store.insert("Person", {"name": "x"})
+        with pytest.raises(StorageError):
+            store.fetch(oid)
+
+    def test_insert_after_seal_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.insert("Person", {"name": "late"})
+
+    def test_duplicate_segment_rejected(self, store):
+        fresh = ObjectStore(_catalog())
+        fresh.create_segment("Person")
+        with pytest.raises(StorageError):
+            fresh.create_segment("Person")
+
+    def test_seal_idempotent(self, store):
+        store.seal()  # second call: no raise, layout unchanged
+        assert store.segment("Person").first_page == 0
+
+    def test_reset_accounting_cold_flushes(self, store):
+        store.fetch(Oid("Person", 0))
+        store.reset_accounting(cold=True)
+        assert store.buffer.resident_pages == 0
+        store.fetch(Oid("Person", 0))
+        assert store.disk.stats.page_reads == 1
+
+    def test_reset_accounting_warm_keeps_pages(self, store):
+        store.fetch(Oid("Person", 0))
+        store.reset_accounting(cold=False)
+        store.fetch(Oid("Person", 0))
+        assert store.disk.stats.page_reads == 0

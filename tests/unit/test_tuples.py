@@ -1,0 +1,114 @@
+"""Unit tests for runtime tuples and term evaluation."""
+
+import pytest
+
+from repro.algebra.predicates import (
+    CompOp,
+    Comparison,
+    Conjunction,
+    Const,
+    FieldRef,
+    ObjectTerm,
+    RefAttr,
+    SelfOid,
+    VarRef,
+)
+from repro.engine.tuples import (
+    Obj,
+    eval_comparison,
+    eval_conjunction,
+    eval_term,
+    row_key,
+    value_key,
+)
+from repro.errors import ExecutionError
+from repro.storage.objects import Oid
+
+
+@pytest.fixture()
+def row():
+    mayor = Oid("Person", 7)
+    return {
+        "c": Obj(Oid("City", 1), {"name": "springfield", "mayor": mayor}),
+        "m": mayor,  # a REF binding
+        "ghost": Obj(Oid("City", 2), None),  # in scope, not resident
+    }
+
+
+class TestEvalTerm:
+    def test_const(self, row):
+        assert eval_term(Const(5), row) == 5
+
+    def test_field_ref(self, row):
+        assert eval_term(FieldRef("c", "name"), row) == "springfield"
+
+    def test_ref_attr(self, row):
+        assert eval_term(RefAttr("c", "mayor"), row) == Oid("Person", 7)
+
+    def test_self_oid(self, row):
+        assert eval_term(SelfOid("c"), row) == Oid("City", 1)
+
+    def test_var_ref(self, row):
+        assert eval_term(VarRef("m"), row) == Oid("Person", 7)
+
+    def test_object_term(self, row):
+        obj = eval_term(ObjectTerm("c"), row)
+        assert obj.oid == Oid("City", 1)
+
+    def test_field_of_nonresident_raises(self, row):
+        with pytest.raises(ExecutionError):
+            eval_term(FieldRef("ghost", "name"), row)
+
+    def test_object_term_nonresident_raises(self, row):
+        with pytest.raises(ExecutionError):
+            eval_term(ObjectTerm("ghost"), row)
+
+    def test_missing_var_raises(self, row):
+        with pytest.raises(ExecutionError):
+            eval_term(FieldRef("zzz", "name"), row)
+
+    def test_missing_attribute_is_none(self, row):
+        assert eval_term(FieldRef("c", "salary"), row) is None
+
+
+class TestEvalPredicate:
+    def test_comparison_true_false(self, row):
+        eq = Comparison(FieldRef("c", "name"), CompOp.EQ, Const("springfield"))
+        ne = Comparison(FieldRef("c", "name"), CompOp.EQ, Const("shelbyville"))
+        assert eval_comparison(eq, row)
+        assert not eval_comparison(ne, row)
+
+    def test_oid_equality(self, row):
+        comp = Comparison(RefAttr("c", "mayor"), CompOp.EQ, VarRef("m"))
+        assert eval_comparison(comp, row)
+
+    def test_null_comparisons_false(self, row):
+        comp = Comparison(FieldRef("c", "salary"), CompOp.EQ, Const(None))
+        assert not eval_comparison(comp, row)
+
+    def test_type_mismatch_false_not_raise(self, row):
+        comp = Comparison(FieldRef("c", "name"), CompOp.LT, Const(5))
+        assert not eval_comparison(comp, row)
+
+    def test_conjunction_all_semantics(self, row):
+        good = Comparison(FieldRef("c", "name"), CompOp.EQ, Const("springfield"))
+        bad = Comparison(FieldRef("c", "name"), CompOp.EQ, Const("x"))
+        assert eval_conjunction(Conjunction.of(good), row)
+        assert not eval_conjunction(Conjunction.of(good, bad), row)
+        assert eval_conjunction(Conjunction.true(), row)
+
+
+class TestKeys:
+    def test_value_key_obj_by_identity(self, row):
+        assert value_key(row["c"]) == Oid("City", 1)
+        assert value_key(42) == 42
+
+    def test_row_key_order_insensitive(self, row):
+        a = {"x": 1, "y": 2}
+        b = {"y": 2, "x": 1}
+        assert row_key(a) == row_key(b)
+
+    def test_row_key_distinguishes_objects(self):
+        a = {"c": Obj(Oid("City", 1), {})}
+        b = {"c": Obj(Oid("City", 2), {})}
+        assert row_key(a) != row_key(b)
