@@ -19,7 +19,8 @@ Quickstart::
                    'WHERE c.mayor.name == "Joe"').explain())
 """
 
-from repro.api import Database, QueryResult
+from repro.api import Database, PreparedQuery, QueryResult
+from repro.cache import PlanCache
 from repro.optimizer import (
     Cost,
     CostModel,
@@ -41,6 +42,8 @@ __all__ = [
     "Optimizer",
     "OptimizerConfig",
     "PhysProps",
+    "PlanCache",
+    "PreparedQuery",
     "QueryResult",
     "__version__",
 ]

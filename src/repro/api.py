@@ -15,16 +15,25 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Union
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Union
 
 from repro.baselines.greedy import GreedyOptimizer
 from repro.baselines.naive import NaiveOptimizer
+from repro.cache.fingerprint import (
+    ParameterizedQuery,
+    bind_template,
+    parameterize,
+    rebind_plan,
+)
+from repro.cache.plan_cache import CacheEntry, CacheInfo, PlanCache
+from repro.cache.prepared import PreparedQuery
 from repro.catalog.catalog import Catalog, IndexDef
 from repro.catalog.sample_db import SampleSizes, build_catalog
 from repro.engine.executor import ExecutionResult, Executor
 from repro.engine.tuples import Row
-from repro.errors import CatalogError
+from repro.errors import CatalogError, ParameterBindingError
 from repro.algebra.operators import LogicalOp
 from repro.lang.ast import QueryAst, SetQueryAst
 from repro.lang.parser import parse_query
@@ -45,6 +54,9 @@ class QueryResult:
     plan: PhysicalNode
     optimization: OptimizationResult
     execution: ExecutionResult | None
+    # How the plan cache treated this query (None on the uncached
+    # pipeline, e.g. ``Database.optimize`` or logical-tree input).
+    cache: CacheInfo | None = None
 
     def explain(self, costs: bool = False) -> str:
         return self.optimization.explain(costs=costs)
@@ -61,11 +73,16 @@ class Database:
         catalog: Catalog,
         store: ObjectStore | None = None,
         config: OptimizerConfig | None = None,
+        plan_cache: PlanCache | None = None,
     ) -> None:
         self.catalog = catalog
         self.store = store
         self.config = config or OptimizerConfig()
         self.executor = Executor(store) if store is not None else None
+        # Transparent plan caching for `query` and prepared queries;
+        # `cache_plans = False` (or `query(..., use_cache=False)`) opts out.
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.cache_plans = True
 
     @classmethod
     def sample(
@@ -110,7 +127,7 @@ class Database:
         """Remove an index from the catalog and the runtime cache."""
         self.catalog.drop_index(name)
         if self.executor is not None:
-            self.executor._indexes.pop(name, None)
+            self.executor.invalidate_index(name)
 
     def analyze(
         self,
@@ -156,6 +173,10 @@ class Database:
             record.mcv = build_mcv(values)
             record.distinct_values = len(set(values))
             analyzed.append(attr_name)
+        if analyzed:
+            # In-place mutation of existing stats records: tell the
+            # catalog so version-keyed cached plans are invalidated.
+            self.catalog.note_statistics_changed()
         return analyzed
 
     def collect_type_statistics(self) -> dict[str, tuple[int, int]]:
@@ -251,31 +272,170 @@ class Database:
         text: str,
         config: OptimizerConfig | None = None,
         execute: bool = True,
+        use_cache: bool | None = None,
     ) -> QueryResult:
-        """Parse, simplify, optimize, and (by default) execute a query."""
-        simplified = self.simplify(text)
-        optimizer = Optimizer(self.catalog, config or self.config)
-        optimization = optimizer.optimize(
+        """Parse, simplify, optimize, and (by default) execute a query.
+
+        The query is auto-parameterized and the plan cache consulted
+        transparently: repeats of the same query shape with different
+        constants reuse the cached plan (re-bound to today's constants)
+        instead of re-running the optimizer.  ``use_cache=False`` (or
+        ``db.cache_plans = False``) opts out of both lookup and store.
+        """
+        parameterized = parameterize(self.parse(text), auto=True)
+        if parameterized.user_param_names:
+            names = ", ".join(f"${n}" for n in parameterized.user_param_names)
+            raise ParameterBindingError(
+                f"query text contains unbound parameters ({names}); use "
+                "Database.prepare(...) and bind values via execute(...)"
+            )
+        if use_cache is None:
+            use_cache = self.cache_plans
+        return self._run_parameterized(
+            parameterized,
+            parameterized.auto_values,
+            config=config,
+            execute=execute,
+            use_cache=use_cache,
+        )
+
+    # ------------------------------------------------------------------
+    # Prepared queries and the plan cache
+    # ------------------------------------------------------------------
+
+    def prepare(
+        self,
+        text: str,
+        config: OptimizerConfig | None = None,
+        dynamic: bool = False,
+    ) -> PreparedQuery:
+        """Parse and normalize once; execute many times with ``$params``.
+
+        ::
+
+            pq = db.prepare('SELECT * FROM City c IN Cities '
+                            'WHERE c.floor == $floor')
+            pq.execute(floor=3)
+            pq.execute(floor=7)      # plan-cache hit: no optimizer run
+
+        ``dynamic=True`` compiles an ObjectStore-style dynamic plan on
+        the first execution, so the cached entry survives index drops and
+        re-creations by re-selecting among pre-compiled scenarios (when
+        more than ``MAX_DYNAMIC_INDEXES`` indexes exist, the flag is
+        ignored and a static plan is cached).
+        """
+        return PreparedQuery(self, text, config=config, dynamic=dynamic)
+
+    def _cache_key(
+        self,
+        parameterized: ParameterizedQuery,
+        config: OptimizerConfig,
+        dynamic: bool,
+    ) -> str:
+        # The optimizer configuration changes which plans are legal, so it
+        # is part of the fingerprint (frozen dataclass: repr is stable).
+        # Dynamic entries live under their own key: a static entry for the
+        # same text must not shadow the scenario compilation.
+        suffix = "\x00dynamic" if dynamic else ""
+        return f"{parameterized.text_key}\x00{config!r}{suffix}"
+
+    def _run_parameterized(
+        self,
+        parameterized: ParameterizedQuery,
+        values: dict[str, Any],
+        config: OptimizerConfig | None = None,
+        execute: bool = True,
+        use_cache: bool = True,
+        dynamic: bool = False,
+    ) -> QueryResult:
+        """The cached query pipeline shared by `query` and PreparedQuery.
+
+        ``values`` maps slot names (auto or ``$user``) to plain Python
+        values; validation has already happened for prepared queries.
+        """
+        config = config or self.config
+        if not use_cache or not parameterized.cacheable:
+            bound = bind_template(parameterized, values, tagged=False)
+            simplified = simplify_full(bound, self.catalog)
+            optimization = Optimizer(self.catalog, config).optimize(
+                simplified.tree,
+                result_vars=simplified.result_vars,
+                order=simplified.order,
+            )
+            outcome = "bypass" if parameterized.cacheable else "uncacheable"
+            info = CacheInfo(outcome, parameterized.text_key, self.catalog.version)
+            return self._finish(optimization, simplified.result_vars, execute, info)
+
+        key = self._cache_key(parameterized, config, dynamic)
+        entry, outcome = self.plan_cache.lookup(key, self.catalog)
+        if entry is not None:
+            by_index = {
+                slot.index: values[slot.name] for slot in parameterized.slots
+            }
+            plan = rebind_plan(entry.optimization.plan, by_index)
+            optimization = replace(
+                entry.optimization, plan=plan, cost=plan.total_cost
+            )
+            info = CacheInfo(
+                outcome, key, self.catalog.version, entry.optimization_seconds
+            )
+            return self._finish(optimization, entry.result_vars, execute, info)
+
+        # Miss: optimize with tagged constants so the stored plan can be
+        # re-bound, then cache it for the current catalog version.
+        started = time.perf_counter()
+        bound = bind_template(parameterized, values, tagged=True)
+        simplified = simplify_full(bound, self.catalog)
+        optimization = Optimizer(self.catalog, config).optimize(
             simplified.tree,
             result_vars=simplified.result_vars,
             order=simplified.order,
         )
+        dynamic_plan = None
+        if dynamic:
+            from repro.optimizer.dynamic import (
+                MAX_DYNAMIC_INDEXES,
+                DynamicPlanner,
+            )
+
+            if len(self.catalog.indexes()) <= MAX_DYNAMIC_INDEXES:
+                dynamic_plan = DynamicPlanner(self.catalog, config).plan(
+                    simplified.tree,
+                    result_vars=simplified.result_vars,
+                    order=simplified.order,
+                )
+        elapsed = time.perf_counter() - started
+        self.plan_cache.store(
+            CacheEntry(
+                key=key,
+                optimization=optimization,
+                result_vars=simplified.result_vars,
+                dynamic=dynamic_plan,
+                catalog_version=self.catalog.version,
+                stats_version=self.catalog.stats_version,
+                optimization_seconds=elapsed,
+                param_count=len(parameterized.slots),
+            )
+        )
+        info = CacheInfo("miss", key, self.catalog.version)
+        return self._finish(optimization, simplified.result_vars, execute, info)
+
+    def _finish(
+        self,
+        optimization: OptimizationResult,
+        result_vars: tuple[str, ...],
+        execute: bool,
+        info: CacheInfo,
+    ) -> QueryResult:
         execution = None
         rows: list[Row] = []
         if execute and self.executor is not None:
-            execution = self.execute_plan(optimization.plan)
+            # SELECT *: the user sees the range variables; helper scope
+            # variables a particular plan happened to materialize are
+            # not part of the result.
+            execution = self.execute_plan(optimization.plan, result_vars=result_vars)
             rows = execution.rows
-            if simplified.result_vars:
-                # SELECT *: the user sees the range variables; helper scope
-                # variables a particular plan happened to materialize are
-                # not part of the result.
-                keep = set(simplified.result_vars)
-                rows = [
-                    {name: value for name, value in row.items() if name in keep}
-                    for row in rows
-                ]
-                execution.rows = rows
-        return QueryResult(rows, optimization.plan, optimization, execution)
+        return QueryResult(rows, optimization.plan, optimization, execution, info)
 
     # ------------------------------------------------------------------
     # Dynamic plan selection (ObjectStore's capability, cost-based)
@@ -324,4 +484,4 @@ class Database:
         ).optimize(tree)
 
 
-__all__ = ["Database", "QueryResult"]
+__all__ = ["Database", "PreparedQuery", "QueryResult"]

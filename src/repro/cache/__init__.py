@@ -1,0 +1,44 @@
+"""Prepared queries and plan caching.
+
+The subsystem that amortizes optimization across repeated traffic:
+
+``fingerprint``
+    AST normalization — literal constants become parameter slots, so
+    structurally identical queries share one cache entry — plus the
+    tagged-value machinery that re-binds cached plans to new constants;
+``plan_cache``
+    a bounded LRU of optimized plans keyed on (fingerprint, catalog
+    version), with invalidation, dynamic-plan re-selection, and counters;
+``prepared``
+    ``Database.prepare(...)`` → parse/normalize once, execute many times.
+"""
+
+from repro.cache.fingerprint import (
+    ParameterizedQuery,
+    ParamSlot,
+    bind_template,
+    parameterize,
+    rebind_plan,
+    tag_value,
+)
+from repro.cache.plan_cache import (
+    CacheEntry,
+    CacheInfo,
+    CacheStats,
+    PlanCache,
+)
+from repro.cache.prepared import PreparedQuery
+
+__all__ = [
+    "CacheEntry",
+    "CacheInfo",
+    "CacheStats",
+    "ParamSlot",
+    "ParameterizedQuery",
+    "PlanCache",
+    "PreparedQuery",
+    "bind_template",
+    "parameterize",
+    "rebind_plan",
+    "tag_value",
+]

@@ -1,0 +1,386 @@
+"""Query fingerprinting: normalize an AST so bindings share one plan.
+
+The plan cache must answer "have I optimized this query shape before?"
+while queries arrive with concrete constants baked in (``c.floor == 3``
+today, ``c.floor == 7`` tomorrow).  This module lifts literal constants
+out of the AST into *parameter slots* (``$?0``, ``$?1``, ...), producing
+
+* a **template** AST in which eligible constants became :class:`ParamAst`
+  placeholders — its canonical rendering is the cache fingerprint, so
+  textually different but structurally identical queries collide; and
+* the extracted **values**, in slot order, used to bind the template back
+  into a concrete query.
+
+Bound values are wrapped in *tagged* subclasses of ``int``/``float``/
+``str`` carrying their slot index.  Tagged values behave exactly like the
+plain value everywhere (comparisons, hashing, histogram probes, index
+lookups), but survive simplification and optimization, so the constants
+embedded in a finished physical plan can be traced back to their slots
+and replaced — :func:`rebind_plan` turns a cached plan into tomorrow's
+plan without re-running the Volcano search.
+
+Eligibility is deliberately conservative, because the simplifier's
+argument rules rewrite predicates *by constant value* (``fold-constants``
+evaluates const-vs-const comparisons; ``tighten-bounds`` merges multiple
+constant bounds on one term).  A constant is lifted only when
+
+* it is compared against a path (never const-vs-const), and
+* its path is the target of exactly one constant comparison in the whole
+  statement (so ``tighten-bounds`` has nothing to merge), and
+* its value is an ``int``, ``float``, or ``str`` (``bool``/``None`` stay
+  literal: they cannot be subclass-tagged, and two-valued literals make
+  poor parameters anyway).
+
+Constants that fail the test simply stay literal and become part of the
+fingerprint — correct, just a cache entry per distinct value.  A *user*
+parameter (``$name`` in a prepared query) that fails the test cannot fall
+back to a literal, so the whole query is marked uncacheable and every
+execution optimizes afresh.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, replace
+from typing import Any, Union
+
+from repro.errors import ParameterBindingError, PlanCacheError
+from repro.lang.ast import (
+    ComparisonAst,
+    Condition,
+    ConstAst,
+    ExistsAst,
+    ParamAst,
+    PathAst,
+    QueryAst,
+    SetQueryAst,
+)
+
+QueryNode = Union[QueryAst, SetQueryAst]
+
+
+# ---------------------------------------------------------------------------
+# Tagged parameter values
+# ---------------------------------------------------------------------------
+
+
+class TaggedInt(int):
+    """An ``int`` that remembers which parameter slot produced it."""
+
+    param_index: int
+
+    def __new__(cls, value: int, param_index: int) -> "TaggedInt":
+        obj = super().__new__(cls, value)
+        obj.param_index = param_index
+        return obj
+
+
+class TaggedFloat(float):
+    """A ``float`` that remembers which parameter slot produced it."""
+
+    param_index: int
+
+    def __new__(cls, value: float, param_index: int) -> "TaggedFloat":
+        obj = super().__new__(cls, value)
+        obj.param_index = param_index
+        return obj
+
+
+class TaggedStr(str):
+    """A ``str`` that remembers which parameter slot produced it."""
+
+    param_index: int
+
+    def __new__(cls, value: str, param_index: int) -> "TaggedStr":
+        obj = super().__new__(cls, value)
+        obj.param_index = param_index
+        return obj
+
+
+_TAGGED_TYPES = (TaggedInt, TaggedFloat, TaggedStr)
+
+
+def bindable(value: Any) -> bool:
+    """Can ``value`` be carried through a plan as a tagged parameter?"""
+    return isinstance(value, (int, float, str)) and not isinstance(value, bool)
+
+
+def tag_value(value: Any, index: int):
+    """Wrap a plain value in its tagged twin for slot ``index``."""
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise ParameterBindingError(
+            f"parameter values must be int, float, or str; got "
+            f"{type(value).__name__!s}"
+        )
+    if isinstance(value, int):
+        return TaggedInt(value, index)
+    if isinstance(value, float):
+        return TaggedFloat(value, index)
+    return TaggedStr(value, index)
+
+
+def tagged_index(value: Any) -> int | None:
+    """The slot index of a tagged value, or None for anything else."""
+    if isinstance(value, _TAGGED_TYPES):
+        return value.param_index
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Parameterization
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParamSlot:
+    """One parameter of a normalized query.
+
+    ``auto`` slots were lifted out of literal constants and carry the
+    extracted ``value``; user slots (``$name`` in the query text) have no
+    value until ``execute(...)`` binds one.
+    """
+
+    name: str
+    index: int
+    auto: bool
+    value: Any = None
+
+
+@dataclass(frozen=True)
+class ParameterizedQuery:
+    """A normalized query: template AST, slots, and its fingerprint text."""
+
+    template: QueryNode
+    slots: tuple[ParamSlot, ...]
+    text_key: str
+    cacheable: bool
+    reason: str | None = None
+
+    @property
+    def user_param_names(self) -> tuple[str, ...]:
+        return tuple(s.name for s in self.slots if not s.auto)
+
+    @property
+    def auto_values(self) -> dict[str, Any]:
+        """Extracted literal values, keyed by (auto) slot name."""
+        return {s.name: s.value for s in self.slots if s.auto}
+
+
+class _Parameterizer:
+    def __init__(self, auto: bool, bound_counts: Counter) -> None:
+        self.auto = auto
+        self.bound_counts = bound_counts
+        self.slots: list[ParamSlot] = []
+        self.user_slots: dict[str, ParamSlot] = {}
+        self.cacheable = True
+        self.reason: str | None = None
+
+    def _uncacheable(self, reason: str) -> None:
+        if self.cacheable:
+            self.cacheable = False
+            self.reason = reason
+
+    def query(self, node: QueryNode) -> QueryNode:
+        if isinstance(node, SetQueryAst):
+            return SetQueryAst(node.kind, self.query(node.left), self.query(node.right))  # type: ignore[arg-type]
+        where = tuple(self.condition(c) for c in node.where)
+        having = tuple(self.comparison(c) for c in node.having)
+        return replace(node, where=where, having=having)
+
+    def condition(self, cond: Condition) -> Condition:
+        if isinstance(cond, ExistsAst):
+            return ExistsAst(self.query(cond.query), cond.negated)  # type: ignore[arg-type]
+        return self.comparison(cond)
+
+    def comparison(self, comp: ComparisonAst) -> ComparisonAst:
+        left = self.operand(comp.left, partner=comp.right)
+        right = self.operand(comp.right, partner=comp.left)
+        if left is comp.left and right is comp.right:
+            return comp
+        return ComparisonAst(left, comp.op, right)
+
+    def operand(self, operand, partner):
+        if isinstance(operand, ParamAst):
+            if operand.name not in self.user_slots:
+                slot = ParamSlot(operand.name, len(self.slots), auto=False)
+                self.slots.append(slot)
+                self.user_slots[operand.name] = slot
+            if not isinstance(partner, PathAst):
+                self._uncacheable(
+                    f"parameter ${operand.name} is not compared against a path"
+                )
+            elif self.bound_counts[str(partner)] > 1:
+                self._uncacheable(
+                    f"{partner} has several constant bounds, which the "
+                    "simplifier may merge by value"
+                )
+            return operand
+        if (
+            self.auto
+            and isinstance(operand, ConstAst)
+            and isinstance(partner, PathAst)
+            and bindable(operand.value)
+            and self.bound_counts[str(partner)] == 1
+        ):
+            slot = ParamSlot(
+                f"?{len(self.slots)}", len(self.slots), auto=True, value=operand.value
+            )
+            self.slots.append(slot)
+            return ParamAst(slot.name)
+        return operand
+
+
+def _count_constant_bounds(node: QueryNode, counts: Counter) -> None:
+    """How many const-or-param comparisons target each path, statement-wide.
+
+    Statement-wide (not per block) because EXISTS unnesting flattens
+    subquery conjuncts into the outer conjunction before the argument
+    rules run over it.
+    """
+    if isinstance(node, SetQueryAst):
+        _count_constant_bounds(node.left, counts)
+        _count_constant_bounds(node.right, counts)
+        return
+    conditions: tuple[Condition, ...] = node.where + node.having
+    for cond in conditions:
+        if isinstance(cond, ExistsAst):
+            _count_constant_bounds(cond.query, counts)
+            continue
+        sides = (cond.left, cond.right)
+        for path, other in (sides, sides[::-1]):
+            if isinstance(path, PathAst) and isinstance(other, (ConstAst, ParamAst)):
+                counts[str(path)] += 1
+
+
+def parameterize(ast: QueryNode, auto: bool = True) -> ParameterizedQuery:
+    """Normalize a query AST into a cache-ready template.
+
+    ``auto=True`` (the ``Database.query`` path) lifts eligible literal
+    constants into parameter slots; ``auto=False`` (the prepared path)
+    leaves literals alone and only collects the explicit ``$name``
+    parameters.
+    """
+    counts: Counter = Counter()
+    _count_constant_bounds(ast, counts)
+    builder = _Parameterizer(auto, counts)
+    template = builder.query(ast)
+    return ParameterizedQuery(
+        template=template,
+        slots=tuple(builder.slots),
+        text_key=str(template),
+        cacheable=builder.cacheable,
+        reason=builder.reason,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Binding
+# ---------------------------------------------------------------------------
+
+
+class _Binder:
+    def __init__(self, substitutions: dict[str, ConstAst]) -> None:
+        self.substitutions = substitutions
+
+    def query(self, node: QueryNode) -> QueryNode:
+        if isinstance(node, SetQueryAst):
+            return SetQueryAst(node.kind, self.query(node.left), self.query(node.right))  # type: ignore[arg-type]
+        where = tuple(self.condition(c) for c in node.where)
+        having = tuple(self.comparison(c) for c in node.having)
+        return replace(node, where=where, having=having)
+
+    def condition(self, cond: Condition) -> Condition:
+        if isinstance(cond, ExistsAst):
+            return ExistsAst(self.query(cond.query), cond.negated)  # type: ignore[arg-type]
+        return self.comparison(cond)
+
+    def comparison(self, comp: ComparisonAst) -> ComparisonAst:
+        return ComparisonAst(
+            self.operand(comp.left), comp.op, self.operand(comp.right)
+        )
+
+    def operand(self, operand):
+        if isinstance(operand, ParamAst):
+            if operand.name not in self.substitutions:
+                raise ParameterBindingError(
+                    f"no value bound for parameter ${operand.name}"
+                )
+            return self.substitutions[operand.name]
+        return operand
+
+
+def bind_template(
+    param: ParameterizedQuery, values: dict[str, Any], tagged: bool
+) -> QueryNode:
+    """Substitute every parameter slot with a constant.
+
+    ``values`` maps slot names to plain Python values.  With ``tagged``
+    the constants carry their slot index so the resulting plan can later
+    be rebound; without, plain values are used (the cache-bypass path).
+    """
+    substitutions: dict[str, ConstAst] = {}
+    for slot in param.slots:
+        if slot.name not in values:
+            raise ParameterBindingError(f"no value bound for parameter ${slot.name}")
+        value = values[slot.name]
+        substitutions[slot.name] = ConstAst(
+            tag_value(value, slot.index) if tagged else value
+        )
+    return _Binder(substitutions).query(param.template)
+
+
+# ---------------------------------------------------------------------------
+# Plan rebinding
+# ---------------------------------------------------------------------------
+
+
+def rebind_plan(obj: Any, values: dict[int, Any]) -> Any:
+    """A structural copy of ``obj`` with tagged constants replaced.
+
+    Walks plan nodes, predicates, and containers generically; every
+    tagged value is swapped for the (re-tagged) value of its slot, and
+    untouched substructure is shared, not copied.  Works on a single
+    :class:`PhysicalNode` tree or a whole ``DynamicPlan``.
+    """
+    import dataclasses
+
+    index = tagged_index(obj)
+    if index is not None:
+        if index not in values:
+            raise PlanCacheError(f"plan references unknown parameter slot {index}")
+        return tag_value(values[index], index)
+    if isinstance(obj, tuple):
+        rebuilt = tuple(rebind_plan(item, values) for item in obj)
+        return rebuilt if any(a is not b for a, b in zip(obj, rebuilt)) else obj
+    if isinstance(obj, list):
+        return [rebind_plan(item, values) for item in obj]
+    if isinstance(obj, dict):
+        return {
+            rebind_plan(k, values): rebind_plan(v, values) for k, v in obj.items()
+        }
+    if isinstance(obj, frozenset):
+        return frozenset(rebind_plan(item, values) for item in obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        changes = {}
+        for field_def in dataclasses.fields(obj):
+            old = getattr(obj, field_def.name)
+            new = rebind_plan(old, values)
+            if new is not old:
+                changes[field_def.name] = new
+        return dataclasses.replace(obj, **changes) if changes else obj
+    return obj
+
+
+__all__ = [
+    "ParamSlot",
+    "ParameterizedQuery",
+    "TaggedFloat",
+    "TaggedInt",
+    "TaggedStr",
+    "bind_template",
+    "bindable",
+    "parameterize",
+    "rebind_plan",
+    "tag_value",
+    "tagged_index",
+]

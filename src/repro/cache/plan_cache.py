@@ -1,0 +1,200 @@
+"""A bounded LRU cache of optimized plans, invalidated by catalog version.
+
+The paper's compile-time/execution-time discussion ends with ObjectStore's
+dynamic plans; industrial optimizers go one step further and amortize the
+optimizer itself across repeated traffic by caching parameterized plans.
+This module is that layer:
+
+* entries are keyed on ``(fingerprint, catalog version)`` — the
+  fingerprint is the normalized query template (plus the optimizer
+  configuration), and the catalog version is a monotonic counter bumped
+  by ``create_index`` / ``drop_index`` / ``analyze`` /
+  ``collect_type_statistics``, so a stale plan is *invalidated*, never
+  silently reused;
+* the stored plan carries tagged parameter constants, so a hit re-binds
+  today's values into yesterday's plan (see ``cache.fingerprint``) in
+  microseconds instead of re-running the Volcano search;
+* an entry may additionally hold a :class:`DynamicPlan`; when only index
+  availability changed (statistics version untouched) and the surviving
+  indexes are a subset of the compiled scenarios, the cache *re-selects*
+  the matching scenario instead of re-optimizing — ObjectStore's run-time
+  capability, now cache-integrated;
+* everything is observable: hits, misses, evictions, invalidations,
+  re-selections, and the optimizer wall-time the cache saved.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+
+from repro.catalog.catalog import Catalog
+from repro.errors import PlanCacheError
+from repro.optimizer.dynamic import DynamicPlan
+from repro.optimizer.optimizer import OptimizationResult
+
+DEFAULT_CAPACITY = 128
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed via ``Database.plan_cache.stats`` and the CLI."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    reselects: int = 0
+    optimization_seconds_saved: float = 0.0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        """One-line counter summary for the CLI and benchmark reports."""
+        return (
+            f"{self.hits} hits ({self.reselects} by dynamic re-selection), "
+            f"{self.misses} misses, {self.invalidations} invalidations, "
+            f"{self.evictions} evictions, hit rate {self.hit_rate:.0%}, "
+            f"saved {self.optimization_seconds_saved * 1000:.1f} ms of "
+            "optimization"
+        )
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """How the plan cache treated one query (attached to ``QueryResult``).
+
+    ``outcome`` is one of ``"hit"`` (plan re-bound from cache),
+    ``"reselect"`` (dynamic-plan scenario re-selected after an index-only
+    change), ``"miss"`` (optimized and stored), ``"uncacheable"`` (the
+    query's parameters defeat safe reuse), or ``"bypass"`` (caching was
+    switched off for the call).
+    """
+
+    outcome: str
+    key: str
+    catalog_version: int
+    saved_seconds: float = 0.0
+
+    @property
+    def hit(self) -> bool:
+        return self.outcome in ("hit", "reselect")
+
+
+@dataclass
+class CacheEntry:
+    """One cached optimization, tied to the catalog state that produced it."""
+
+    key: str
+    optimization: OptimizationResult
+    result_vars: tuple[str, ...]
+    dynamic: DynamicPlan | None
+    catalog_version: int
+    stats_version: int
+    optimization_seconds: float
+    param_count: int
+    hits: int = field(default=0)
+
+
+class PlanCache:
+    """Bounded LRU mapping of fingerprints to optimized plans."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise PlanCacheError("plan cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: str, catalog: Catalog) -> tuple[CacheEntry | None, str]:
+        """Find a live entry for ``key`` under the current catalog.
+
+        Returns ``(entry, outcome)`` where outcome is ``"hit"``,
+        ``"reselect"``, or ``"miss"``.  A version-stale entry is removed
+        (counted as an invalidation) unless its dynamic plan can be
+        re-selected for the surviving index set.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None, "miss"
+        if entry.catalog_version == catalog.version:
+            self._record_hit(entry)
+            return entry, "hit"
+        if entry.dynamic is not None and entry.stats_version == catalog.stats_version:
+            available = frozenset(ix.name for ix in catalog.indexes())
+            if available <= entry.dynamic.considered:
+                # Index-only drift within the compiled scenarios: swap in
+                # the matching scenario plan and revalidate the entry.
+                chosen = entry.dynamic.choose_for(catalog)
+                entry.optimization = replace(
+                    entry.optimization, plan=chosen, cost=chosen.total_cost
+                )
+                entry.catalog_version = catalog.version
+                self._record_hit(entry)
+                self.stats.reselects += 1
+                return entry, "reselect"
+        del self._entries[key]
+        self.stats.invalidations += 1
+        self.stats.misses += 1
+        return None, "miss"
+
+    def _record_hit(self, entry: CacheEntry) -> None:
+        entry.hits += 1
+        self.stats.hits += 1
+        self.stats.optimization_seconds_saved += entry.optimization_seconds
+        self._entries.move_to_end(entry.key)
+
+    def store(self, entry: CacheEntry) -> None:
+        """Insert (or replace) an entry, evicting the LRU tail if full."""
+        if entry.key in self._entries:
+            del self._entries[entry.key]
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[entry.key] = entry
+        self.stats.stores += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+    def entries(self) -> tuple[CacheEntry, ...]:
+        """Current entries, least- to most-recently used."""
+        return tuple(self._entries.values())
+
+    def describe(self) -> str:
+        """Counters plus one line per cached entry (for the CLI)."""
+        lines = [
+            f"plan cache: {len(self._entries)}/{self.capacity} entries, "
+            + self.stats.describe()
+        ]
+        for entry in self._entries.values():
+            kind = "dynamic" if entry.dynamic is not None else "static"
+            fingerprint = entry.key.split("\x00", 1)[0]
+            if len(fingerprint) > 72:
+                fingerprint = fingerprint[:69] + "..."
+            lines.append(
+                f"  [v{entry.catalog_version} {kind} "
+                f"{entry.param_count} params, {entry.hits} hits] {fingerprint}"
+            )
+        return "\n".join(lines)
+
+
+__all__ = [
+    "CacheEntry",
+    "CacheInfo",
+    "CacheStats",
+    "DEFAULT_CAPACITY",
+    "PlanCache",
+]

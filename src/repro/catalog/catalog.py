@@ -78,6 +78,39 @@ class Catalog:
         self._indexes: dict[str, IndexDef] = {}
         # Maintained (population, pages) for types without extents.
         self._type_populations: dict[str, tuple[int, int]] = {}
+        # Monotonic counters: ``version`` moves on every metadata change
+        # that can invalidate a cached plan (index DDL, statistics);
+        # ``stats_version`` moves only on statistics changes.  The plan
+        # cache keys entries on (fingerprint, version); a dynamic plan can
+        # additionally survive index-only changes while ``stats_version``
+        # is unchanged by re-selecting among its compiled scenarios.
+        self._version = 0
+        self._stats_version = 0
+
+    # ------------------------------------------------------------------
+    # Versioning
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic metadata version (bumped by any invalidating change)."""
+        return self._version
+
+    @property
+    def stats_version(self) -> int:
+        """Monotonic statistics-only version (indexes do not move it)."""
+        return self._stats_version
+
+    def _bump(self, stats: bool = False) -> None:
+        self._version += 1
+        if stats:
+            self._stats_version += 1
+
+    def note_statistics_changed(self) -> None:
+        """Record an in-place statistics mutation (e.g. ``analyze``
+        refining histograms on existing records) so cached plans that
+        were costed against the old statistics are invalidated."""
+        self._bump(stats=True)
 
     # ------------------------------------------------------------------
     # Schema access
@@ -143,8 +176,10 @@ class Catalog:
     # ------------------------------------------------------------------
 
     def set_stats(self, collection_name: str, stats: CollectionStats) -> None:
+        """Attach statistics to a collection (bumps the stats version)."""
         self.collection(collection_name)  # validate existence
         self._stats[collection_name] = stats
+        self._bump(stats=True)
 
     def stats(self, collection_name: str) -> CollectionStats:
         """Statistics of a collection; raises when none were loaded."""
@@ -196,6 +231,7 @@ class Catalog:
         if population < 0 or pages <= 0:
             raise CatalogError("population must be >= 0 and pages positive")
         self._type_populations[type_name] = (population, pages)
+        self._bump(stats=True)
 
     def type_pages(self, type_name: str) -> int | None:
         """Page count of a type's population, when knowable.
@@ -234,6 +270,7 @@ class Catalog:
                 f"index {index.name!r}: path must end in a scalar attribute"
             )
         self._indexes[index.name] = index
+        self._bump()
         return index
 
     def drop_index(self, name: str) -> None:
@@ -241,6 +278,7 @@ class Catalog:
         if name not in self._indexes:
             raise CatalogError(f"unknown index {name!r}")
         del self._indexes[name]
+        self._bump()
 
     def indexes(self) -> tuple[IndexDef, ...]:
         return tuple(self._indexes.values())
@@ -277,6 +315,8 @@ class Catalog:
         for index in self._indexes.values():
             if index.name in names:
                 view._indexes[index.name] = index
+        view._version = self._version
+        view._stats_version = self._stats_version
         return view
 
     # ------------------------------------------------------------------

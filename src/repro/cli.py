@@ -15,6 +15,10 @@ Dot-commands:
 ``.trace QUERY``     show the goal-directed search states (Figure 11)
 ``.validate``        cost-formula vs simulator micro-experiments
 ``.dynamic QUERY``   compile per-index-scenario plans (ObjectStore-style)
+``.cache``           plan-cache entries and counters
+``.cache clear``     drop every cached plan ( .cache on / off toggles use )
+``.prepare NAME QUERY``   prepare a query with $params for reuse
+``.exec NAME p=v ...``    execute a prepared query with bound values
 ``.rules``           list togglable rule names
 ``.disable NAME``    disable a rule for the session ( .enable to undo )
 ``.quit``            leave
@@ -50,6 +54,7 @@ class Shell:
     def __init__(self, db: Database) -> None:
         self.db = db
         self.disabled: set[str] = set()
+        self.prepared: dict[str, object] = {}
 
     # ------------------------------------------------------------------
 
@@ -129,6 +134,32 @@ class Shell:
         elif command == ".dynamic":
             rest = line[len(".dynamic") :].strip()
             print(self.db.dynamic_plan(rest, config=self._config()).describe())
+        elif command == ".cache":
+            if args == ["clear"]:
+                self.db.plan_cache.clear()
+                print("plan cache cleared")
+            elif args == ["off"]:
+                self.db.cache_plans = False
+                print("plan cache disabled")
+            elif args == ["on"]:
+                self.db.cache_plans = True
+                print("plan cache enabled")
+            else:
+                print(self.db.plan_cache.describe())
+        elif command == ".prepare" and len(args) >= 2:
+            name = args[0]
+            text = line[len(".prepare") :].strip()[len(name) :].strip()
+            prepared = self.db.prepare(text, config=self._config())
+            self.prepared[name] = prepared
+            params = ", ".join(f"${p}" for p in prepared.param_names)
+            print(f"prepared {name} ({params or 'no parameters'})")
+        elif command == ".exec" and len(args) >= 1:
+            prepared = self.prepared.get(args[0])
+            if prepared is None:
+                print(f"error: no prepared query {args[0]!r}; use .prepare first")
+                return
+            bindings = dict(self._parse_binding(arg) for arg in args[1:])
+            self._print_result(prepared.execute(**bindings))
         elif command == ".rules":
             for name in (
                 ALL_TRANSFORMATIONS
@@ -147,7 +178,10 @@ class Shell:
             print(f"unknown command {line!r}; try .help")
 
     def _query(self, text: str) -> None:
-        result = self.db.query(text, config=self._config())
+        self._print_result(self.db.query(text, config=self._config()))
+
+    def _print_result(self, result) -> None:
+        """Render one QueryResult: plan, rows, I/O and cache summary."""
         print(result.explain(costs=True))
         for row in result.rows[:_MAX_ROWS]:
             print("  " + self._format_row(row))
@@ -161,6 +195,35 @@ class Shell:
                 f"{result.execution.page_reads} page reads, wall "
                 f"{result.execution.wall_seconds * 1000:.1f} ms"
             )
+        if result.cache is not None:
+            saved = (
+                f", saved {result.cache.saved_seconds * 1000:.1f} ms"
+                if result.cache.hit
+                else ""
+            )
+            print(
+                f"-- plan cache: {result.cache.outcome} "
+                f"(catalog v{result.cache.catalog_version}{saved})"
+            )
+
+    @staticmethod
+    def _parse_binding(text: str) -> tuple[str, object]:
+        """``name=value`` → (name, value) with int/float/str coercion."""
+        name, sep, raw = text.partition("=")
+        if not sep or not name:
+            raise ReproError(f"expected name=value, got {text!r}")
+        value: object
+        if len(raw) >= 2 and raw[0] in "\"'" and raw[-1] == raw[0]:
+            value = raw[1:-1]
+        else:
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    value = raw
+        return name, value
 
     @staticmethod
     def _format_row(row: dict) -> str:

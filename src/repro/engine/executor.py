@@ -64,6 +64,15 @@ class Executor:
             self._indexes[name] = IndexRuntime.build(self.store, definition)
         return self._indexes[name]
 
+    def invalidate_index(self, name: str) -> None:
+        """Discard the cached runtime index for ``name`` (if built).
+
+        Called when the index is dropped from the catalog; a later index
+        of the same name is rebuilt from scratch.  Unknown names are a
+        no-op.
+        """
+        self._indexes.pop(name, None)
+
     # ------------------------------------------------------------------
 
     def execute(self, plan: PhysicalNode, cold: bool = True) -> ExecutionResult:

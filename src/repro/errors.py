@@ -56,3 +56,12 @@ class NoPlanFoundError(OptimizerError):
 
 class ExecutionError(ReproError):
     """Raised by the physical execution engine."""
+
+
+class PlanCacheError(ReproError):
+    """Raised for plan-cache misuse (bad capacity, unbindable plans)."""
+
+
+class ParameterBindingError(ReproError):
+    """Raised when prepared-query parameters are missing, unexpected, or
+    of an unsupported type at bind time."""

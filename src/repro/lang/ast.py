@@ -34,7 +34,24 @@ class ConstAst:
         return repr(self.value)
 
 
-Operand = Union[PathAst, ConstAst]
+@dataclass(frozen=True)
+class ParamAst:
+    """``$name`` — a placeholder bound to a value at execution time.
+
+    Written explicitly in prepared queries (``Database.prepare``), and also
+    produced by auto-parameterization when the plan cache lifts literal
+    constants out of a query so different bindings share one cache entry.
+    A ``ParamAst`` must be substituted by a ``ConstAst`` before
+    simplification; the simplifier rejects unbound parameters.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+Operand = Union[PathAst, ConstAst, ParamAst]
 
 
 @dataclass(frozen=True)
@@ -169,6 +186,7 @@ __all__ = [
     "ExistsAst",
     "Operand",
     "OrderByAst",
+    "ParamAst",
     "PathAst",
     "QueryAst",
     "RangeAst",

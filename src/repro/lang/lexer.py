@@ -41,6 +41,7 @@ class TokenKind(enum.Enum):
     NUMBER = "number"
     STRING = "string"
     SYMBOL = "symbol"
+    PARAM = "param"
     END = "end"
 
 
@@ -98,6 +99,16 @@ def _scan(text: str) -> Iterator[Token]:
             raw = text[pos:end]
             value: Any = float(raw) if "." in raw else int(raw)
             yield Token(TokenKind.NUMBER, raw, value, pos)
+            pos = end
+            continue
+        if ch == "$":
+            end = pos + 1
+            if end >= length or not (text[end].isalpha() or text[end] == "_"):
+                raise QuerySyntaxError("expected parameter name after '$'", pos)
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            name = text[pos + 1 : end]
+            yield Token(TokenKind.PARAM, name, name, pos)
             pos = end
             continue
         if ch.isalpha() or ch == "_":

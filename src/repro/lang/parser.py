@@ -14,7 +14,7 @@ C++ accessor syntax of ZQL[C++] and is accepted and ignored):
     source     := path            -- bare name = collection, dotted = set path
     condition  := comparison | EXISTS '(' set_query ')' | '(' condition ')'
     comparison := operand ('=='|'!='|'<'|'<='|'>'|'>=') operand
-    operand    := path | NUMBER | STRING | TRUE | FALSE
+    operand    := path | NUMBER | STRING | TRUE | FALSE | '$' ident
     path       := ident ['()'] ('.' ident ['()'])*
 """
 
@@ -31,6 +31,7 @@ from repro.lang.ast import (
     ExistsAst,
     Operand,
     OrderByAst,
+    ParamAst,
     PathAst,
     QueryAst,
     RangeAst,
@@ -265,6 +266,9 @@ class _Parser:
         if token.kind is TokenKind.NUMBER or token.kind is TokenKind.STRING:
             self._advance()
             return ConstAst(token.value)
+        if token.kind is TokenKind.PARAM:
+            self._advance()
+            return ParamAst(token.text)
         if token.is_keyword("true") or token.is_keyword("false"):
             self._advance()
             return ConstAst(token.text == "true")

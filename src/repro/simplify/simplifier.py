@@ -57,6 +57,7 @@ from repro.lang.ast import (
     ComparisonAst,
     ConstAst,
     ExistsAst,
+    ParamAst,
     PathAst,
     QueryAst,
     RangeAst,
@@ -514,6 +515,11 @@ class Simplifier:
     def _convert_operand(self, operand) -> Term:
         if isinstance(operand, ConstAst):
             return Const(operand.value)
+        if isinstance(operand, ParamAst):
+            raise SimplificationError(
+                f"unbound parameter ${operand.name}; prepare the query with "
+                "Database.prepare(...) and bind values via execute(...)"
+            )
         if not isinstance(operand, PathAst):
             raise SimplificationError(f"unsupported operand {operand!r}")
         if operand.is_bare_var:

@@ -1,0 +1,242 @@
+"""Integration tests for the plan cache, prepared queries, and
+catalog-version invalidation.
+
+The contract under test: repeated query shapes skip the optimizer but
+NEVER return stale plans — any catalog change that could alter the
+optimal plan (index DDL, statistics refresh) must produce a miss and a
+re-optimization, while results always match an uncached run.
+"""
+
+import pytest
+
+from repro.api import Database
+from repro.cache.plan_cache import PlanCache
+from repro.errors import ParameterBindingError, SimplificationError
+from repro.optimizer.plans import IndexScanNode
+
+from tests.conftest import SCALE
+
+Q_MAYOR = 'SELECT * FROM City c IN Cities WHERE c.mayor.name == "{name}"'
+Q_PREPARED = "SELECT * FROM City c IN Cities WHERE c.mayor.name == $who"
+
+
+def uses_index(plan) -> bool:
+    return any(isinstance(node, IndexScanNode) for node in plan.walk())
+
+
+class TestTransparentCaching:
+    def test_second_query_hits(self, fresh_db):
+        first = fresh_db.query(Q_MAYOR.format(name="Joe"))
+        second = fresh_db.query(Q_MAYOR.format(name="Fred"))
+        assert first.cache.outcome == "miss"
+        assert second.cache.outcome == "hit"
+        assert fresh_db.plan_cache.stats.hits == 1
+
+    def test_rebound_plan_gives_correct_rows(self, fresh_db):
+        fresh_db.query(Q_MAYOR.format(name="Joe"))
+        cached = fresh_db.query(Q_MAYOR.format(name="Fred"))
+        uncached = fresh_db.query(Q_MAYOR.format(name="Fred"), use_cache=False)
+        assert cached.rows == uncached.rows
+
+    def test_opt_out_flag(self, fresh_db):
+        fresh_db.query(Q_MAYOR.format(name="Joe"), use_cache=False)
+        assert len(fresh_db.plan_cache) == 0
+        result = fresh_db.query(Q_MAYOR.format(name="Joe"), use_cache=False)
+        assert result.cache.outcome == "bypass"
+
+    def test_database_level_opt_out(self, fresh_db):
+        fresh_db.cache_plans = False
+        fresh_db.query(Q_MAYOR.format(name="Joe"))
+        assert len(fresh_db.plan_cache) == 0
+
+    def test_hit_reports_saved_time(self, fresh_db):
+        fresh_db.query(Q_MAYOR.format(name="Joe"))
+        hit = fresh_db.query(Q_MAYOR.format(name="Fred"))
+        assert hit.cache.saved_seconds > 0
+        assert fresh_db.plan_cache.stats.optimization_seconds_saved > 0
+
+    def test_different_config_is_a_different_entry(self, fresh_db):
+        from repro.optimizer.config import POINTER_JOIN
+
+        fresh_db.query(Q_MAYOR.format(name="Joe"))
+        other = fresh_db.query(
+            Q_MAYOR.format(name="Joe"),
+            config=fresh_db.config.without(POINTER_JOIN),
+        )
+        assert other.cache.outcome == "miss"
+
+    def test_lru_eviction(self):
+        db = Database.sample(scale=SCALE, populate=False)
+        db.plan_cache = PlanCache(capacity=2)
+        db.query('SELECT * FROM City c IN Cities WHERE c.mayor.name == "a"')
+        db.query("SELECT * FROM Task t IN Tasks WHERE t.time == 1")
+        db.query("SELECT e.name FROM Employee e IN Employees")
+        assert len(db.plan_cache) == 2
+        assert db.plan_cache.stats.evictions == 1
+
+
+class TestInvalidation:
+    def test_create_index_invalidates_and_replans(self, fresh_db):
+        before = fresh_db.query(Q_MAYOR.format(name="Joe"))
+        assert not uses_index(before.plan)
+        fresh_db.create_index("ix_q", "Cities", ("mayor", "name"))
+        after = fresh_db.query(Q_MAYOR.format(name="Joe"))
+        assert after.cache.outcome == "miss"
+        assert fresh_db.plan_cache.stats.invalidations == 1
+        assert uses_index(after.plan)
+        assert after.rows == before.rows
+
+    def test_drop_index_invalidates(self, fresh_db):
+        fresh_db.create_index("ix_q", "Cities", ("mayor", "name"))
+        with_index = fresh_db.query(Q_MAYOR.format(name="Joe"))
+        assert uses_index(with_index.plan)
+        fresh_db.drop_index("ix_q")
+        after = fresh_db.query(Q_MAYOR.format(name="Joe"))
+        assert after.cache.outcome == "miss"
+        assert not uses_index(after.plan)
+        assert after.rows == with_index.rows
+
+    def test_analyze_invalidates(self, fresh_db):
+        fresh_db.query("SELECT * FROM Task t IN Tasks WHERE t.time == 100")
+        fresh_db.analyze("Tasks")
+        again = fresh_db.query("SELECT * FROM Task t IN Tasks WHERE t.time == 100")
+        assert again.cache.outcome == "miss"
+        assert fresh_db.plan_cache.stats.invalidations == 1
+
+    def test_collect_type_statistics_invalidates(self, fresh_db):
+        fresh_db.query(Q_MAYOR.format(name="Joe"))
+        fresh_db.collect_type_statistics()
+        again = fresh_db.query(Q_MAYOR.format(name="Joe"))
+        assert again.cache.outcome == "miss"
+
+
+class TestPreparedQueries:
+    def test_prepare_execute_reuses_plan(self, fresh_db):
+        prepared = fresh_db.prepare(Q_PREPARED)
+        assert prepared.param_names == ("who",)
+        first = prepared.execute(who="Joe")
+        second = prepared.execute(who="Fred")
+        assert first.cache.outcome == "miss"
+        assert second.cache.outcome == "hit"
+        uncached = fresh_db.query(Q_MAYOR.format(name="Fred"), use_cache=False)
+        assert second.rows == uncached.rows
+
+    def test_missing_parameter_raises(self, fresh_db):
+        prepared = fresh_db.prepare(Q_PREPARED)
+        with pytest.raises(ParameterBindingError, match=r"missing \$who"):
+            prepared.execute()
+
+    def test_extra_parameter_raises(self, fresh_db):
+        prepared = fresh_db.prepare(Q_PREPARED)
+        with pytest.raises(ParameterBindingError, match=r"unexpected \$whom"):
+            prepared.execute(who="Joe", whom="Fred")
+
+    def test_ill_typed_parameter_raises(self, fresh_db):
+        prepared = fresh_db.prepare(Q_PREPARED)
+        with pytest.raises(ParameterBindingError, match="unsupported type"):
+            prepared.execute(who=True)
+        with pytest.raises(ParameterBindingError, match="unsupported type"):
+            prepared.execute(who=["Joe"])
+
+    def test_query_rejects_unbound_parameters(self, fresh_db):
+        with pytest.raises(ParameterBindingError, match=r"\$who"):
+            fresh_db.query(Q_PREPARED)
+
+    def test_optimize_rejects_unbound_parameters(self, fresh_db):
+        with pytest.raises(SimplificationError, match=r"\$who"):
+            fresh_db.optimize(Q_PREPARED)
+
+    def test_uncacheable_prepared_still_correct(self, fresh_db):
+        # Two constant bounds on one term defeat safe reuse; every
+        # execution must re-optimize, with correct results.
+        prepared = fresh_db.prepare(
+            "SELECT * FROM Task t IN Tasks "
+            "WHERE t.time == $when AND t.time < 10000"
+        )
+        assert not prepared.cacheable
+        result = prepared.execute(when=100)
+        assert result.cache.outcome == "uncacheable"
+        uncached = fresh_db.query(
+            "SELECT * FROM Task t IN Tasks WHERE t.time == 100 "
+            "AND t.time < 10000",
+            use_cache=False,
+        )
+        assert result.rows == uncached.rows
+        assert len(fresh_db.plan_cache) == 0
+
+    def test_explain_binds_without_executing(self, fresh_db):
+        prepared = fresh_db.prepare(Q_PREPARED)
+        text = prepared.explain(who="Joe")
+        assert "Joe" in text
+
+
+class TestDynamicPreparedQueries:
+    def test_reselect_on_index_drop_and_recreate(self, fresh_db):
+        fresh_db.create_index("ix_q", "Cities", ("mayor", "name"))
+        prepared = fresh_db.prepare(Q_PREPARED, dynamic=True)
+
+        first = prepared.execute(who="Joe")
+        assert first.cache.outcome == "miss"
+        assert uses_index(first.plan)
+
+        fresh_db.drop_index("ix_q")
+        dropped = prepared.execute(who="Joe")
+        assert dropped.cache.outcome == "reselect"
+        assert not uses_index(dropped.plan)
+        assert dropped.rows == first.rows
+
+        fresh_db.create_index("ix_q", "Cities", ("mayor", "name"))
+        recreated = prepared.execute(who="Fred")
+        assert recreated.cache.outcome == "reselect"
+        assert uses_index(recreated.plan)
+        assert fresh_db.plan_cache.stats.reselects == 2
+
+    def test_static_entry_does_not_shadow_dynamic(self, fresh_db):
+        # Regression: a static entry cached for the same text/config must
+        # not satisfy a dynamic prepared query's first execution, or the
+        # scenario compilation is silently skipped.
+        fresh_db.create_index("ix_q", "Cities", ("mayor", "name"))
+        fresh_db.prepare(Q_PREPARED).execute(who="Joe")
+        dynamic = fresh_db.prepare(Q_PREPARED, dynamic=True)
+        first = dynamic.execute(who="Joe")
+        assert first.cache.outcome == "miss"
+        fresh_db.drop_index("ix_q")
+        assert dynamic.execute(who="Joe").cache.outcome == "reselect"
+
+    def test_new_index_still_invalidates_dynamic_entry(self, fresh_db):
+        fresh_db.create_index("ix_q", "Cities", ("mayor", "name"))
+        prepared = fresh_db.prepare(Q_PREPARED, dynamic=True)
+        prepared.execute(who="Joe")
+        # An index outside the compiled scenarios: re-selection is not
+        # possible, the entry must be invalidated and re-optimized.
+        fresh_db.create_index("ix_extra", "Tasks", ("time",))
+        result = prepared.execute(who="Joe")
+        assert result.cache.outcome == "miss"
+        assert fresh_db.plan_cache.stats.invalidations == 1
+
+    def test_analyze_invalidates_dynamic_entry(self, fresh_db):
+        fresh_db.create_index("ix_q", "Cities", ("mayor", "name"))
+        prepared = fresh_db.prepare(Q_PREPARED, dynamic=True)
+        prepared.execute(who="Joe")
+        fresh_db.analyze("Cities")
+        result = prepared.execute(who="Joe")
+        assert result.cache.outcome == "miss"
+
+
+class TestCatalogVersion:
+    def test_version_moves_on_ddl_and_stats(self, fresh_db):
+        catalog = fresh_db.catalog
+        v0 = catalog.version
+        fresh_db.create_index("ix_q", "Cities", ("mayor", "name"))
+        v1 = catalog.version
+        assert v1 > v0
+        fresh_db.drop_index("ix_q")
+        assert catalog.version > v1
+        s0 = catalog.stats_version
+        fresh_db.analyze("Cities", attributes=("population",))
+        assert catalog.stats_version > s0
+
+    def test_index_ddl_leaves_stats_version(self, fresh_db):
+        s0 = fresh_db.catalog.stats_version
+        fresh_db.create_index("ix_q", "Cities", ("mayor", "name"))
+        assert fresh_db.catalog.stats_version == s0

@@ -1,0 +1,205 @@
+"""Unit tests for query fingerprinting, tagging, and template binding."""
+
+import pytest
+
+from repro.cache.fingerprint import (
+    TaggedFloat,
+    TaggedInt,
+    TaggedStr,
+    bind_template,
+    parameterize,
+    rebind_plan,
+    tag_value,
+    tagged_index,
+)
+from repro.errors import ParameterBindingError
+from repro.lang.ast import ConstAst, ParamAst
+from repro.lang.parser import parse_query
+
+
+def fingerprint(text: str, auto: bool = True):
+    return parameterize(parse_query(text), auto=auto)
+
+
+class TestTaggedValues:
+    def test_tagged_values_behave_like_plain(self):
+        assert tag_value(3, 0) == 3
+        assert tag_value(3, 0) < 4
+        assert hash(tag_value("Joe", 1)) == hash("Joe")
+        assert tag_value(2.5, 2) * 2 == 5.0
+
+    def test_tagged_index_roundtrip(self):
+        assert tagged_index(tag_value(3, 7)) == 7
+        assert tagged_index(3) is None
+        assert tagged_index("Joe") is None
+
+    def test_tag_types(self):
+        assert isinstance(tag_value(1, 0), TaggedInt)
+        assert isinstance(tag_value(1.0, 0), TaggedFloat)
+        assert isinstance(tag_value("x", 0), TaggedStr)
+
+    def test_bool_and_none_rejected(self):
+        with pytest.raises(ParameterBindingError):
+            tag_value(True, 0)
+        with pytest.raises(ParameterBindingError):
+            tag_value(None, 0)
+
+
+class TestAutoParameterization:
+    def test_different_constants_share_fingerprint(self):
+        a = fingerprint("SELECT * FROM City c IN Cities WHERE c.population == 3")
+        b = fingerprint("SELECT * FROM City c IN Cities WHERE c.population == 7")
+        assert a.text_key == b.text_key
+        assert a.auto_values == {"?0": 3}
+        assert b.auto_values == {"?0": 7}
+
+    def test_different_shapes_differ(self):
+        a = fingerprint("SELECT * FROM City c IN Cities WHERE c.population == 3")
+        b = fingerprint("SELECT * FROM City c IN Cities WHERE c.population <= 3")
+        assert a.text_key != b.text_key
+
+    def test_whitespace_and_case_normalized(self):
+        a = fingerprint("SELECT * FROM City c IN Cities WHERE c.population == 3")
+        b = fingerprint("select *  from City c in Cities  where c.population == 3")
+        assert a.text_key == b.text_key
+
+    def test_subquery_constants_parameterized(self):
+        p = fingerprint(
+            "SELECT * FROM Task t IN Tasks WHERE t.time == 100 AND EXISTS ("
+            'SELECT m FROM Employee m IN t.team_members WHERE m.name == "Fred")'
+        )
+        assert sorted(p.auto_values.values(), key=str) == [100, "Fred"]
+        assert p.cacheable
+
+    def test_bool_constants_stay_literal(self):
+        a = fingerprint("SELECT * FROM City c IN Cities WHERE c.port == true")
+        b = fingerprint("SELECT * FROM City c IN Cities WHERE c.port == false")
+        assert not a.slots and not b.slots
+        assert a.text_key != b.text_key
+
+    def test_const_vs_const_stays_literal(self):
+        p = fingerprint("SELECT * FROM City c IN Cities WHERE 1 == 1")
+        assert not p.slots
+        assert p.cacheable
+
+    def test_multiple_bounds_on_one_term_stay_literal(self):
+        # tighten-bounds may merge these by value; each value pair must
+        # get its own fingerprint.
+        a = fingerprint(
+            "SELECT * FROM City c IN Cities "
+            "WHERE c.population > 3 AND c.population < 9"
+        )
+        b = fingerprint(
+            "SELECT * FROM City c IN Cities "
+            "WHERE c.population > 4 AND c.population < 9"
+        )
+        assert not a.slots
+        assert a.cacheable
+        assert a.text_key != b.text_key
+
+    def test_join_predicates_untouched(self):
+        p = fingerprint(
+            "SELECT * FROM Employee e IN Employees, "
+            "Department d IN extent(Department) "
+            "WHERE e.department == d AND d.floor == 3"
+        )
+        assert p.auto_values == {"?0": 3}
+
+
+class TestUserParameters:
+    def test_prepared_params_collected_in_order(self):
+        p = fingerprint(
+            "SELECT * FROM Task t IN Tasks "
+            "WHERE t.time == $when AND t.priority == $prio",
+            auto=False,
+        )
+        assert p.user_param_names == ("when", "prio")
+        assert p.cacheable
+
+    def test_literals_stay_literal_in_prepared_mode(self):
+        p = fingerprint(
+            "SELECT * FROM Task t IN Tasks WHERE t.time == 100", auto=False
+        )
+        assert not p.slots
+        assert "100" in p.text_key
+
+    def test_param_with_sibling_bound_is_uncacheable(self):
+        p = fingerprint(
+            "SELECT * FROM Task t IN Tasks "
+            "WHERE t.time == $when AND t.time < 200",
+            auto=False,
+        )
+        assert not p.cacheable
+        assert p.reason is not None
+
+    def test_param_vs_param_is_uncacheable(self):
+        p = fingerprint(
+            "SELECT * FROM Task t IN Tasks WHERE $a == $b", auto=False
+        )
+        assert not p.cacheable
+
+
+class TestBinding:
+    def test_bind_substitutes_tagged_constants(self):
+        p = fingerprint(
+            "SELECT * FROM Task t IN Tasks WHERE t.time == $when", auto=False
+        )
+        bound = bind_template(p, {"when": 100}, tagged=True)
+        consts = [
+            c.right for c in bound.where if isinstance(c.right, ConstAst)
+        ]
+        assert len(consts) == 1
+        assert consts[0].value == 100
+        assert tagged_index(consts[0].value) == 0
+
+    def test_bind_untagged(self):
+        p = fingerprint(
+            "SELECT * FROM Task t IN Tasks WHERE t.time == $when", auto=False
+        )
+        bound = bind_template(p, {"when": 100}, tagged=False)
+        const = next(c.right for c in bound.where if isinstance(c.right, ConstAst))
+        assert tagged_index(const.value) is None
+
+    def test_bind_missing_value_raises(self):
+        p = fingerprint(
+            "SELECT * FROM Task t IN Tasks WHERE t.time == $when", auto=False
+        )
+        with pytest.raises(ParameterBindingError):
+            bind_template(p, {}, tagged=True)
+
+    def test_template_has_no_residual_params_after_bind(self):
+        p = fingerprint("SELECT * FROM Task t IN Tasks WHERE t.time == 100")
+        bound = bind_template(p, p.auto_values, tagged=True)
+        assert "$" not in str(bound)
+
+
+class TestRebindPlan:
+    def test_rebind_replaces_tagged_constants_in_plan(self, plain_db):
+        from repro.cache.fingerprint import parameterize as param_fn
+
+        p = param_fn(
+            parse_query(
+                'SELECT * FROM City c IN Cities WHERE c.mayor.name == "Joe"'
+            )
+        )
+        bound = bind_template(p, p.auto_values, tagged=True)
+        from repro.simplify.simplifier import simplify_full
+        from repro.optimizer.optimizer import Optimizer
+
+        simplified = simplify_full(bound, plain_db.catalog)
+        plan = Optimizer(plain_db.catalog).optimize(
+            simplified.tree, result_vars=simplified.result_vars
+        ).plan
+        rebound = rebind_plan(plan, {0: "Fred"})
+        assert "Fred" in str(rebound.pretty())
+        assert "Joe" not in str(rebound.pretty())
+        # The original cached plan is untouched.
+        assert "Joe" in str(plan.pretty())
+
+    def test_rebind_shares_untouched_structure(self):
+        assert rebind_plan((1, 2), {}) == (1, 2)
+        tagged = tag_value(5, 0)
+        assert rebind_plan({"k": tagged}, {0: 9})["k"] == 9
+
+    def test_param_ast_renders_with_dollar(self):
+        assert str(ParamAst("who")) == "$who"
