@@ -1,0 +1,104 @@
+"""EXP-EA — EXPLAIN ANALYZE: estimated vs. actual, per plan operator.
+
+Consumes the JSON export of :meth:`Database.explain_analyze` for the
+paper's Queries 1-3 against the populated (10% scale) store and reports
+each operator's estimated cardinality next to its measured one (with the
+q-error), plus the buffer traffic attributed to the operator.  This is
+the ground-truth harness every estimation or performance PR can diff
+against: a widening q-error or a page-read regression shows up as a
+changed table row, not a vibe.
+
+The Query 3 run must also carry the assembly-enforcer trace event — the
+paper's central discovery, now asserted as an observable fact of the
+search rather than inferred from the plan shape.
+"""
+
+import json
+
+import common
+
+QUERIES = {
+    "Q1": common.QUERY_1,
+    "Q2": common.QUERY_2,
+    "Q3": common.QUERY_3,
+}
+
+
+def collect_rows(payload: dict) -> list[list[str]]:
+    """Flatten one report's plan tree into formatted table rows."""
+
+    def walk(node, depth):
+        est = node["estimated"]
+        act = node["actual"]
+        yield [
+            "  " * depth + node["algorithm"],
+            f"{est['rows']:.0f}",
+            f"{act['rows']}",
+            f"{node['cardinality_error']:.1f}x",
+            f"{act['buffer_hits']}/{act['buffer_misses']}",
+            f"{act['next_seconds'] * 1000:.2f} ms",
+        ]
+        for child in node["children"]:
+            yield from walk(child, depth + 1)
+
+    return list(walk(payload["plan"], 0))
+
+
+def run(db):
+    """One explain_analyze JSON payload per paper query."""
+    return {
+        name: json.loads(db.explain_analyze(sql).to_json())
+        for name, sql in QUERIES.items()
+    }
+
+
+def build_report(payloads: dict) -> str:
+    rows = []
+    for name, payload in payloads.items():
+        rows.append([f"-- {name}", "", "", "", "", ""])
+        rows.extend(collect_rows(payload))
+    q3_events = payloads["Q3"]["events"]
+    enforcers = [
+        e for e in q3_events if e["category"] == "enforcer" and e["name"] == "assembly"
+    ]
+    table = common.format_table(
+        ["operator", "est rows", "act rows", "q-error", "hits/misses", "next()"],
+        rows,
+        "Queries 1-3, per-operator estimated vs actual (10% scale store)",
+    )
+    footer = (
+        f"\n  Q3 search events: {len(q3_events)} total, "
+        f"{len(enforcers)} assembly-enforcer application(s)"
+    )
+    return table + footer
+
+
+def test_explain_analyze_accuracy(exec_db):
+    payloads = run(exec_db)
+    for name, payload in payloads.items():
+        assert payload["execution"]["page_reads"] >= 0, name
+        # Attribution is complete: operator misses sum to the run's reads.
+        total_misses = sum(
+            node["actual"]["buffer_misses"]
+            for node in _flatten(payload["plan"])
+        )
+        assert total_misses == payload["execution"]["page_reads"], name
+    assert any(
+        e["category"] == "enforcer" and e["name"] == "assembly"
+        for e in payloads["Q3"]["events"]
+    )
+    common.register_report("EXPLAIN ANALYZE (EXP-EA)", build_report(payloads))
+
+
+def _flatten(node):
+    yield node
+    for child in node["children"]:
+        yield from _flatten(child)
+
+
+def main() -> None:
+    print(build_report(run(common.exec_database(scale=0.1))))
+
+
+if __name__ == "__main__":
+    main()

@@ -33,8 +33,10 @@ from repro.catalog.catalog import Catalog, IndexDef
 from repro.catalog.sample_db import SampleSizes, build_catalog
 from repro.engine.executor import ExecutionResult, Executor
 from repro.engine.tuples import Row
-from repro.errors import CatalogError, ParameterBindingError
+from repro.errors import CatalogError, ParameterBindingError, StorageError
 from repro.algebra.operators import LogicalOp
+from repro.obs.explain import ExplainReport, build_report
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.lang.ast import QueryAst, SetQueryAst
 from repro.lang.parser import parse_query
 from repro.optimizer.config import OptimizerConfig
@@ -83,6 +85,10 @@ class Database:
         # `cache_plans = False` (or `query(..., use_cache=False)`) opts out.
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.cache_plans = True
+        # Observability sink for recoverable warnings (and, when callers
+        # pass none of their own, for traced optimizations).  Disabled by
+        # default; assign an enabled Tracer to capture events.
+        self.tracer: Tracer = NULL_TRACER
 
     @classmethod
     def sample(
@@ -199,7 +205,16 @@ class Database:
                 continue
             try:
                 segment = self.store.segment(type_def.name)
-            except Exception:
+            except StorageError as exc:
+                # A type with no stored instances has no segment — that is
+                # expected and recoverable, but no longer invisible: it
+                # surfaces as a warning event in `.trace` output.
+                if self.tracer.enabled:
+                    self.tracer.warning(
+                        "type-statistics",
+                        f"skipping {type_def.name}: {exc}",
+                        type=type_def.name,
+                    )
                 continue
             population = len(segment.oids)
             pages = max(1, segment.page_count)
@@ -224,8 +239,14 @@ class Database:
         self,
         query: Union[str, QueryAst, SetQueryAst, LogicalOp],
         config: OptimizerConfig | None = None,
+        tracer: Tracer | None = None,
     ) -> OptimizationResult:
-        """Optimize a query (text, AST, or logical tree) into a plan."""
+        """Optimize a query (text, AST, or logical tree) into a plan.
+
+        ``tracer`` (default: the database's own, normally disabled)
+        records rule firings, prunes, and enforcer applications for the
+        run; see ``OptimizationResult.trace_events``.
+        """
         if isinstance(query, LogicalOp):
             tree, result_vars, order = query, (), None
         else:
@@ -234,16 +255,63 @@ class Database:
             result_vars = simplified.result_vars
             order = simplified.order
         optimizer = Optimizer(self.catalog, config or self.config)
-        return optimizer.optimize(tree, result_vars=result_vars, order=order)
+        return optimizer.optimize(
+            tree,
+            result_vars=result_vars,
+            order=order,
+            tracer=tracer if tracer is not None else self.tracer,
+        )
 
     def explain(
         self,
         query: Union[str, QueryAst, SetQueryAst],
         config: OptimizerConfig | None = None,
         costs: bool = False,
+        analyze: bool = False,
     ) -> str:
-        """The chosen plan, rendered (optimizes but does not execute)."""
+        """The chosen plan, rendered.
+
+        ``analyze=False`` (the default) optimizes but does not execute.
+        ``analyze=True`` additionally *runs* the plan with per-operator
+        instrumentation and renders estimated vs. actual cardinality,
+        ``next()`` time, and buffer hits/misses for every operator, plus
+        the optimizer's enforcer/prune/warning events (see
+        :meth:`explain_analyze` for the structured artifact).
+        """
+        if analyze:
+            return self.explain_analyze(query, config).render()
         return self.optimize(query, config).explain(costs=costs)
+
+    def explain_analyze(
+        self,
+        query: Union[str, QueryAst, SetQueryAst],
+        config: OptimizerConfig | None = None,
+        cold: bool = True,
+        tracer: Tracer | None = None,
+    ) -> ExplainReport:
+        """EXPLAIN ANALYZE: optimize with tracing, execute instrumented.
+
+        Returns the structured :class:`~repro.obs.explain.ExplainReport`
+        (render with ``.render()``, export with ``.to_json()``).  Requires
+        a populated store.  A fresh enabled tracer is used unless one is
+        passed, so the report always carries the search events — the
+        Query 3 assembly-enforcer firing included.
+        """
+        if self.executor is None:
+            raise CatalogError("EXPLAIN ANALYZE requires a populated store")
+        tracer = tracer if tracer is not None else Tracer()
+        text = query if isinstance(query, str) else str(query)
+        optimization = self.optimize(query, config, tracer=tracer)
+        execution = self.executor.execute(
+            optimization.plan, cold=cold, collect_stats=True
+        )
+        return build_report(
+            text,
+            optimization,
+            execution,
+            execution.operator_stats,
+            events=tuple(tracer.events),
+        )
 
     def execute_plan(
         self,

@@ -12,7 +12,12 @@ Dot-commands:
 ``.drop NAME``       drop an index
 ``.analyze COLLECTION``                   build histograms/MCVs
 ``.explain QUERY``   show the plan without executing
+``.explain analyze QUERY``   execute with per-operator instrumentation:
+                     estimated vs actual rows, next() time, buffer
+                     hits/misses, and the search's enforcer events
 ``.trace QUERY``     show the goal-directed search states (Figure 11)
+                     plus a traced-event summary (rules, prunes,
+                     enforcers, warnings)
 ``.validate``        cost-formula vs simulator micro-experiments
 ``.dynamic QUERY``   compile per-index-scenario plans (ObjectStore-style)
 ``.cache``           plan-cache entries and counters
@@ -36,6 +41,7 @@ import sys
 from repro.api import Database
 from repro.engine.tuples import Obj
 from repro.errors import ReproError
+from repro.obs.tracer import Tracer
 from repro.optimizer import OptimizerConfig
 from repro.optimizer.config import (
     ALL_IMPLEMENTATIONS,
@@ -112,13 +118,15 @@ class Shell:
             print(f"analyzed {args[0]}: {', '.join(analyzed)}")
         elif command == ".explain":
             rest = line[len(".explain") :].strip()
-            result = self.db.optimize(rest, config=self._config())
-            print(result.explain(costs=True))
+            if rest.startswith("analyze ") or rest == "analyze":
+                query = rest[len("analyze") :].strip()
+                print(self.db.explain(query, config=self._config(), analyze=True))
+            else:
+                result = self.db.optimize(rest, config=self._config())
+                print(result.explain(costs=True))
         elif command == ".trace":
             rest = line[len(".trace") :].strip()
-            result = self.db.optimize(rest, config=self._config())
-            for entry in result.search_trace:
-                print(f"  {entry}")
+            self._trace(rest)
         elif command == ".validate":
             from repro.optimizer.calibration import CostModelValidator
 
@@ -176,6 +184,31 @@ class Shell:
             print(f"enabled {args[0]}")
         else:
             print(f"unknown command {line!r}; try .help")
+
+    def _trace(self, text: str) -> None:
+        """Optimize ``text`` with an enabled tracer and print the trace.
+
+        Search states first (the paper's Figure 11 view), then the
+        structured events: a per-category summary with the rare,
+        decision-revealing ones (prunes, enforcers, warnings) in full.
+        The tracer is also attached to the database for the duration, so
+        library warnings that would otherwise be invisible route here.
+        """
+        tracer = Tracer()
+        previous = self.db.tracer
+        self.db.tracer = tracer
+        try:
+            result = self.db.optimize(text, config=self._config(), tracer=tracer)
+        finally:
+            self.db.tracer = previous
+        for entry in result.search_trace:
+            print(f"  {entry}")
+        counts = tracer.counts()
+        summary = ", ".join(f"{name} {n}" for name, n in sorted(counts.items()))
+        print(f"-- {len(tracer.events)} events ({summary}) --")
+        for event in tracer.events:
+            if event.category in ("prune", "enforcer", "warning", "phase"):
+                print(f"  {event.format()}")
 
     def _query(self, text: str) -> None:
         self._print_result(self.db.query(text, config=self._config()))
@@ -258,12 +291,20 @@ def main(argv: list[str] | None = None) -> int:
             shell.dispatch(options.command)
         else:
             shell.run()
+    except ReproError as exc:
+        # One-shot (-c) commands bypass the shell loop's error handling;
+        # report the failure and exit nonzero instead of dying with a
+        # traceback (interactive runs are handled inside Shell.run).
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except BrokenPipeError:
         # Output piped into a pager/head that closed early; normal exit.
         try:
             sys.stdout.close()
-        except Exception:
-            pass
+        except OSError as exc:
+            # Closing an already-broken pipe may fail again; stdout is
+            # gone, so say so on stderr rather than swallowing it.
+            print(f"warning: could not close stdout: {exc}", file=sys.stderr)
     return 0
 
 

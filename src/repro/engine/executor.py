@@ -9,6 +9,7 @@ from typing import Iterator
 from repro.engine import iterators
 from repro.engine.tuples import Row
 from repro.errors import ExecutionError
+from repro.obs.runtime import RunStatsCollector
 from repro.optimizer.plans import (
     AlgProjectNode,
     AlgUnnestNode,
@@ -33,13 +34,19 @@ from repro.storage.store import ObjectStore
 
 @dataclass
 class ExecutionResult:
-    """Rows plus the simulated and wall-clock costs of producing them."""
+    """Rows plus the simulated and wall-clock costs of producing them.
+
+    ``operator_stats`` is the per-operator runtime collector — populated
+    only on instrumented runs (``execute(..., collect_stats=True)``),
+    None otherwise.
+    """
 
     rows: list[Row]
     simulated_io_seconds: float
     page_reads: int
     buffer_hit_rate: float
     wall_seconds: float
+    operator_stats: "RunStatsCollector | None" = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -75,15 +82,27 @@ class Executor:
 
     # ------------------------------------------------------------------
 
-    def execute(self, plan: PhysicalNode, cold: bool = True) -> ExecutionResult:
-        """Run a plan to completion with fresh I/O accounting."""
+    def execute(
+        self,
+        plan: PhysicalNode,
+        cold: bool = True,
+        collect_stats: bool = False,
+    ) -> ExecutionResult:
+        """Run a plan to completion with fresh I/O accounting.
+
+        ``collect_stats=True`` additionally instruments every operator
+        (rows, ``next()`` time, per-operator buffer traffic) and attaches
+        the collector as ``ExecutionResult.operator_stats`` — the raw
+        material of EXPLAIN ANALYZE.
+        """
         # Build any needed indexes *before* resetting the clocks.
         for node in plan.walk():
             if isinstance(node, IndexScanNode):
                 self.runtime_index(node.index.name)
         self.store.reset_accounting(cold=cold)
+        collector = RunStatsCollector() if collect_stats else None
         started = time.perf_counter()
-        rows = list(self.rows(plan))
+        rows = list(self.rows(plan, collector))
         wall = time.perf_counter() - started
         stats = self.store.buffer.stats
         hit_rate = stats.hit_rate
@@ -93,10 +112,27 @@ class Executor:
             page_reads=self.store.disk.stats.page_reads,
             buffer_hit_rate=hit_rate,
             wall_seconds=wall,
+            operator_stats=collector,
         )
 
-    def rows(self, plan: PhysicalNode) -> Iterator[Row]:
-        """The plan's output stream (no accounting reset)."""
+    def rows(self, plan: PhysicalNode, collector=None) -> Iterator[Row]:
+        """The plan's output stream (no accounting reset).
+
+        With a :class:`repro.obs.runtime.RunStatsCollector`, every
+        operator's stream is wrapped in an instrumented iterator that
+        counts rows, times ``next()``, and attributes buffer traffic to
+        the operator via the pool's I/O scopes.  Without one (the
+        default), the plain generators run unwrapped — instrumentation
+        is strictly pay-for-use.
+        """
+        source = self._dispatch(plan, collector)
+        if collector is None:
+            return source
+        return iterators.instrumented(
+            source, collector.stats_for(plan), self.store.buffer
+        )
+
+    def _dispatch(self, plan: PhysicalNode, collector) -> Iterator[Row]:
         if isinstance(plan, FileScanNode):
             return iterators.file_scan(self.store, plan.collection, plan.var)
         if isinstance(plan, IndexScanNode):
@@ -108,47 +144,47 @@ class Executor:
                 plan.residual,
             )
         if isinstance(plan, FilterNode):
-            return iterators.filter_rows(self.rows(plan.children[0]), plan.predicate)
+            return iterators.filter_rows(self.rows(plan.children[0], collector), plan.predicate)
         if isinstance(plan, AssemblyNode):
             return iterators.assembly(
                 self.store,
-                self.rows(plan.children[0]),
+                self.rows(plan.children[0], collector),
                 plan.source,
                 plan.out,
                 plan.window,
             )
         if isinstance(plan, PointerJoinNode):
             return iterators.pointer_join(
-                self.store, self.rows(plan.children[0]), plan.source, plan.out
+                self.store, self.rows(plan.children[0], collector), plan.source, plan.out
             )
         if isinstance(plan, WarmStartAssemblyNode):
             return iterators.warm_start_assembly(
                 self.store,
-                self.rows(plan.children[0]),
+                self.rows(plan.children[0], collector),
                 plan.source,
                 plan.out,
                 plan.target_collection,
             )
         if isinstance(plan, AlgUnnestNode):
             return iterators.unnest(
-                self.rows(plan.children[0]), plan.var, plan.attr, plan.out
+                self.rows(plan.children[0], collector), plan.var, plan.attr, plan.out
             )
         if isinstance(plan, HashJoinNode):
             return iterators.hash_join(
-                self.rows(plan.children[0]),
-                self.rows(plan.children[1]),
+                self.rows(plan.children[0], collector),
+                self.rows(plan.children[1], collector),
                 plan.predicate,
             )
         if isinstance(plan, HashAntiJoinNode):
             return iterators.anti_join(
-                self.rows(plan.children[0]),
-                self.rows(plan.children[1]),
+                self.rows(plan.children[0], collector),
+                self.rows(plan.children[1], collector),
                 plan.predicate,
             )
         if isinstance(plan, MergeJoinNode):
             return iterators.merge_join(
-                self.rows(plan.children[0]),
-                self.rows(plan.children[1]),
+                self.rows(plan.children[0], collector),
+                self.rows(plan.children[1], collector),
                 plan.predicate,
                 plan.left_key,
                 plan.right_key,
@@ -158,24 +194,24 @@ class Executor:
             if order is None:
                 raise ExecutionError("sort node without an order key")
             return iterators.sort_rows(
-                self.rows(plan.children[0]),
+                self.rows(plan.children[0], collector),
                 order.var,
                 order.attr,
                 order.ascending,
             )
         if isinstance(plan, NestedLoopsNode):
             return iterators.nested_loops_join(
-                self.rows(plan.children[0]),
-                self.rows(plan.children[1]),
+                self.rows(plan.children[0], collector),
+                self.rows(plan.children[1], collector),
                 plan.predicate,
             )
         if isinstance(plan, AlgProjectNode):
             return iterators.project(
-                self.rows(plan.children[0]), plan.items, plan.distinct
+                self.rows(plan.children[0], collector), plan.items, plan.distinct
             )
         if isinstance(plan, HashGroupByNode):
             return iterators.group_by(
-                self.rows(plan.children[0]),
+                self.rows(plan.children[0], collector),
                 plan.keys,
                 plan.aggregates,
                 plan.order_output,
@@ -184,8 +220,8 @@ class Executor:
         if isinstance(plan, HashSetOpNode):
             return iterators.set_op(
                 plan.kind,
-                self.rows(plan.children[0]),
-                self.rows(plan.children[1]),
+                self.rows(plan.children[0], collector),
+                self.rows(plan.children[1], collector),
             )
         raise ExecutionError(f"no executor for plan node {plan.algorithm}")
 

@@ -16,6 +16,7 @@ The operators are faithful to the algorithms the optimizer costs:
 
 from __future__ import annotations
 
+import time
 from typing import Any, Iterable, Iterator
 
 from repro.algebra.operators import ProjectItem, RefSource, SetOpKind
@@ -38,6 +39,33 @@ from repro.errors import ExecutionError
 from repro.storage.index import IndexRuntime
 from repro.storage.objects import Oid
 from repro.storage.store import ObjectStore
+
+
+def instrumented(rows: Iterator[Row], stats, buffer=None) -> Iterator[Row]:
+    """Wrap one operator's row stream with runtime accounting.
+
+    ``stats`` is an :class:`repro.obs.runtime.OperatorRunStats` (duck-
+    typed: ``rows_out``, ``next_seconds``, ``io``).  Each pull from the
+    underlying iterator is timed (inclusive of children, as in SQL
+    EXPLAIN ANALYZE), and — when ``buffer`` is given — runs under the
+    operator's I/O scope so page hits/misses land on the operator whose
+    code issued them.  The wrapper only exists on instrumented runs;
+    normal execution never allocates it.
+    """
+    while True:
+        if buffer is not None:
+            buffer.push_io_scope(stats.io)
+        started = time.perf_counter()
+        try:
+            row = next(rows)
+        except StopIteration:
+            return
+        finally:
+            stats.next_seconds += time.perf_counter() - started
+            if buffer is not None:
+                buffer.pop_io_scope()
+        stats.rows_out += 1
+        yield row
 
 
 def file_scan(store: ObjectStore, collection: str, var: str) -> Iterator[Row]:
@@ -543,6 +571,7 @@ __all__ = [
     "filter_rows",
     "hash_join",
     "index_scan",
+    "instrumented",
     "nested_loops_join",
     "pointer_join",
     "project",

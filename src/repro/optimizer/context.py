@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.catalog.catalog import Catalog
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.optimizer.config import OptimizerConfig
 from repro.optimizer.cost import CostModel
 from repro.optimizer.logical_props import QueryVars, tuple_width_bytes
@@ -24,6 +25,9 @@ class OptimizeContext:
     selectivity: SelectivityModel
     query_vars: QueryVars
     config: OptimizerConfig
+    # Search-observability sink; the shared disabled instance by default,
+    # so un-traced optimizations pay one `enabled` check per event site.
+    tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
 
     # ------------------------------------------------------------------
     # Derived helpers

@@ -21,6 +21,7 @@ from repro.algebra.operators import LogicalOp
 from repro.algebra.scopes import derive_scope
 from repro.catalog.catalog import Catalog
 from repro.errors import OptimizerError
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.optimizer.logical_props import LogicalProps
 from repro.optimizer.selectivity import SelectivityModel
 
@@ -66,9 +67,15 @@ class Group:
 class Memo:
     """Groups, dedup index, and union-find merging."""
 
-    def __init__(self, catalog: Catalog, selectivity: SelectivityModel) -> None:
+    def __init__(
+        self,
+        catalog: Catalog,
+        selectivity: SelectivityModel,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
         self.catalog = catalog
         self.selectivity = selectivity
+        self.tracer = tracer
         self._groups: list[Group] = []
         self._parent: list[int] = []
         self._index: dict[tuple, int] = {}
@@ -142,6 +149,14 @@ class Memo:
             gid = len(self._groups)
             self._groups.append(Group(gid, props))
             self._parent.append(gid)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "memo",
+                    "new-group",
+                    gid=gid,
+                    op=type(op).__name__,
+                    cardinality=props.cardinality,
+                )
         else:
             gid = self.find(target_gid)
         self._groups[gid].mexprs.append(mexpr)
@@ -163,6 +178,8 @@ class Memo:
         self._parent[drop] = keep
         self._groups[keep].version += 1
         self.merge_count += 1
+        if self.tracer.enabled:
+            self.tracer.event("memo", "merge", keep=keep, drop=drop)
 
     def dedup_group(self, gid: int) -> None:
         """Re-canonicalize one group's m-exprs after merges."""

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 
 from repro.algebra.operators import LogicalOp, Project, SetOp
 from repro.catalog.catalog import Catalog
+from repro.obs.tracer import NULL_TRACER, TraceEvent, Tracer
 from repro.optimizer.config import OptimizerConfig
 from repro.optimizer.context import OptimizeContext
 from repro.optimizer.cost import Cost, CostModel
@@ -32,6 +33,9 @@ class OptimizationResult:
     # One line per optimization task: goal properties and the winning
     # algorithm (the paper's Figure 11 search states, made observable).
     search_trace: tuple[str, ...] = ()
+    # Structured tracer events (rule firings, memo merges, prunes,
+    # enforcer applications); empty unless a tracer was passed in.
+    trace_events: tuple[TraceEvent, ...] = ()
 
     def explain(self, costs: bool = False) -> str:
         """Header (time, cost, search size) plus the rendered plan."""
@@ -90,12 +94,20 @@ class Optimizer:
         required: PhysProps | None = None,
         result_vars: tuple[str, ...] = (),
         order: tuple[str, str | None, bool] | None = None,
+        tracer: Tracer | None = None,
     ) -> OptimizationResult:
-        """Optimize a logical expression into its cheapest physical plan."""
+        """Optimize a logical expression into its cheapest physical plan.
+
+        Passing an enabled ``tracer`` records every rule firing, memo
+        group creation/merge, branch-and-bound prune, and enforcer
+        application; the events also land on the result's
+        ``trace_events``.  Without one, tracing costs nothing.
+        """
+        tracer = tracer if tracer is not None else NULL_TRACER
         started = time.perf_counter()
         query_vars = build_query_vars(logical, self.catalog)
         selectivity = SelectivityModel(self.catalog, query_vars)
-        memo = Memo(self.catalog, selectivity)
+        memo = Memo(self.catalog, selectivity, tracer=tracer)
         root_gid = memo.insert_expression(logical)
         ctx = OptimizeContext(
             memo=memo,
@@ -104,6 +116,7 @@ class Optimizer:
             selectivity=selectivity,
             query_vars=query_vars,
             config=self.config,
+            tracer=tracer,
         )
         from repro.optimizer.implementations import ALL_RULES as IMPLS
         from repro.optimizer.transformations import ALL_RULES as TRANSFORMS
@@ -113,10 +126,12 @@ class Optimizer:
             transformations=TRANSFORMS + self.extra_transformations,
             implementations=IMPLS + self.extra_implementations,
         )
-        engine.explore()
+        with tracer.span("phase", "explore"):
+            engine.explore()
         if required is None:
             required = default_required_props(logical, result_vars, order)
-        plan = engine.best_plan(root_gid, required)
+        with tracer.span("phase", "optimize"):
+            plan = engine.best_plan(root_gid, required)
         elapsed = time.perf_counter() - started
         return OptimizationResult(
             plan=plan,
@@ -127,6 +142,7 @@ class Optimizer:
             logical=logical,
             required=required,
             search_trace=tuple(engine.trace),
+            trace_events=tuple(tracer.events),
         )
 
 

@@ -87,6 +87,9 @@ class SearchEngine:
         # The observable trace of optimization goals and winners — the
         # paper's Figure 11 "state of the search", one line per task.
         self.trace: list[str] = []
+        # Structured event sink (rule firings, prunes, enforcers); the
+        # shared disabled tracer unless the caller asked for a trace.
+        self.tracer = ctx.tracer
 
     # ------------------------------------------------------------------
     # Phase 1: exhaustive logical exploration
@@ -120,6 +123,14 @@ class SearchEngine:
                             memo.insert_tree(tree, target_gid=group.gid)
                             if memo.mexpr_count > before:
                                 changed = True
+                            if self.tracer.enabled:
+                                self.tracer.event(
+                                    "rule",
+                                    rule.name,
+                                    group=group.gid,
+                                    expr=mexpr.op.describe(),
+                                    new=memo.mexpr_count > before,
+                                )
             if not changed:
                 break
         for group in memo.groups():
@@ -174,7 +185,9 @@ class SearchEngine:
                     break
                 for candidate in rule.candidates(mexpr, group, required, self.ctx):
                     self.stats.candidates_costed += 1
-                    plan = self._complete_candidate(candidate, best_cost, prune)
+                    plan = self._complete_candidate(
+                        candidate, best_cost, prune, rule.name
+                    )
                     if plan is None or not plan.delivered.satisfies(required):
                         continue
                     completed += 1
@@ -207,17 +220,29 @@ class SearchEngine:
         self.trace.append(
             f"optimize(group {gid} [{top}], require {required}) -> {outcome}"
         )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "task",
+                f"group-{gid}",
+                op=top,
+                required=str(required),
+                winner=best.algorithm if best is not None else None,
+                cost=best.total_cost.total if best is not None else None,
+            )
         if best is not None and best.total_cost.total > limit:
             return None
         return best
 
-    def _complete_candidate(self, candidate, budget: float, prune: bool):
+    def _complete_candidate(
+        self, candidate, budget: float, prune: bool, rule_name: str = ""
+    ):
         if prune:
             # prune_factor < 1 is the aggressive (epsilon) pruning knob:
             # alternatives must promise a real improvement to be pursued.
             budget = budget * self.ctx.config.prune_factor
         accumulated = candidate.local_cost.total
         if prune and accumulated > budget:
+            self._trace_prune(candidate, rule_name, accumulated, budget, "local-cost")
             return None
         child_plans: list[PhysicalNode] = []
         for child_gid, child_req in candidate.child_reqs:
@@ -228,8 +253,27 @@ class SearchEngine:
             child_plans.append(plan)
             accumulated += plan.total_cost.total
             if prune and accumulated > budget:
+                self._trace_prune(
+                    candidate, rule_name, accumulated, budget, "accumulated"
+                )
                 return None
         return candidate.build(tuple(child_plans))
+
+    def _trace_prune(
+        self, candidate, rule_name: str, losing_cost: float, budget: float, why: str
+    ) -> None:
+        """Record one branch-and-bound prune with the cost that lost."""
+        if self.tracer.enabled:
+            name = rule_name or "candidate"
+            if candidate.note:
+                name = f"{name}[{candidate.note}]"
+            self.tracer.event(
+                "prune",
+                name,
+                losing_cost=losing_cost,
+                budget=budget,
+                reason=why,
+            )
 
     # ------------------------------------------------------------------
     # Enforcers (assembly for presence-in-memory)
@@ -262,6 +306,14 @@ class SearchEngine:
         sub = self.optimize(gid, child_req, child_limit)
         if sub is None:
             return None
+        if self.tracer.enabled:
+            self.tracer.event(
+                "enforcer",
+                "sort",
+                group=gid,
+                order=str(order),
+                cost=sort_cost.total,
+            )
         return SortNode(
             children=(sub,),
             delivered=sub.delivered.with_order(order),
@@ -300,6 +352,15 @@ class SearchEngine:
             if sub is None:
                 continue
             self.stats.enforcer_applications += 1
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "enforcer",
+                    "assembly",
+                    group=gid,
+                    var=var,
+                    source=str(source),
+                    cost=enforce_cost.total,
+                )
             node = AssemblyNode(
                 source,
                 var,

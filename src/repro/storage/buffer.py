@@ -32,20 +32,36 @@ class BufferStats:
 
 @dataclass
 class BufferPool:
-    """A page-granularity LRU cache in front of the disk simulator."""
+    """A page-granularity LRU cache in front of the disk simulator.
+
+    Besides the global hit/miss counters, the pool keeps a stack of
+    *I/O scopes*: while a scope is pushed, every page request is also
+    attributed to the top scope's counters.  The executor pushes one
+    scope per plan operator around each ``next()`` call, which is how
+    EXPLAIN ANALYZE attributes buffer traffic to the operator whose code
+    issued it (exclusive attribution — parents are not charged for their
+    children's reads).
+    """
 
     disk: DiskSimulator
     capacity: int = DEFAULT_POOL_PAGES
     stats: BufferStats = field(default_factory=BufferStats)
     _frames: OrderedDict[int, None] = field(default_factory=OrderedDict)
+    # Stack of objects with `hits`/`misses` attributes (duck-typed so the
+    # storage layer needs no dependency on repro.obs).
+    _io_scopes: list = field(default_factory=list)
 
     def read_page(self, page_id: int) -> float:
         """Bring a page in; returns simulated ms spent (0 on a hit)."""
         if page_id in self._frames:
             self._frames.move_to_end(page_id)
             self.stats.hits += 1
+            if self._io_scopes:
+                self._io_scopes[-1].hits += 1
             return 0.0
         self.stats.misses += 1
+        if self._io_scopes:
+            self._io_scopes[-1].misses += 1
         cost = self.disk.read(page_id)
         self._frames[page_id] = None
         if len(self._frames) > self.capacity:
@@ -55,9 +71,25 @@ class BufferPool:
     def contains(self, page_id: int) -> bool:
         return page_id in self._frames
 
-    def flush(self) -> None:
-        """Empty the pool (used between benchmark runs for cold-cache numbers)."""
+    def push_io_scope(self, scope) -> None:
+        """Attribute subsequent page requests to ``scope`` (hits/misses)."""
+        self._io_scopes.append(scope)
+
+    def pop_io_scope(self) -> None:
+        """Stop attributing to the most recently pushed scope."""
+        self._io_scopes.pop()
+
+    def flush(self, reset_stats: bool = False) -> None:
+        """Empty the pool (between benchmark runs, for cold-cache numbers).
+
+        ``flush()`` alone only drops the *frames*; the hit/miss counters
+        survive, so a "cold" rerun measured right after a warm one would
+        still report the warm run's hits.  Pass ``reset_stats=True`` to
+        also zero the counters (what cold-run accounting wants).
+        """
         self._frames.clear()
+        if reset_stats:
+            self.reset_stats()
 
     def reset_stats(self) -> None:
         self.stats = BufferStats()

@@ -183,9 +183,10 @@ class ObjectStore:
     def reset_accounting(self, cold: bool = True) -> None:
         """Zero the I/O clocks; optionally also empty the buffer pool."""
         self.disk.reset_stats()
-        self.buffer.reset_stats()
         if cold:
-            self.buffer.flush()
+            self.buffer.flush(reset_stats=True)
+        else:
+            self.buffer.reset_stats()
 
     @property
     def simulated_seconds(self) -> float:

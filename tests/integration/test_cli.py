@@ -4,7 +4,6 @@ import io
 
 import pytest
 
-from repro.api import Database
 from repro.cli import Shell
 
 
@@ -119,6 +118,27 @@ class TestExtendedCommands:
         )
         assert "optimize(group" in output
         assert "require {c, c.mayor}" in output
+
+    def test_trace_prints_event_summary(self, shell):
+        output = run_lines(
+            shell,
+            ".index ixm Cities mayor.name",
+            ".trace SELECT c.mayor.age, c.name FROM c IN Cities "
+            "WHERE c.mayor.name == 'Joe'",
+        )
+        assert "events (" in output
+        assert "enforcer assembly" in output
+
+    def test_explain_analyze_command(self, shell):
+        output = run_lines(
+            shell,
+            ".explain analyze SELECT c.name FROM c IN Cities "
+            "WHERE c.population >= 900000",
+        )
+        assert "EXPLAIN ANALYZE" in output
+        assert "est " in output
+        assert "act " in output
+        assert "hits" in output
 
     def test_validate_command(self, shell):
         output = run_lines(shell, ".validate")

@@ -8,7 +8,7 @@ can be added or dropped "without having to recompile".
 import pytest
 
 from repro.errors import OptimizerError
-from repro.optimizer.dynamic import DynamicPlanner, MAX_DYNAMIC_INDEXES
+from repro.optimizer.dynamic import MAX_DYNAMIC_INDEXES
 from repro.optimizer.plans import IndexScanNode
 
 from tests.conftest import QUERY_2, QUERY_4

@@ -2,8 +2,6 @@
 navigation over the raw store (ground truth independent of the whole
 optimizer/engine stack)."""
 
-import pytest
-
 from repro.storage.datagen import DALLAS, FRED, JOE, QUERY4_TIME
 
 from tests.conftest import QUERY_1, QUERY_2, QUERY_3, QUERY_4

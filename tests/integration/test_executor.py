@@ -1,8 +1,6 @@
 """Executor validation: simulated I/O behaviour matches the cost model's
 structural claims (estimates and simulations agree in *shape*)."""
 
-import pytest
-
 from repro.optimizer import OptimizerConfig
 from repro.optimizer import config as C
 

@@ -15,7 +15,6 @@ from repro.optimizer.plans import (
     AssemblyNode,
     FileScanNode,
     FilterNode,
-    HashJoinNode,
     IndexScanNode,
     PhysicalNode,
     PointerJoinNode,

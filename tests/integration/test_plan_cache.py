@@ -74,6 +74,36 @@ class TestTransparentCaching:
         assert len(db.plan_cache) == 2
         assert db.plan_cache.stats.evictions == 1
 
+    def test_eviction_counters_under_churn(self):
+        """Distinct query shapes churning a tiny cache: every insert past
+        capacity evicts exactly one entry, stores count every insert, and
+        occupancy never exceeds capacity."""
+        db = Database.sample(scale=SCALE, populate=False)
+        db.plan_cache = PlanCache(capacity=3)
+        shapes = [
+            "SELECT e.name FROM Employee e IN Employees WHERE e.age == {k}",
+            "SELECT e.name FROM Employee e IN Employees WHERE e.age < {k}",
+            "SELECT e.name FROM Employee e IN Employees WHERE e.age > {k}",
+            "SELECT e.name FROM Employee e IN Employees WHERE e.age <= {k}",
+            "SELECT e.name FROM Employee e IN Employees WHERE e.age >= {k}",
+            "SELECT e.name FROM Employee e IN Employees WHERE e.age != {k}",
+        ]
+        for shape in shapes:
+            db.query(shape.format(k=1), execute=False)
+            assert len(db.plan_cache) <= 3
+        stats = db.plan_cache.stats
+        assert stats.stores == len(shapes)
+        assert stats.evictions == len(shapes) - 3
+        assert len(db.plan_cache) == 3
+        # Churn did not corrupt LRU order: the three newest shapes remain
+        # and still hit (constants differ, so these are re-bind hits).
+        hits_before = stats.hits
+        for shape in shapes[-3:]:
+            result = db.query(shape.format(k=2), execute=False)
+            assert result.cache.outcome == "hit"
+        assert stats.hits == hits_before + 3
+        assert stats.evictions == len(shapes) - 3  # hits never evict
+
 
 class TestInvalidation:
     def test_create_index_invalidates_and_replans(self, fresh_db):

@@ -10,7 +10,6 @@ from repro.algebra.predicates import (
     Conjunction,
     Const,
     FieldRef,
-    SelfOid,
 )
 from repro.engine.iterators import anti_join, hash_join
 from repro.engine.tuples import Obj

@@ -18,8 +18,7 @@ from repro.catalog.sample_db import (
     index_tasks_time,
 )
 from repro.lang.parser import parse_query
-from repro.optimizer import Optimizer, OptimizerConfig
-from repro.optimizer.config import OptimizerConfig as _Cfg
+from repro.optimizer import OptimizerConfig
 from repro.optimizer.context import OptimizeContext
 from repro.optimizer.cost import CostModel
 from repro.optimizer.logical_props import build_query_vars

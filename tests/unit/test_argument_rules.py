@@ -1,7 +1,5 @@
 """Unit tests for the Lesson 9 argument transformation rules."""
 
-import pytest
-
 from repro.algebra.predicates import (
     CompOp,
     Comparison,
@@ -11,16 +9,7 @@ from repro.algebra.predicates import (
     RefAttr,
     SelfOid,
 )
-from repro.simplify.argument_rules import (
-    ALL_RULES,
-    DEFAULT_RULES,
-    DropTautologies,
-    FoldConstants,
-    NormalizedPredicate,
-    PropagateEqualities,
-    TightenBounds,
-    normalize_predicate,
-)
+from repro.simplify.argument_rules import ALL_RULES, normalize_predicate
 
 POP = FieldRef("c", "population")
 NAME = FieldRef("c", "name")

@@ -61,3 +61,82 @@ class TestBufferPool:
             for page in (1, 2, 3):
                 pool.read_page(page)
         assert pool.disk.stats.page_reads == 3
+
+
+class TestEvictionBoundaries:
+    """LRU behaviour at exactly capacity and exactly capacity + 1 pages."""
+
+    def test_exactly_capacity_no_eviction(self, pool):
+        for page in (1, 2, 3, 4):  # capacity is 4
+            pool.read_page(page)
+        assert pool.resident_pages == 4
+        for page in (1, 2, 3, 4):
+            assert pool.contains(page)
+        # Touching every page again is all hits — nothing was evicted.
+        for page in (1, 2, 3, 4):
+            assert pool.read_page(page) == 0.0
+        assert pool.stats.misses == 4
+        assert pool.stats.hits == 4
+
+    def test_capacity_plus_one_evicts_exactly_lru(self, pool):
+        for page in (1, 2, 3, 4, 5):  # one over capacity
+            pool.read_page(page)
+        assert pool.resident_pages == 4
+        assert not pool.contains(1)  # only the LRU page went
+        for page in (2, 3, 4, 5):
+            assert pool.contains(page)
+
+    def test_capacity_one_pool(self):
+        from repro.storage.disk import DiskSimulator
+
+        pool = BufferPool(DiskSimulator(span_pages=100), capacity=1)
+        pool.read_page(1)
+        assert pool.contains(1)
+        pool.read_page(2)
+        assert not pool.contains(1)
+        assert pool.contains(2)
+        assert pool.resident_pages == 1
+
+
+class TestFlushStats:
+    """flush() must not silently carry warm counters into 'cold' runs."""
+
+    def test_flush_keeps_stats_by_default(self, pool):
+        pool.read_page(1)
+        pool.read_page(1)
+        pool.flush()
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+
+    def test_flush_reset_stats(self, pool):
+        pool.read_page(1)
+        pool.read_page(1)
+        pool.flush(reset_stats=True)
+        assert pool.stats.hits == 0
+        assert pool.stats.misses == 0
+        assert pool.resident_pages == 0
+        # The next run really is cold: first access faults again.
+        assert pool.read_page(1) > 0.0
+        assert pool.stats.misses == 1
+
+
+class TestIOScopes:
+    """Per-operator attribution via the I/O scope stack."""
+
+    def test_top_scope_gets_attribution(self, pool):
+        from repro.obs.runtime import OperatorIOStats
+
+        outer, inner = OperatorIOStats(), OperatorIOStats()
+        pool.push_io_scope(outer)
+        pool.read_page(1)  # miss -> outer
+        pool.push_io_scope(inner)
+        pool.read_page(1)  # hit -> inner (exclusive: not outer)
+        pool.read_page(2)  # miss -> inner
+        pool.pop_io_scope()
+        pool.read_page(2)  # hit -> outer
+        pool.pop_io_scope()
+        pool.read_page(3)  # no scope: global stats only
+        assert (outer.hits, outer.misses) == (1, 1)
+        assert (inner.hits, inner.misses) == (1, 1)
+        assert inner.page_reads == 1
+        assert (pool.stats.hits, pool.stats.misses) == (2, 3)

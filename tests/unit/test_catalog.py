@@ -4,7 +4,7 @@ import pytest
 
 from repro.catalog.catalog import Catalog, IndexDef, extent_name
 from repro.catalog.sample_db import build_catalog, build_schema
-from repro.catalog.statistics import AttributeStats, CollectionStats
+from repro.catalog.statistics import CollectionStats
 from repro.errors import CatalogError
 
 

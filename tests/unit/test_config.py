@@ -1,7 +1,5 @@
 """Unit tests for optimizer configuration semantics."""
 
-import pytest
-
 from repro.optimizer import config as C
 from repro.optimizer.config import OptimizerConfig
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.optimizer.cost import Cost, CostModel, CostParams, yao_distinct_pages
+from repro.optimizer.cost import Cost, CostModel, yao_distinct_pages
 
 
 @pytest.fixture(scope="module")

@@ -10,12 +10,10 @@ from repro.algebra.predicates import (
     Const,
     FieldRef,
     SelfOid,
-    VarRef,
 )
 from repro.catalog.catalog import Catalog, IndexDef, extent_name
 from repro.catalog.schema import Schema, TypeDef, ref, scalar, set_ref
 from repro.engine import iterators as it
-from repro.engine.tuples import Obj
 from repro.storage.index import IndexRuntime
 from repro.storage.store import ObjectStore
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.algebra.operators import ProjectItem, RefSource
+from repro.algebra.operators import RefSource
 from repro.algebra.predicates import (
     CompOp,
     Comparison,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.algebra.operators import (
-    Get,
     Join,
     Mat,
     Project,
@@ -13,15 +12,13 @@ from repro.algebra.operators import (
     Unnest,
 )
 from repro.algebra.predicates import (
-    Conjunction,
     FieldRef,
     ObjectTerm,
     RefAttr,
     SelfOid,
-    VarRef,
 )
 from repro.catalog.sample_db import build_catalog
-from repro.errors import QueryTypeError, SimplificationError
+from repro.errors import QueryTypeError
 from repro.lang.parser import parse_query
 from repro.simplify.simplifier import simplify, simplify_full
 

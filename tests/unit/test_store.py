@@ -4,7 +4,6 @@ import pytest
 
 from repro.catalog.catalog import Catalog, extent_name
 from repro.catalog.schema import Schema, TypeDef, ref, scalar
-from repro.catalog.statistics import CollectionStats
 from repro.errors import StorageError
 from repro.storage.objects import Oid
 from repro.storage.store import ObjectStore

@@ -1,0 +1,77 @@
+"""Unit tests for the span/event tracer (repro.obs.tracer)."""
+
+from repro.obs.tracer import NULL_TRACER, TraceEvent, Tracer
+
+
+class TestTracer:
+    def test_event_recording(self):
+        tracer = Tracer()
+        tracer.event("rule", "mat-commute", group=3, new=True)
+        tracer.event("enforcer", "assembly", var="c.mayor")
+        assert len(tracer.events) == 2
+        first = tracer.events[0]
+        assert first.seq == 0
+        assert first.category == "rule"
+        assert first.get("group") == 3
+        assert first.get("missing", "fallback") == "fallback"
+
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.event("rule", "anything", detail=1)
+        tracer.warning("w", "message")
+        with tracer.span("phase", "explore"):
+            pass
+        assert tracer.events == []
+
+    def test_null_tracer_is_disabled_and_shared(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.event("rule", "x")
+        assert NULL_TRACER.events == []
+
+    def test_disabled_span_is_shared_instance(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("a", "b") is tracer.span("c", "d")
+
+    def test_span_measures_seconds(self):
+        tracer = Tracer()
+        with tracer.span("phase", "explore"):
+            pass
+        (event,) = tracer.events
+        assert event.category == "phase"
+        assert event.name == "explore"
+        assert isinstance(event.get("seconds"), float)
+        assert event.get("seconds") >= 0.0
+
+    def test_warning_category(self):
+        tracer = Tracer()
+        tracer.warning("type-statistics", "skipping X", type="X")
+        (event,) = tracer.events
+        assert event.category == "warning"
+        assert event.get("message") == "skipping X"
+
+    def test_events_in_and_counts(self):
+        tracer = Tracer()
+        tracer.event("rule", "a")
+        tracer.event("rule", "b")
+        tracer.event("memo", "merge")
+        assert [e.name for e in tracer.events_in("rule")] == ["a", "b"]
+        assert tracer.counts() == {"rule": 2, "memo": 1}
+
+    def test_format_lines(self):
+        tracer = Tracer()
+        tracer.event("prune", "hash-join", losing_cost=1.25, budget=1.0)
+        line = tracer.format()
+        assert "prune" in line
+        assert "hash-join" in line
+        assert "losing_cost=1.2500" in line
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.event("rule", "a")
+        tracer.clear()
+        assert tracer.events == []
+
+    def test_event_is_immutable_record(self):
+        event = TraceEvent(0, "rule", "x", (("k", 1),))
+        assert event.get("k") == 1
+        assert "rule" in event.format()

@@ -7,8 +7,6 @@ suites; here we verify each rule fires exactly when its preconditions
 hold.
 """
 
-import pytest
-
 from repro.algebra.operators import (
     Get,
     Join,
