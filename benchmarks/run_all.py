@@ -3,12 +3,17 @@
 regenerated paper tables/figures in sequence.
 
 Equivalent to ``pytest benchmarks/ --benchmark-only`` minus the timing
-table; useful for a quick visual diff against the paper.
+table; useful for a quick visual diff against the paper.  Per-module
+wall times are written to a machine-readable JSON file
+(``BENCH_ALL.json`` by default) for archiving as a CI artifact.
 """
 
 from __future__ import annotations
 
+import argparse
 import importlib
+import json
+import platform
 import sys
 import time
 
@@ -29,19 +34,44 @@ MODULES = [
     "bench_search_scalability",
     "bench_cost_validation",
     "bench_ablation_argrules",
+    "bench_plan_cache",
+    "bench_explain_analyze",
+    "bench_parallel",
 ]
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default="BENCH_ALL.json",
+        help="where to write per-module timings (default: BENCH_ALL.json)",
+    )
+    args = parser.parse_args(argv)
+
     started = time.perf_counter()
+    timings: dict[str, float] = {}
     for name in MODULES:
         print("=" * 78)
         print(f"== {name}")
         print("=" * 78)
+        module_started = time.perf_counter()
         module = importlib.import_module(name)
         module.main()
+        timings[name] = round(time.perf_counter() - module_started, 3)
         print()
-    print(f"all experiments regenerated in {time.perf_counter() - started:.1f}s")
+
+    total = time.perf_counter() - started
+    payload = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "modules": timings,
+        "total_seconds": round(total, 3),
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"all experiments regenerated in {total:.1f}s; wrote {args.output}")
     return 0
 
 

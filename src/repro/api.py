@@ -303,7 +303,7 @@ class Database:
         text = query if isinstance(query, str) else str(query)
         optimization = self.optimize(query, config, tracer=tracer)
         execution = self.executor.execute(
-            optimization.plan, cold=cold, collect_stats=True
+            optimization.plan, cold=cold, collect_stats=True, tracer=tracer
         )
         return build_report(
             text,
@@ -341,6 +341,7 @@ class Database:
         config: OptimizerConfig | None = None,
         execute: bool = True,
         use_cache: bool | None = None,
+        parallelism: int | None = None,
     ) -> QueryResult:
         """Parse, simplify, optimize, and (by default) execute a query.
 
@@ -349,7 +350,14 @@ class Database:
         constants reuse the cached plan (re-bound to today's constants)
         instead of re-running the optimizer.  ``use_cache=False`` (or
         ``db.cache_plans = False``) opts out of both lookup and store.
+
+        ``parallelism=N`` offers N-worker exchange plans to the search
+        (the cost model decides whether they pay off; small inputs stay
+        serial).  The parallelism degree is part of the effective config,
+        so cached serial and parallel plans never collide.
         """
+        if parallelism is not None:
+            config = (config or self.config).with_parallelism(parallelism)
         parameterized = parameterize(self.parse(text), auto=True)
         if parameterized.user_param_names:
             names = ", ".join(f"${n}" for n in parameterized.user_param_names)

@@ -25,6 +25,7 @@ This module is that layer:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 
@@ -104,7 +105,12 @@ class CacheEntry:
 
 
 class PlanCache:
-    """Bounded LRU mapping of fingerprints to optimized plans."""
+    """Bounded LRU mapping of fingerprints to optimized plans.
+
+    Thread-safe: concurrent ``Database.query`` calls may share one cache,
+    so lookups (which mutate LRU order and counters) and stores run under
+    a single reentrant lock.
+    """
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         if capacity <= 0:
@@ -112,9 +118,11 @@ class PlanCache:
         self.capacity = capacity
         self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
         self.stats = CacheStats()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def lookup(self, key: str, catalog: Catalog) -> tuple[CacheEntry | None, str]:
         """Find a live entry for ``key`` under the current catalog.
@@ -124,30 +132,34 @@ class PlanCache:
         (counted as an invalidation) unless its dynamic plan can be
         re-selected for the surviving index set.
         """
-        entry = self._entries.get(key)
-        if entry is None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None, "miss"
+            if entry.catalog_version == catalog.version:
+                self._record_hit(entry)
+                return entry, "hit"
+            if (
+                entry.dynamic is not None
+                and entry.stats_version == catalog.stats_version
+            ):
+                available = frozenset(ix.name for ix in catalog.indexes())
+                if available <= entry.dynamic.considered:
+                    # Index-only drift within the compiled scenarios: swap
+                    # in the matching scenario plan and revalidate.
+                    chosen = entry.dynamic.choose_for(catalog)
+                    entry.optimization = replace(
+                        entry.optimization, plan=chosen, cost=chosen.total_cost
+                    )
+                    entry.catalog_version = catalog.version
+                    self._record_hit(entry)
+                    self.stats.reselects += 1
+                    return entry, "reselect"
+            del self._entries[key]
+            self.stats.invalidations += 1
             self.stats.misses += 1
             return None, "miss"
-        if entry.catalog_version == catalog.version:
-            self._record_hit(entry)
-            return entry, "hit"
-        if entry.dynamic is not None and entry.stats_version == catalog.stats_version:
-            available = frozenset(ix.name for ix in catalog.indexes())
-            if available <= entry.dynamic.considered:
-                # Index-only drift within the compiled scenarios: swap in
-                # the matching scenario plan and revalidate the entry.
-                chosen = entry.dynamic.choose_for(catalog)
-                entry.optimization = replace(
-                    entry.optimization, plan=chosen, cost=chosen.total_cost
-                )
-                entry.catalog_version = catalog.version
-                self._record_hit(entry)
-                self.stats.reselects += 1
-                return entry, "reselect"
-        del self._entries[key]
-        self.stats.invalidations += 1
-        self.stats.misses += 1
-        return None, "miss"
 
     def _record_hit(self, entry: CacheEntry) -> None:
         entry.hits += 1
@@ -157,29 +169,32 @@ class PlanCache:
 
     def store(self, entry: CacheEntry) -> None:
         """Insert (or replace) an entry, evicting the LRU tail if full."""
-        if entry.key in self._entries:
-            del self._entries[entry.key]
-        elif len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-        self._entries[entry.key] = entry
-        self.stats.stores += 1
+        with self._lock:
+            if entry.key in self._entries:
+                del self._entries[entry.key]
+            elif len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            self._entries[entry.key] = entry
+            self.stats.stores += 1
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def entries(self) -> tuple[CacheEntry, ...]:
         """Current entries, least- to most-recently used."""
-        return tuple(self._entries.values())
+        with self._lock:
+            return tuple(self._entries.values())
 
     def describe(self) -> str:
         """Counters plus one line per cached entry (for the CLI)."""
         lines = [
-            f"plan cache: {len(self._entries)}/{self.capacity} entries, "
+            f"plan cache: {len(self)}/{self.capacity} entries, "
             + self.stats.describe()
         ]
-        for entry in self._entries.values():
+        for entry in self.entries():
             kind = "dynamic" if entry.dynamic is not None else "static"
             fingerprint = entry.key.split("\x00", 1)[0]
             if len(fingerprint) > 72:

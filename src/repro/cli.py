@@ -26,6 +26,9 @@ Dot-commands:
 ``.exec NAME p=v ...``    execute a prepared query with bound values
 ``.rules``           list togglable rule names
 ``.disable NAME``    disable a rule for the session ( .enable to undo )
+``.parallel N``      offer N-worker exchange plans to the optimizer for
+                     subsequent queries ( .parallel 1 returns to serial;
+                     bare .parallel shows the current degree )
 ``.quit``            leave
 ===================  ====================================================
 
@@ -47,6 +50,7 @@ from repro.optimizer.config import (
     ALL_IMPLEMENTATIONS,
     ALL_TRANSFORMATIONS,
     ASSEMBLY_ENFORCER,
+    EXCHANGE_ENFORCER,
     SORT_ENFORCER,
 )
 
@@ -61,6 +65,7 @@ class Shell:
         self.db = db
         self.disabled: set[str] = set()
         self.prepared: dict[str, object] = {}
+        self.parallelism = 1
 
     # ------------------------------------------------------------------
 
@@ -94,7 +99,11 @@ class Shell:
     # ------------------------------------------------------------------
 
     def _config(self) -> OptimizerConfig:
-        return OptimizerConfig().without(*self.disabled)
+        return (
+            OptimizerConfig()
+            .without(*self.disabled)
+            .with_parallelism(self.parallelism)
+        )
 
     def _command(self, line: str) -> None:
         parts = line.split()
@@ -172,7 +181,7 @@ class Shell:
             for name in (
                 ALL_TRANSFORMATIONS
                 + ALL_IMPLEMENTATIONS
-                + (ASSEMBLY_ENFORCER, SORT_ENFORCER)
+                + (ASSEMBLY_ENFORCER, SORT_ENFORCER, EXCHANGE_ENFORCER)
             ):
                 marker = " (disabled)" if name in self.disabled else ""
                 print(f"  {name}{marker}")
@@ -182,6 +191,21 @@ class Shell:
         elif command == ".enable" and len(args) == 1:
             self.disabled.discard(args[0])
             print(f"enabled {args[0]}")
+        elif command == ".parallel" and len(args) <= 1:
+            if not args:
+                print(f"parallelism: {self.parallelism}")
+                return
+            try:
+                degree = int(args[0])
+            except ValueError:
+                print(f"error: expected a worker count, got {args[0]!r}")
+                return
+            if degree < 1:
+                print("error: parallelism must be >= 1")
+                return
+            self.parallelism = degree
+            label = "serial" if degree == 1 else f"{degree} workers"
+            print(f"parallelism set to {degree} ({label})")
         else:
             print(f"unknown command {line!r}; try .help")
 

@@ -6,14 +6,16 @@ import time
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.engine import iterators
+from repro.engine import iterators, parallel
 from repro.engine.tuples import Row
 from repro.errors import ExecutionError
 from repro.obs.runtime import RunStatsCollector
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.optimizer.plans import (
     AlgProjectNode,
     AlgUnnestNode,
     AssemblyNode,
+    ExchangeNode,
     FileScanNode,
     FilterNode,
     HashAntiJoinNode,
@@ -23,6 +25,7 @@ from repro.optimizer.plans import (
     IndexScanNode,
     MergeJoinNode,
     NestedLoopsNode,
+    PartitionedScanNode,
     PhysicalNode,
     PointerJoinNode,
     SortNode,
@@ -63,6 +66,9 @@ class Executor:
     def __init__(self, store: ObjectStore) -> None:
         self.store = store
         self._indexes: dict[str, IndexRuntime] = {}
+        # Event sink for exchange spans; assign an enabled Tracer (or
+        # pass one to `execute`) to observe worker fan-out and merges.
+        self.tracer: Tracer = NULL_TRACER
 
     def runtime_index(self, name: str) -> IndexRuntime:
         """The built runtime index for a catalog index name (cached)."""
@@ -87,13 +93,15 @@ class Executor:
         plan: PhysicalNode,
         cold: bool = True,
         collect_stats: bool = False,
+        tracer: Tracer | None = None,
     ) -> ExecutionResult:
         """Run a plan to completion with fresh I/O accounting.
 
         ``collect_stats=True`` additionally instruments every operator
         (rows, ``next()`` time, per-operator buffer traffic) and attaches
         the collector as ``ExecutionResult.operator_stats`` — the raw
-        material of EXPLAIN ANALYZE.
+        material of EXPLAIN ANALYZE.  ``tracer`` (default: the executor's
+        own, normally disabled) receives exchange span events.
         """
         # Build any needed indexes *before* resetting the clocks.
         for node in plan.walk():
@@ -101,8 +109,14 @@ class Executor:
                 self.runtime_index(node.index.name)
         self.store.reset_accounting(cold=cold)
         collector = RunStatsCollector() if collect_stats else None
+        previous_tracer = self.tracer
+        if tracer is not None:
+            self.tracer = tracer
         started = time.perf_counter()
-        rows = list(self.rows(plan, collector))
+        try:
+            rows = list(self.rows(plan, collector))
+        finally:
+            self.tracer = previous_tracer
         wall = time.perf_counter() - started
         stats = self.store.buffer.stats
         hit_rate = stats.hit_rate
@@ -115,7 +129,9 @@ class Executor:
             operator_stats=collector,
         )
 
-    def rows(self, plan: PhysicalNode, collector=None) -> Iterator[Row]:
+    def rows(
+        self, plan: PhysicalNode, collector=None, partition=None
+    ) -> Iterator[Row]:
         """The plan's output stream (no accounting reset).
 
         With a :class:`repro.obs.runtime.RunStatsCollector`, every
@@ -124,15 +140,95 @@ class Executor:
         the operator via the pool's I/O scopes.  Without one (the
         default), the plain generators run unwrapped — instrumentation
         is strictly pay-for-use.
+
+        ``partition`` is an ``(index, degree)`` pair threaded down a
+        partition pipeline built by an exchange; it is consumed by
+        partitioned scans, which then read only their page-range share.
         """
-        source = self._dispatch(plan, collector)
+        source = self._dispatch(plan, collector, partition)
         if collector is None:
             return source
         return iterators.instrumented(
             source, collector.stats_for(plan), self.store.buffer
         )
 
-    def _dispatch(self, plan: PhysicalNode, collector) -> Iterator[Row]:
+    def _exchange_rows(self, plan: ExchangeNode, collector) -> Iterator[Row]:
+        """Fan a child pipeline out over worker threads and merge back.
+
+        Each partition gets its own pipeline instance *and* (when
+        instrumented) its own stats collector — worker threads never
+        share a mutable record.  The per-partition collectors are
+        absorbed into the query's main collector once workers drain, so
+        EXPLAIN ANALYZE shows whole-operator totals.
+        """
+        child = plan.children[0]
+        branch_collectors: list[RunStatsCollector] = []
+        sources = []
+        for index in range(plan.degree):
+            branch = RunStatsCollector() if collector is not None else None
+            if branch is not None:
+                branch_collectors.append(branch)
+            sources.append(
+                self.rows(child, branch, partition=(index, plan.degree))
+            )
+        key = None
+        if plan.ordered:
+            order = child.delivered.order
+            if order is None:
+                raise ExecutionError(
+                    "ordered exchange over a child with no delivered order"
+                )
+            key = parallel.merge_key(order.var, order.attr, order.ascending)
+        exchange = parallel.Exchange(sources, ordered=plan.ordered, key=key)
+        tracer = self.tracer
+
+        def stream() -> Iterator[Row]:
+            if tracer.enabled:
+                tracer.event(
+                    "exchange",
+                    "start",
+                    degree=plan.degree,
+                    ordered=plan.ordered,
+                )
+            merged = 0
+            started = time.perf_counter()
+            try:
+                for row in exchange:
+                    merged += 1
+                    yield row
+            finally:
+                exchange.close()
+                if collector is not None:
+                    for branch in branch_collectors:
+                        collector.absorb(branch)
+                if tracer.enabled:
+                    tracer.event(
+                        "exchange",
+                        "merge",
+                        degree=plan.degree,
+                        ordered=plan.ordered,
+                        rows=merged,
+                        seconds=time.perf_counter() - started,
+                    )
+
+        return stream()
+
+    def _dispatch(
+        self, plan: PhysicalNode, collector, partition=None
+    ) -> Iterator[Row]:
+        if isinstance(plan, ExchangeNode):
+            return self._exchange_rows(plan, collector)
+        if isinstance(plan, PartitionedScanNode):
+            if partition is None:
+                # Outside an exchange (e.g. a subtree run directly) the
+                # partitioned scan degenerates to a whole-collection scan.
+                return iterators.file_scan(
+                    self.store, plan.collection, plan.var
+                )
+            index, degree = partition
+            return iterators.partitioned_scan(
+                self.store, plan.collection, plan.var, index, degree
+            )
         if isinstance(plan, FileScanNode):
             return iterators.file_scan(self.store, plan.collection, plan.var)
         if isinstance(plan, IndexScanNode):
@@ -144,47 +240,47 @@ class Executor:
                 plan.residual,
             )
         if isinstance(plan, FilterNode):
-            return iterators.filter_rows(self.rows(plan.children[0], collector), plan.predicate)
+            return iterators.filter_rows(self.rows(plan.children[0], collector, partition), plan.predicate)
         if isinstance(plan, AssemblyNode):
             return iterators.assembly(
                 self.store,
-                self.rows(plan.children[0], collector),
+                self.rows(plan.children[0], collector, partition),
                 plan.source,
                 plan.out,
                 plan.window,
             )
         if isinstance(plan, PointerJoinNode):
             return iterators.pointer_join(
-                self.store, self.rows(plan.children[0], collector), plan.source, plan.out
+                self.store, self.rows(plan.children[0], collector, partition), plan.source, plan.out
             )
         if isinstance(plan, WarmStartAssemblyNode):
             return iterators.warm_start_assembly(
                 self.store,
-                self.rows(plan.children[0], collector),
+                self.rows(plan.children[0], collector, partition),
                 plan.source,
                 plan.out,
                 plan.target_collection,
             )
         if isinstance(plan, AlgUnnestNode):
             return iterators.unnest(
-                self.rows(plan.children[0], collector), plan.var, plan.attr, plan.out
+                self.rows(plan.children[0], collector, partition), plan.var, plan.attr, plan.out
             )
         if isinstance(plan, HashJoinNode):
             return iterators.hash_join(
-                self.rows(plan.children[0], collector),
-                self.rows(plan.children[1], collector),
+                self.rows(plan.children[0], collector, partition),
+                self.rows(plan.children[1], collector, partition),
                 plan.predicate,
             )
         if isinstance(plan, HashAntiJoinNode):
             return iterators.anti_join(
-                self.rows(plan.children[0], collector),
-                self.rows(plan.children[1], collector),
+                self.rows(plan.children[0], collector, partition),
+                self.rows(plan.children[1], collector, partition),
                 plan.predicate,
             )
         if isinstance(plan, MergeJoinNode):
             return iterators.merge_join(
-                self.rows(plan.children[0], collector),
-                self.rows(plan.children[1], collector),
+                self.rows(plan.children[0], collector, partition),
+                self.rows(plan.children[1], collector, partition),
                 plan.predicate,
                 plan.left_key,
                 plan.right_key,
@@ -194,24 +290,24 @@ class Executor:
             if order is None:
                 raise ExecutionError("sort node without an order key")
             return iterators.sort_rows(
-                self.rows(plan.children[0], collector),
+                self.rows(plan.children[0], collector, partition),
                 order.var,
                 order.attr,
                 order.ascending,
             )
         if isinstance(plan, NestedLoopsNode):
             return iterators.nested_loops_join(
-                self.rows(plan.children[0], collector),
-                self.rows(plan.children[1], collector),
+                self.rows(plan.children[0], collector, partition),
+                self.rows(plan.children[1], collector, partition),
                 plan.predicate,
             )
         if isinstance(plan, AlgProjectNode):
             return iterators.project(
-                self.rows(plan.children[0], collector), plan.items, plan.distinct
+                self.rows(plan.children[0], collector, partition), plan.items, plan.distinct
             )
         if isinstance(plan, HashGroupByNode):
             return iterators.group_by(
-                self.rows(plan.children[0], collector),
+                self.rows(plan.children[0], collector, partition),
                 plan.keys,
                 plan.aggregates,
                 plan.order_output,
@@ -220,8 +316,8 @@ class Executor:
         if isinstance(plan, HashSetOpNode):
             return iterators.set_op(
                 plan.kind,
-                self.rows(plan.children[0], collector),
-                self.rows(plan.children[1], collector),
+                self.rows(plan.children[0], collector, partition),
+                self.rows(plan.children[1], collector, partition),
             )
         raise ExecutionError(f"no executor for plan node {plan.algorithm}")
 

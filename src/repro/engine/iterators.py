@@ -74,6 +74,20 @@ def file_scan(store: ObjectStore, collection: str, var: str) -> Iterator[Row]:
         yield {var: Obj(oid, data)}
 
 
+def partitioned_scan(
+    store: ObjectStore, collection: str, var: str, partition: int, degree: int
+) -> Iterator[Row]:
+    """Scan one page-aligned partition share of a collection.
+
+    The worker-side half of the exchange operator: each of ``degree``
+    workers runs this iterator with its own ``partition`` index, and the
+    shares are disjoint contiguous page ranges whose union is the whole
+    collection (in scan order, so each share is individually ordered).
+    """
+    for oid, data in store.scan_partition(collection, partition, degree):
+        yield {var: Obj(oid, data)}
+
+
 def index_scan(
     store: ObjectStore,
     index: IndexRuntime,
@@ -573,6 +587,7 @@ __all__ = [
     "index_scan",
     "instrumented",
     "nested_loops_join",
+    "partitioned_scan",
     "pointer_join",
     "project",
     "set_op",

@@ -1,0 +1,218 @@
+"""The exchange operator: thread-parallel execution behind iterators.
+
+Volcano's signature contribution to parallel query processing is that
+parallelism is *encapsulated in one operator*: exchange.  The plan below
+an :class:`repro.optimizer.plans.ExchangeNode` is instantiated once per
+partition; each copy runs in its own worker thread, pushing rows into a
+bounded queue, and the exchange's own iterator — running in the
+consumer's thread — merges the partition streams back into one ordinary
+serial row stream.  No other operator knows threads exist.
+
+Two merge disciplines:
+
+* **unordered** — one shared queue, rows emitted in whatever order
+  workers produce them (cheapest; used when the goal has no sort order);
+* **ordered** — one queue per partition and a k-way heap merge on the
+  child's delivered sort key, so N individually-ordered partition
+  streams merge into one globally ordered stream.
+
+Error handling: a worker exception travels through its queue and is
+re-raised in the consumer; closing the exchange (explicitly or by
+abandoning the iterator) sets a stop event that unblocks every producer,
+then joins the workers.  Producers only ever block on ``put`` with a
+timeout so they can observe the stop event; the exchange can therefore
+always be shut down, even mid-stream.
+"""
+
+from __future__ import annotations
+
+import heapq
+import queue
+import threading
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.engine.tuples import Obj, Row
+from repro.errors import ExecutionError
+
+#: Default per-partition queue bound (rows buffered ahead of the merge).
+DEFAULT_QUEUE_CAPACITY = 64
+
+#: How long a blocked producer waits before re-checking the stop event.
+_PUT_POLL_SECONDS = 0.05
+
+
+class _Reversed:
+    """Wraps a sort key so heap order becomes descending."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and self.value == other.value
+
+
+def merge_key(
+    var: str, attr: str | None, ascending: bool = True
+) -> Callable[[Row], Any]:
+    """A row -> sortable key function for one ordered-merge sort key.
+
+    Mirrors the key the sort enforcer uses (OID identity when ``attr`` is
+    None, the attribute value otherwise), so an ordered exchange restores
+    exactly the order the optimizer's property vector promised.
+    """
+
+    def key(row: Row) -> Any:
+        value = row.get(var)
+        if attr is None:
+            raw = value.oid if isinstance(value, Obj) else value
+        elif isinstance(value, Obj):
+            raw = value.field(attr)
+        else:
+            raise ExecutionError(
+                f"merge key {var}.{attr}: not an object binding"
+            )
+        return raw if ascending else _Reversed(raw)
+
+    return key
+
+
+class Exchange:
+    """Runs N partition pipelines in worker threads and merges the output.
+
+    ``sources`` are the already-built partition iterators (one per
+    worker; they are *consumed* on the worker threads).  With
+    ``ordered=True`` a ``key`` function is required and each partition
+    stream must already be ordered by it.
+
+    Iterate the exchange exactly once; call :meth:`close` when done
+    (iterating to exhaustion or erroring out closes it automatically).
+    """
+
+    def __init__(
+        self,
+        sources: Iterable[Iterator[Row]],
+        ordered: bool = False,
+        key: Callable[[Row], Any] | None = None,
+        capacity: int = DEFAULT_QUEUE_CAPACITY,
+    ) -> None:
+        self.sources = list(sources)
+        self.degree = len(self.sources)
+        if self.degree == 0:
+            raise ExecutionError("exchange needs at least one partition")
+        if ordered and key is None:
+            raise ExecutionError("ordered exchange merge needs a sort key")
+        self.ordered = ordered
+        self.key = key
+        self.capacity = max(1, capacity)
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Producer side (worker threads)
+    # ------------------------------------------------------------------
+
+    def _produce(self, source: Iterator[Row], out: "queue.Queue") -> None:
+        try:
+            for row in source:
+                if not self._put(out, ("row", row)):
+                    return  # consumer went away; stop quietly
+            self._put(out, ("done", None))
+        except BaseException as exc:  # propagate to the consumer
+            self._put(out, ("error", exc))
+
+    def _put(self, out: "queue.Queue", item: tuple) -> bool:
+        while not self._stop.is_set():
+            try:
+                out.put(item, timeout=_PUT_POLL_SECONDS)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def _start(self, queue_for: Callable[[int], "queue.Queue"]) -> None:
+        if self._started:
+            raise ExecutionError("exchange iterated more than once")
+        self._started = True
+        for index, source in enumerate(self.sources):
+            thread = threading.Thread(
+                target=self._produce,
+                args=(source, queue_for(index)),
+                name=f"exchange-worker-{index}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Consumer side (the caller's thread)
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Row]:
+        if self.ordered:
+            return self._merge_ordered()
+        return self._merge_unordered()
+
+    def _merge_unordered(self) -> Iterator[Row]:
+        shared: "queue.Queue" = queue.Queue(
+            maxsize=self.capacity * self.degree
+        )
+        self._start(lambda index: shared)
+        live = self.degree
+        try:
+            while live:
+                kind, payload = shared.get()
+                if kind == "row":
+                    yield payload
+                elif kind == "done":
+                    live -= 1
+                else:
+                    raise payload
+        finally:
+            self.close()
+
+    def _merge_ordered(self) -> Iterator[Row]:
+        queues = [
+            queue.Queue(maxsize=self.capacity) for _ in range(self.degree)
+        ]
+        self._start(lambda index: queues[index])
+        heap: list[tuple] = []
+        try:
+            for index, part in enumerate(queues):
+                row = self._next_row(part)
+                if row is not None:
+                    heapq.heappush(heap, (self.key(row), index, row))
+            while heap:
+                _, index, row = heapq.heappop(heap)
+                yield row
+                successor = self._next_row(queues[index])
+                if successor is not None:
+                    heapq.heappush(
+                        heap, (self.key(successor), index, successor)
+                    )
+        finally:
+            self.close()
+
+    def _next_row(self, part: "queue.Queue") -> Row | None:
+        """The partition's next row, None at end-of-stream (may raise)."""
+        kind, payload = part.get()
+        if kind == "row":
+            return payload
+        if kind == "done":
+            return None
+        raise payload
+
+    def close(self) -> None:
+        """Stop all workers and join them (idempotent)."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+        self._threads = []
+
+
+__all__ = ["DEFAULT_QUEUE_CAPACITY", "Exchange", "merge_key"]

@@ -61,6 +61,7 @@ ALG_UNNEST = "alg-unnest"
 ALG_PROJECT = "alg-project"
 HASH_GROUP_BY = "hash-group-by"
 HASH_SET_OP = "hash-set-op"
+PARALLEL_SCAN = "parallel-scan"
 
 ALL_IMPLEMENTATIONS = (
     FILE_SCAN,
@@ -77,11 +78,13 @@ ALL_IMPLEMENTATIONS = (
     ALG_PROJECT,
     HASH_GROUP_BY,
     HASH_SET_OP,
+    PARALLEL_SCAN,
 )
 
 # --- enforcer names --------------------------------------------------------
 ASSEMBLY_ENFORCER = "assembly-enforcer"
 SORT_ENFORCER = "sort-enforcer"
+EXCHANGE_ENFORCER = "exchange-enforcer"
 
 # Warm-start assembly is the paper's *future work* (Lesson 7); it is built
 # but off by default so that default plans match the paper's.
@@ -107,6 +110,11 @@ class OptimizerConfig:
     # promise at least a (1/factor)x improvement.  1.0 = safe
     # branch-and-bound; smaller values trade optimality for effort.
     prune_factor: float = 1.0
+    # Degree of parallelism offered to the search: with N > 1 the
+    # parallel-scan rule and the exchange enforcer may produce N-worker
+    # partitioned plans where the cost model says they pay off.  1 (the
+    # default) makes the search byte-for-byte identical to the serial one.
+    parallelism: int = 1
 
     def is_enabled(self, rule_name: str) -> bool:
         return rule_name not in self.disabled_rules
@@ -140,6 +148,10 @@ class OptimizerConfig:
             self, candidate_cap=candidate_cap, prune_factor=prune_factor
         )
 
+    def with_parallelism(self, parallelism: int) -> "OptimizerConfig":
+        """A config offering N-worker parallel plans to the search."""
+        return replace(self, parallelism=max(1, parallelism))
+
 
 __all__ = [
     "ALG_PROJECT",
@@ -150,6 +162,7 @@ __all__ = [
     "ASSEMBLY_ENFORCER",
     "COLLAPSE_TO_INDEX_SCAN",
     "DEFAULT_DISABLED",
+    "EXCHANGE_ENFORCER",
     "FILE_SCAN",
     "FILTER",
     "HASH_ANTI_JOIN",
@@ -167,6 +180,7 @@ __all__ = [
     "MAT_TO_JOIN",
     "NESTED_LOOPS",
     "OptimizerConfig",
+    "PARALLEL_SCAN",
     "POINTER_JOIN",
     "SELECT_MERGE",
     "SELECT_PAST_JOIN",

@@ -49,6 +49,7 @@ from repro.optimizer.plans import (
     IndexScanNode,
     MergeJoinNode,
     NestedLoopsNode,
+    PartitionedScanNode,
     PhysicalNode,
     PointerJoinNode,
     WarmStartAssemblyNode,
@@ -117,6 +118,51 @@ class FileScanImpl(ImplementationRule):
             return FileScanNode(
                 op.collection,
                 op.var,
+                children=(),
+                delivered=delivered,
+                rows=rows,
+                local_cost=cost,
+            )
+
+        yield Candidate((), cost, build)
+
+
+class ParallelScanImpl(ImplementationRule):
+    """Get -> an N-way partitioned scan, under an N-way parallelism goal.
+
+    Only fires when the required property vector carries ``dop == N > 1``
+    (which only the exchange enforcer requests, and only when the session
+    offered parallelism).  Each partition is a contiguous page-aligned
+    slice of the collection, so a partition stream is still in OID order
+    — which is what lets an *ordered* exchange merge preserve the scan's
+    sort property globally.
+    """
+
+    name = rule_names.PARALLEL_SCAN
+
+    def candidates(self, mexpr, group, required, ctx):
+        if not isinstance(mexpr.op, Get):
+            return
+        degree = required.dop
+        if degree <= 1:
+            return
+        op = mexpr.op
+        delivered = PhysProps(
+            frozenset({op.var}), SortKey(op.var, None), dop=degree
+        )
+        if not delivered.satisfies(required):
+            return
+        if not ctx.catalog.has_stats(op.collection):
+            return
+        pages = ctx.collection_pages(op.collection)
+        rows = group.props.cardinality
+        cost = ctx.cost_model.partitioned_scan(pages, rows, degree)
+
+        def build(children: tuple[PhysicalNode, ...]) -> PhysicalNode:
+            return PartitionedScanNode(
+                op.collection,
+                op.var,
+                degree,
                 children=(),
                 delivered=delivered,
                 rows=rows,
@@ -274,6 +320,9 @@ class FilterImpl(ImplementationRule):
             return
         rows_in = ctx.memo.group(child_gid).props.cardinality
         cost = ctx.cost_model.filter(rows_in, len(op.predicate.comparisons))
+        if required.dop > 1:
+            # Each partition filters only its share of the input.
+            cost = cost.scaled(1.0 / required.dop)
         rows = group.props.cardinality
 
         def build(children: tuple[PhysicalNode, ...]) -> PhysicalNode:
@@ -306,6 +355,8 @@ class AlgUnnestImpl(ImplementationRule):
             return
         rows = group.props.cardinality
         cost = ctx.cost_model.unnest(rows)
+        if required.dop > 1:
+            cost = cost.scaled(1.0 / required.dop)
 
         def build(children: tuple[PhysicalNode, ...]) -> PhysicalNode:
             (child,) = children
@@ -416,6 +467,8 @@ class HybridHashJoinImpl(ImplementationRule):
     def candidates(self, mexpr, group, required, ctx):
         if not isinstance(mexpr.op, Join):
             return
+        if required.dop != 1:
+            return  # the build table cannot be shared across partitions
         op = mexpr.op
         left_gid, right_gid = mexpr.children
         left_names = ctx.memo.group(left_gid).props.scope.names
@@ -482,6 +535,8 @@ class MergeJoinImpl(ImplementationRule):
     def candidates(self, mexpr, group, required, ctx):
         if not isinstance(mexpr.op, Join):
             return
+        if required.dop != 1:
+            return  # the merge cursor pair is inherently serial
         op = mexpr.op
         left_gid, right_gid = mexpr.children
         left_scope = ctx.memo.group(left_gid).props.scope
@@ -549,6 +604,8 @@ class NestedLoopsImpl(ImplementationRule):
     def candidates(self, mexpr, group, required, ctx):
         if not isinstance(mexpr.op, Join):
             return
+        if required.dop != 1:
+            return  # rescanning the inner input needs one serial cursor
         op = mexpr.op
         reqs = _join_child_reqs(op, mexpr, required, ctx, order_side="left")
         if reqs is None:
@@ -588,6 +645,8 @@ class HashAntiJoinImpl(ImplementationRule):
 
         if not isinstance(mexpr.op, AntiJoin):
             return
+        if required.dop != 1:
+            return  # the key set cannot be shared across partitions
         op = mexpr.op
         left_gid, right_gid = mexpr.children
         left_scope = ctx.memo.group(left_gid).props.scope
@@ -684,6 +743,8 @@ class HashSetOpImpl(ImplementationRule):
     def candidates(self, mexpr, group, required, ctx):
         if not isinstance(mexpr.op, SetOp):
             return
+        if required.dop != 1:
+            return  # identity matching needs both whole inputs
         op = mexpr.op
         left_gid, right_gid = mexpr.children
         scope = group.props.scope
@@ -754,6 +815,8 @@ class AssemblyImpl(ImplementationRule):
         refs = ctx.memo.group(child_gid).props.cardinality
         window = ctx.config.cost.assembly_window
         cost = ctx.cost_model.assembly(refs, target_pages, window)
+        if required.dop > 1:
+            cost = cost.scaled(1.0 / required.dop)
         rows = group.props.cardinality
 
         def build(children: tuple[PhysicalNode, ...]) -> PhysicalNode:
@@ -797,6 +860,8 @@ class PointerJoinImpl(ImplementationRule):
         if refs * width > ctx.config.cost.work_mem_bytes:
             return  # the blocking reference table must fit in workspace
         cost = ctx.cost_model.pointer_join(refs, target_pages)
+        if required.dop > 1:
+            cost = cost.scaled(1.0 / required.dop)
         rows = group.props.cardinality
 
         def build(children: tuple[PhysicalNode, ...]) -> PhysicalNode:
@@ -837,6 +902,8 @@ class WarmStartAssemblyImpl(ImplementationRule):
             return
         refs = ctx.memo.group(child_gid).props.cardinality
         cost = ctx.cost_model.warm_start_assembly(refs, target_pages)
+        if required.dop > 1:
+            cost = cost.scaled(1.0 / required.dop)
         rows = group.props.cardinality
 
         def build(children: tuple[PhysicalNode, ...]) -> PhysicalNode:
@@ -856,6 +923,7 @@ class WarmStartAssemblyImpl(ImplementationRule):
 
 ALL_RULES: tuple[ImplementationRule, ...] = (
     FileScanImpl(),
+    ParallelScanImpl(),
     CollapseToIndexScanImpl(),
     FilterImpl(),
     AlgUnnestImpl(),

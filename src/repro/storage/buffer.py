@@ -6,10 +6,18 @@ pool is what makes bounded assembly cheap: when the target collection's
 page count is below the pool size, re-fetches of already-resident pages
 are free, so assembling 50,000 department components costs at most ~100
 page reads (the whole Department extent).
+
+The pool is thread-safe: exchange workers scan partitions concurrently,
+so frame replacement, the hit/miss counters, and the attribution scopes
+are all guarded by one reentrant latch.  Only the optional miss-latency
+sleep (``latency_scale``) happens outside the latch, which is exactly
+what lets concurrent partition scans overlap their simulated I/O waits.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -20,6 +28,8 @@ DEFAULT_POOL_PAGES = 2048  # 8 MB of 4 KB pages
 
 @dataclass
 class BufferStats:
+    """Global page-request counters (mutated under the pool latch)."""
+
     hits: int = 0
     misses: int = 0
 
@@ -40,44 +50,74 @@ class BufferPool:
     scope per plan operator around each ``next()`` call, which is how
     EXPLAIN ANALYZE attributes buffer traffic to the operator whose code
     issued it (exclusive attribution — parents are not charged for their
-    children's reads).
+    children's reads).  Scope stacks are *per thread*: each exchange
+    worker attributes its reads to its own partition's collectors.
     """
 
     disk: DiskSimulator
     capacity: int = DEFAULT_POOL_PAGES
     stats: BufferStats = field(default_factory=BufferStats)
+    # Wall-clock seconds slept per simulated millisecond of miss latency
+    # (0 = never sleep).  Benchmarks set this to make scans genuinely
+    # I/O-latency-bound, so partitioned scans overlap their waits and
+    # show real wall-clock speedups despite the GIL.
+    latency_scale: float = 0.0
     _frames: OrderedDict[int, None] = field(default_factory=OrderedDict)
-    # Stack of objects with `hits`/`misses` attributes (duck-typed so the
-    # storage layer needs no dependency on repro.obs).
-    _io_scopes: list = field(default_factory=list)
+    # Per-thread stacks of objects with `hits`/`misses` attributes
+    # (duck-typed so the storage layer needs no dependency on repro.obs).
+    _io_scopes: threading.local = field(
+        default_factory=threading.local, repr=False
+    )
+    _latch: threading.RLock = field(
+        default_factory=threading.RLock, repr=False
+    )
+
+    def _scope_stack(self) -> list:
+        stack = getattr(self._io_scopes, "stack", None)
+        if stack is None:
+            stack = []
+            self._io_scopes.stack = stack
+        return stack
 
     def read_page(self, page_id: int) -> float:
         """Bring a page in; returns simulated ms spent (0 on a hit)."""
-        if page_id in self._frames:
-            self._frames.move_to_end(page_id)
-            self.stats.hits += 1
-            if self._io_scopes:
-                self._io_scopes[-1].hits += 1
-            return 0.0
-        self.stats.misses += 1
-        if self._io_scopes:
-            self._io_scopes[-1].misses += 1
-        cost = self.disk.read(page_id)
-        self._frames[page_id] = None
-        if len(self._frames) > self.capacity:
-            self._frames.popitem(last=False)
+        scopes = self._scope_stack()
+        with self._latch:
+            if page_id in self._frames:
+                self._frames.move_to_end(page_id)
+                self.stats.hits += 1
+                if scopes:
+                    scopes[-1].hits += 1
+                return 0.0
+            self.stats.misses += 1
+            if scopes:
+                scopes[-1].misses += 1
+            cost = self.disk.read(page_id)
+            self._frames[page_id] = None
+            if len(self._frames) > self.capacity:
+                self._frames.popitem(last=False)
+        if self.latency_scale > 0.0:
+            # Sleep OUTSIDE the latch: concurrent workers overlap waits.
+            time.sleep(cost * self.latency_scale)
         return cost
 
     def contains(self, page_id: int) -> bool:
-        return page_id in self._frames
+        """Whether the page is currently resident."""
+        with self._latch:
+            return page_id in self._frames
 
     def push_io_scope(self, scope) -> None:
-        """Attribute subsequent page requests to ``scope`` (hits/misses)."""
-        self._io_scopes.append(scope)
+        """Attribute this thread's page requests to ``scope``."""
+        self._scope_stack().append(scope)
 
     def pop_io_scope(self) -> None:
-        """Stop attributing to the most recently pushed scope."""
-        self._io_scopes.pop()
+        """Stop attributing to this thread's most recently pushed scope."""
+        self._scope_stack().pop()
+
+    @property
+    def io_scope_depth(self) -> int:
+        """How many I/O scopes the calling thread has pushed (0 = none)."""
+        return len(self._scope_stack())
 
     def flush(self, reset_stats: bool = False) -> None:
         """Empty the pool (between benchmark runs, for cold-cache numbers).
@@ -87,16 +127,21 @@ class BufferPool:
         still report the warm run's hits.  Pass ``reset_stats=True`` to
         also zero the counters (what cold-run accounting wants).
         """
-        self._frames.clear()
-        if reset_stats:
-            self.reset_stats()
+        with self._latch:
+            self._frames.clear()
+            if reset_stats:
+                self.stats = BufferStats()
 
     def reset_stats(self) -> None:
-        self.stats = BufferStats()
+        """Zero the global hit/miss counters."""
+        with self._latch:
+            self.stats = BufferStats()
 
     @property
     def resident_pages(self) -> int:
-        return len(self._frames)
+        """Number of pages currently held in frames."""
+        with self._latch:
+            return len(self._frames)
 
 
 __all__ = ["BufferPool", "BufferStats", "DEFAULT_POOL_PAGES"]

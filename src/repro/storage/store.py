@@ -155,6 +155,53 @@ class ObjectStore:
             self.buffer.read_page(self.page_of(oid))
             yield oid, self._data[oid]
 
+    def partition_bounds(
+        self, collection_name: str, degree: int
+    ) -> list[tuple[int, int]]:
+        """Page-aligned ``[start, stop)`` position ranges splitting a
+        collection into at most ``degree`` contiguous partitions.
+
+        Boundaries never split a page across partitions, so concurrent
+        partition scans touch disjoint page sets and the union of the
+        partitions' page reads equals a serial scan's.  Small collections
+        may yield fewer than ``degree`` non-empty partitions.
+        """
+        oids = self.collection_oids(collection_name)
+        count = len(oids)
+        degree = max(1, degree)
+        chunk = -(-count // degree) if count else 0
+        bounds: list[tuple[int, int]] = []
+        start = 0
+        while start < count and len(bounds) < degree:
+            stop = min(count, start + chunk)
+            while stop < count and self.page_of(oids[stop]) == self.page_of(
+                oids[stop - 1]
+            ):
+                stop += 1
+            bounds.append((start, stop))
+            start = stop
+        return bounds
+
+    def scan_partition(
+        self, collection_name: str, partition: int, degree: int
+    ) -> Iterator[tuple[Oid, dict[str, Any]]]:
+        """Scan one page-aligned partition of a collection.
+
+        ``partition`` indexes into :meth:`partition_bounds`; an index past
+        the last non-empty partition yields nothing (a worker over an
+        empty share).  Each partition preserves the collection's scan
+        order, so ordered exchange merges restore the global order.
+        """
+        self._require_sealed()
+        bounds = self.partition_bounds(collection_name, degree)
+        if partition >= len(bounds):
+            return
+        start, stop = bounds[partition]
+        oids = self.collection_oids(collection_name)
+        for oid in oids[start:stop]:
+            self.buffer.read_page(self.page_of(oid))
+            yield oid, self._data[oid]
+
     def collection_oids(self, collection_name: str) -> list[Oid]:
         """Member OIDs of a loaded collection, in scan order."""
         if collection_name not in self._collections:

@@ -127,7 +127,7 @@ class TestTracingCost:
 
     def test_buffer_scope_stack_empty_after_run(self, db):
         db.explain_analyze(QUERY_2)
-        assert db.store.buffer._io_scopes == []
+        assert db.store.buffer.io_scope_depth == 0
 
 
 class TestTypeStatisticsWarnings:

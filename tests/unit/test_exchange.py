@@ -1,0 +1,169 @@
+"""Unit tests for the exchange operator (repro.engine.parallel).
+
+The exchange is the only operator that knows threads exist, so its
+contract is tested in isolation: merge completeness, ordered-merge
+correctness on pre-sorted partition streams, error propagation from
+worker threads, clean shutdown of abandoned iterators, and the
+degenerate single-partition case.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.parallel import Exchange, merge_key
+from repro.engine.tuples import Obj
+from repro.errors import ExecutionError
+from repro.storage.objects import Oid
+
+
+def rows_of(values, var="x"):
+    """Partition stream of plain scalar bindings."""
+    return iter([{var: v} for v in values])
+
+
+class TestUnorderedMerge:
+    def test_all_rows_from_all_partitions_arrive(self):
+        exchange = Exchange(
+            [rows_of(range(0, 50)), rows_of(range(50, 80)), rows_of(range(80, 100))]
+        )
+        got = sorted(row["x"] for row in exchange)
+        assert got == list(range(100))
+
+    def test_empty_partitions_are_fine(self):
+        exchange = Exchange([rows_of([]), rows_of([1, 2]), rows_of([])])
+        assert sorted(row["x"] for row in exchange) == [1, 2]
+
+    def test_single_partition_degenerates_to_passthrough(self):
+        exchange = Exchange([rows_of([3, 1, 2])])
+        assert [row["x"] for row in exchange] == [3, 1, 2]
+
+    def test_more_rows_than_queue_capacity(self):
+        # Forces producers to block on a full queue and resume.
+        exchange = Exchange(
+            [rows_of(range(1000)), rows_of(range(1000, 2000))], capacity=4
+        )
+        assert sorted(row["x"] for row in exchange) == list(range(2000))
+
+
+class TestOrderedMerge:
+    def test_merge_preserves_global_order(self):
+        key = merge_key("x", None)
+        parts = [rows_of(range(0, 90, 3)), rows_of(range(1, 90, 3)), rows_of(range(2, 90, 3))]
+        exchange = Exchange(parts, ordered=True, key=key)
+        got = [row["x"] for row in exchange]
+        assert got == sorted(got) == list(range(90))
+
+    def test_descending_merge(self):
+        key = merge_key("x", None, ascending=False)
+        parts = [rows_of([9, 5, 1]), rows_of([8, 4, 0]), rows_of([7, 3])]
+        exchange = Exchange(parts, ordered=True, key=key)
+        assert [row["x"] for row in exchange] == [9, 8, 7, 5, 4, 3, 1, 0]
+
+    def test_merge_on_object_attribute(self):
+        def obj_rows(salaries):
+            return iter(
+                {
+                    "e": Obj(
+                        Oid("Employee", i), {"salary": s}
+                    )
+                }
+                for i, s in enumerate(salaries)
+            )
+
+        key = merge_key("e", "salary")
+        exchange = Exchange(
+            [obj_rows([10, 30, 50]), obj_rows([20, 40, 60])],
+            ordered=True,
+            key=key,
+        )
+        assert [row["e"].field("salary") for row in exchange] == [
+            10, 20, 30, 40, 50, 60,
+        ]
+
+    def test_merge_on_oid_identity(self):
+        def oid_rows(serials):
+            return iter({"e": Obj(Oid("T", n), {})} for n in serials)
+
+        key = merge_key("e", None)
+        exchange = Exchange(
+            [oid_rows([0, 2, 4]), oid_rows([1, 3, 5])], ordered=True, key=key
+        )
+        assert [row["e"].oid.serial for row in exchange] == [0, 1, 2, 3, 4, 5]
+
+    def test_ordered_without_key_rejected(self):
+        with pytest.raises(ExecutionError):
+            Exchange([rows_of([1])], ordered=True)
+
+
+class TestErrorPropagation:
+    def test_worker_exception_reaches_consumer(self):
+        def exploding():
+            yield {"x": 1}
+            raise ValueError("partition blew up")
+
+        exchange = Exchange([exploding(), rows_of(range(100))])
+        with pytest.raises(ValueError, match="partition blew up"):
+            for _ in exchange:
+                pass
+
+    def test_worker_exception_closes_all_workers(self):
+        def exploding():
+            raise RuntimeError("boom")
+            yield  # pragma: no cover
+
+        exchange = Exchange([exploding(), rows_of(range(10_000))], capacity=2)
+        with pytest.raises(RuntimeError):
+            list(exchange)
+        # close() ran in the merge's finally: no worker threads left.
+        assert exchange._threads == []
+        assert exchange._stop.is_set()
+
+    def test_ordered_merge_propagates_errors_too(self):
+        def exploding():
+            yield {"x": 0}
+            raise ValueError("mid-stream")
+
+        key = merge_key("x", None)
+        exchange = Exchange(
+            [exploding(), rows_of([1, 2, 3])], ordered=True, key=key
+        )
+        with pytest.raises(ValueError, match="mid-stream"):
+            list(exchange)
+
+
+class TestShutdown:
+    def test_abandoned_iterator_unblocks_producers(self):
+        # A tiny queue guarantees the producer is blocked mid-put when the
+        # consumer walks away; close() must still terminate every worker.
+        exchange = Exchange([rows_of(range(100_000))], capacity=1)
+        stream = iter(exchange)
+        assert next(stream)["x"] == 0
+        stream.close()  # generator finally -> exchange.close()
+        assert exchange._threads == []
+        deadline = time.time() + 5.0
+        while threading.active_count() > 1 and time.time() < deadline:
+            time.sleep(0.01)
+        alive = [
+            t.name
+            for t in threading.enumerate()
+            if t.name.startswith("exchange-worker")
+        ]
+        assert alive == []
+
+    def test_close_is_idempotent(self):
+        exchange = Exchange([rows_of([1, 2])])
+        list(exchange)
+        exchange.close()
+        exchange.close()
+
+    def test_second_iteration_rejected(self):
+        exchange = Exchange([rows_of([1])])
+        list(exchange)
+        with pytest.raises(ExecutionError):
+            list(exchange)
+
+    def test_zero_partitions_rejected(self):
+        with pytest.raises(ExecutionError):
+            Exchange([])
