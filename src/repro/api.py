@@ -87,8 +87,19 @@ class Database:
         self.cache_plans = True
         # Observability sink for recoverable warnings (and, when callers
         # pass none of their own, for traced optimizations).  Disabled by
-        # default; assign an enabled Tracer to capture events.
-        self.tracer: Tracer = NULL_TRACER
+        # default; assign an enabled Tracer to capture events.  The
+        # assignment also points the catalog's tracer here, so catalog
+        # lookup warnings land in the same stream.
+        self.tracer = NULL_TRACER
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer: Tracer | None) -> None:
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self.catalog.tracer = self._tracer
 
     @classmethod
     def sample(

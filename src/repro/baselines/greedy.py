@@ -72,7 +72,7 @@ class GreedyOptimizer:
         shape = decompose(tree)
         remaining = shape.predicate
 
-        plan, rows, remaining = self._root_scan(ctx, shape, remaining)
+        plan, rows, remaining, judged = self._root_scan(ctx, shape, remaining)
         # Conjuncts over the root object alone are applied during the scan
         # (ObjectStore evaluates the collection predicate as it navigates).
         root_only, remaining = remaining.split_by_vars(
@@ -90,7 +90,7 @@ class GreedyOptimizer:
                     input_rows, len(root_only.comparisons)
                 ),
             )
-        steps = self._prune_unused_steps(shape, remaining, result_vars)
+        steps = self._prune_unused_steps(shape, remaining, result_vars, judged)
 
         for step in steps:
             if isinstance(step, Unnest):
@@ -137,14 +137,21 @@ class GreedyOptimizer:
 
     @staticmethod
     def _prune_unused_steps(
-        shape: QueryShape, remaining: Conjunction, result_vars: tuple[str, ...]
+        shape: QueryShape,
+        remaining: Conjunction,
+        result_vars: tuple[str, ...],
+        judged: frozenset[str] = frozenset(),
     ) -> list:
         """Drop materializes nothing downstream consumes.
 
-        After an index scan consumes a path predicate, the path's Mats may
+        After an index scan consumes a path predicate, the path's Mats
         become dead — ObjectStore would not fetch the mayors Query 2's
-        path index already judged.  (Like the index itself, this assumes
-        references along the path are non-null.)
+        path index already judged.  Only those Mats (``judged``: the
+        variables along the indexed path) may be dropped: index entries
+        exist exactly for roots whose path resolved, so the pruned Mat
+        could not have filtered anything.  Every other unconsumed Mat
+        still runs — Mat has inner-join semantics on null references,
+        and dropping it would change the result.
         """
         needed: set[str] = set(result_vars) | set(remaining.vars)
         if shape.project is not None:
@@ -158,7 +165,7 @@ class GreedyOptimizer:
                 kept.append(step)
                 needed.add(step.var)
             elif isinstance(step, Mat):
-                if step.out in needed:
+                if step.out in needed or step.out not in judged:
                     kept.append(step)
                     needed.add(step.source.var)
         kept.reverse()
@@ -166,7 +173,7 @@ class GreedyOptimizer:
 
     def _root_scan(
         self, ctx: BaselineContext, shape: QueryShape, remaining: Conjunction
-    ) -> tuple[PhysicalNode, float, Conjunction]:
+    ) -> tuple[PhysicalNode, float, Conjunction, frozenset[str]]:
         collection = shape.get.collection
         base_rows = float(self.catalog.cardinality(collection))
         links = {
@@ -187,7 +194,8 @@ class GreedyOptimizer:
             plan = self._index_scan_node(
                 ctx, collection, shape.get.var, index, comparison, rows
             )
-            return plan, rows, remaining.without(comparison)
+            judged = self._vars_to_root(field.var, shape.get.var, links)
+            return plan, rows, remaining.without(comparison), judged
         plan = FileScanNode(
             collection,
             shape.get.var,
@@ -197,7 +205,7 @@ class GreedyOptimizer:
                 self.catalog.pages(collection), base_rows
             ),
         )
-        return plan, base_rows, remaining
+        return plan, base_rows, remaining, frozenset()
 
     def _materialize(
         self,
@@ -308,6 +316,18 @@ class GreedyOptimizer:
             rows=matches,
             local_cost=cost,
         )
+
+    @staticmethod
+    def _vars_to_root(
+        var: str, root: str, links: dict[str, RefSource]
+    ) -> frozenset[str]:
+        """The Mat output variables along the path from ``var`` to ``root``."""
+        judged: set[str] = set()
+        current = var
+        while current != root and current in links:
+            judged.add(current)
+            current = links[current].var
+        return frozenset(judged)
 
     @staticmethod
     def _path_to_root(

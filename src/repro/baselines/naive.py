@@ -75,6 +75,7 @@ class NaiveOptimizer:
                 )
 
         if not shape.predicate.is_true:
+            input_rows = plan.rows
             rows *= ctx.selectivity.predicate(shape.predicate)
             plan = FilterNode(
                 shape.predicate,
@@ -82,7 +83,7 @@ class NaiveOptimizer:
                 delivered=plan.delivered,
                 rows=rows,
                 local_cost=self.cost_model.filter(
-                    plan.children[0].rows, len(shape.predicate.comparisons)
+                    input_rows, len(shape.predicate.comparisons)
                 ),
             )
 

@@ -24,7 +24,8 @@ from repro.catalog.schema import (
     extent_name,
 )
 from repro.catalog.statistics import CollectionStats
-from repro.errors import CatalogError
+from repro.errors import CatalogError, SchemaError
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 DEFAULT_PAGE_SIZE = 4096
 
@@ -86,6 +87,9 @@ class Catalog:
         # is unchanged by re-selecting among its compiled scenarios.
         self._version = 0
         self._stats_version = 0
+        # Observability sink for recoverable lookup failures; the owning
+        # Database keeps this pointed at its own tracer.
+        self.tracer: Tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # Versioning
@@ -127,10 +131,19 @@ class Catalog:
         return type_name in self._schema.types
 
     def collection(self, name: str) -> CollectionDef:
-        """Look up a collection; raises CatalogError when unknown."""
+        """Look up a collection; raises CatalogError when unknown.
+
+        Only the schema's own "no such collection" failure is translated
+        (and recorded on the tracer); a genuine programming error inside
+        the lookup propagates unmasked.
+        """
         try:
             return self._schema.collection(name)
-        except Exception as exc:
+        except SchemaError as exc:
+            if self.tracer.enabled:
+                self.tracer.warning(
+                    "unknown-collection", str(exc), collection=name
+                )
             raise CatalogError(str(exc)) from exc
 
     def has_collection(self, name: str) -> bool:

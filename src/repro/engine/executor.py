@@ -69,6 +69,9 @@ class Executor:
         # Event sink for exchange spans; assign an enabled Tracer (or
         # pass one to `execute`) to observe worker fan-out and merges.
         self.tracer: Tracer = NULL_TRACER
+        # Iteration variables of the plan currently running — the sort
+        # enforcer's and ordered merge's deterministic tie-break.
+        self._tie_vars: tuple[str, ...] = ()
 
     def runtime_index(self, name: str) -> IndexRuntime:
         """The built runtime index for a catalog index name (cached)."""
@@ -112,11 +115,13 @@ class Executor:
         previous_tracer = self.tracer
         if tracer is not None:
             self.tracer = tracer
+        self._tie_vars = iteration_vars(plan)
         started = time.perf_counter()
         try:
             rows = list(self.rows(plan, collector))
         finally:
             self.tracer = previous_tracer
+            self._tie_vars = ()
         wall = time.perf_counter() - started
         stats = self.store.buffer.stats
         hit_rate = stats.hit_rate
@@ -178,7 +183,9 @@ class Executor:
                 raise ExecutionError(
                     "ordered exchange over a child with no delivered order"
                 )
-            key = parallel.merge_key(order.var, order.attr, order.ascending)
+            key = parallel.merge_key(
+                order.var, order.attr, order.ascending, self._tie_vars
+            )
         exchange = parallel.Exchange(sources, ordered=plan.ordered, key=key)
         tracer = self.tracer
 
@@ -294,6 +301,7 @@ class Executor:
                 order.var,
                 order.attr,
                 order.ascending,
+                self._tie_vars,
             )
         if isinstance(plan, NestedLoopsNode):
             return iterators.nested_loops_join(
@@ -322,4 +330,23 @@ class Executor:
         raise ExecutionError(f"no executor for plan node {plan.algorithm}")
 
 
-__all__ = ["ExecutionResult", "Executor"]
+def iteration_vars(plan: PhysicalNode) -> tuple[str, ...]:
+    """The plan's scan and unnest bindings, sorted by name.
+
+    Every plan shape for the same logical query binds exactly these
+    variables (materialized path variables, by contrast, may be elided
+    by index collapse), and their identity vector is unique per output
+    row — which makes them the canonical sort tie-break.
+    """
+    names: set[str] = set()
+    for node in plan.walk():
+        if isinstance(
+            node, (FileScanNode, IndexScanNode, PartitionedScanNode)
+        ):
+            names.add(node.var)
+        elif isinstance(node, AlgUnnestNode):
+            names.add(node.out)
+    return tuple(sorted(names))
+
+
+__all__ = ["ExecutionResult", "Executor", "iteration_vars"]

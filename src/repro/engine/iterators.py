@@ -29,9 +29,11 @@ from repro.algebra.predicates import (
 )
 from repro.engine.tuples import (
     Obj,
+    ReversedKey,
     Row,
     eval_conjunction,
     eval_term,
+    ordering_key,
     row_key,
     value_key,
 )
@@ -104,10 +106,13 @@ def index_scan(
     elif op in (CompOp.GT, CompOp.GE):
         oids = index.lookup_range(store, low=key, low_inclusive=op is CompOp.GE)
     elif op is CompOp.NE:
+        # The None bucket holds roots whose indexed path was null; SQL
+        # comparison semantics say ``null != key`` is unknown, so those
+        # roots must NOT qualify (a filter plan would reject them too).
         oids = [
             oid
             for k, bucket in index.entries.items()
-            if k != key
+            if k is not None and k != key
             for oid in bucket
         ]
         index._charge(store, oids)
@@ -289,10 +294,14 @@ def hash_join(
     table: dict[tuple, list[Row]] = {}
     for row in build_list:
         key = tuple(value_key(eval_term(term, row)) for term in build_keys)
+        if None in key:
+            continue  # null never equi-joins (dict equality would say it does)
         table.setdefault(key, []).append(row)
 
     def probe(row: Row) -> Iterator[Row]:
         key = tuple(value_key(eval_term(term, row)) for term in probe_keys)
+        if None in key:
+            return
         for match in table.get(key, ()):
             combined = {**match, **row}
             if residual.is_true or eval_conjunction(residual, combined):
@@ -303,18 +312,22 @@ def hash_join(
         yield from probe(row)
 
 
-def sort_rows(rows: Iterable[Row], var: str, attr: str | None, ascending: bool) -> Iterator[Row]:
-    """The sort-order enforcer: materialize and sort by one key."""
+def sort_rows(
+    rows: Iterable[Row],
+    var: str,
+    attr: str | None,
+    ascending: bool,
+    tie_vars: tuple[str, ...] = (),
+) -> Iterator[Row]:
+    """The sort-order enforcer: materialize and sort by one key.
 
-    def key(row: Row):
-        value = row.get(var)
-        if attr is None:
-            return value.oid if isinstance(value, Obj) else value
-        if not isinstance(value, Obj):
-            raise ExecutionError(f"sort key {var}.{attr}: not an object binding")
-        return value.field(attr)
-
-    yield from sorted(rows, key=key, reverse=not ascending)
+    Uses the engine-wide :func:`~repro.engine.tuples.ordering_key`
+    (None sorts last in both directions; ties break on the binding's
+    identity and then the plan's iteration variables), so every plan
+    shape and every exchange degree produces the same sequence for the
+    same ordered query.
+    """
+    yield from sorted(rows, key=ordering_key(var, attr, ascending, tie_vars))
 
 
 def _merge_key(term, row: Row):
@@ -408,10 +421,14 @@ def anti_join(
     table: dict[tuple, list[Row]] = {}
     for row in right_list:
         key = tuple(value_key(eval_term(term, row)) for term in right_keys)
+        if None in key:
+            continue  # a null key matches no left row
         table.setdefault(key, []).append(row)
 
     def survives(row: Row) -> bool:
         key = tuple(value_key(eval_term(term, row)) for term in left_keys)
+        if None in key:
+            return True  # null equi-key: the subquery predicate is never true
         for match in table.get(key, ()):
             combined = {**match, **row}
             if residual.is_true or eval_conjunction(residual, combined):
@@ -534,10 +551,16 @@ def group_by(
 
     if order_output is not None:
         column, ascending = order_output
-        none_last = [r for r in output if r.get(column) is None]
-        sortable = [r for r in output if r.get(column) is not None]
-        sortable.sort(key=lambda r: value_key(r[column]), reverse=not ascending)
-        output = sortable + none_last
+        # Ties (and the trailing None block) break on the whole output
+        # row, so the sequence is identical whichever plan fed the rows.
+        def group_order(r: Row) -> tuple:
+            value = value_key(r.get(column))
+            tie = repr(row_key(r))
+            if value is None:
+                return (1, 0, tie)
+            return (0, value if ascending else ReversedKey(value), tie)
+
+        output.sort(key=group_order)
     yield from output
 
 

@@ -31,7 +31,7 @@ import queue
 import threading
 from typing import Any, Callable, Iterable, Iterator
 
-from repro.engine.tuples import Obj, Row
+from repro.engine.tuples import Row, ordering_key
 from repro.errors import ExecutionError
 
 #: Default per-partition queue bound (rows buffered ahead of the merge).
@@ -41,44 +41,20 @@ DEFAULT_QUEUE_CAPACITY = 64
 _PUT_POLL_SECONDS = 0.05
 
 
-class _Reversed:
-    """Wraps a sort key so heap order becomes descending."""
-
-    __slots__ = ("value",)
-
-    def __init__(self, value: Any) -> None:
-        self.value = value
-
-    def __lt__(self, other: "_Reversed") -> bool:
-        return other.value < self.value
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _Reversed) and self.value == other.value
-
-
 def merge_key(
-    var: str, attr: str | None, ascending: bool = True
+    var: str,
+    attr: str | None,
+    ascending: bool = True,
+    tie_vars: tuple[str, ...] = (),
 ) -> Callable[[Row], Any]:
     """A row -> sortable key function for one ordered-merge sort key.
 
-    Mirrors the key the sort enforcer uses (OID identity when ``attr`` is
-    None, the attribute value otherwise), so an ordered exchange restores
-    exactly the order the optimizer's property vector promised.
+    This is exactly the sort enforcer's :func:`ordering_key` — same
+    None-last handling, same identity and iteration-variable tie-breaks
+    — so an ordered exchange restores exactly the sequence a serial sort
+    would have produced, at every worker count.
     """
-
-    def key(row: Row) -> Any:
-        value = row.get(var)
-        if attr is None:
-            raw = value.oid if isinstance(value, Obj) else value
-        elif isinstance(value, Obj):
-            raw = value.field(attr)
-        else:
-            raise ExecutionError(
-                f"merge key {var}.{attr}: not an object binding"
-            )
-        return raw if ascending else _Reversed(raw)
-
-    return key
+    return ordering_key(var, attr, ascending, tie_vars)
 
 
 class Exchange:

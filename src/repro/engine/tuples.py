@@ -115,6 +115,76 @@ def value_key(value: Any) -> Any:
     return value
 
 
+class ReversedKey:
+    """Wraps a sort-key component so ascending comparison runs backwards."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __lt__(self, other: "ReversedKey") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ReversedKey) and self.value == other.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReversedKey({self.value!r})"
+
+
+def _ranked(value: Any, ascending: bool) -> tuple:
+    # None ranks after every value in BOTH directions (SQL "nulls last"),
+    # so a descending sort never compares None against a real value.
+    if value is None:
+        return (1, 0)
+    return (0, value if ascending else ReversedKey(value))
+
+
+def ordering_key(
+    var: str,
+    attr: str | None,
+    ascending: bool = True,
+    tie_vars: tuple[str, ...] = (),
+):
+    """The engine's one total-order sort key: row -> comparable tuple.
+
+    Shared by the sort enforcer and the ordered exchange merge so serial
+    and parallel plans agree on the exact output sequence.  None sort
+    values order after all real values in *both* directions (SQL "nulls
+    last") instead of raising ``TypeError`` out of :func:`sorted`; the
+    sorted-on binding's identity is the first tie-break.
+
+    ``tie_vars`` are the plan's iteration variables (scan and unnest
+    bindings): their identity vector determines every other value in the
+    row, is bound identically by every plan shape for the same query,
+    and is unique per output row — so appending it makes the order total
+    in a plan-invariant way.  Ties that survive even this (a variable
+    absent at a mid-plan sort) are unobservable in the final output.
+    """
+
+    def key(row: Row) -> tuple:
+        value = row.get(var)
+        identity = value_key(value)
+        if attr is None:
+            raw = identity
+        elif isinstance(value, Obj):
+            raw = value.field(attr)
+        elif value is None:
+            raw = None
+        else:
+            raise ExecutionError(
+                f"sort key {var}.{attr}: not an object binding"
+            )
+        parts = [_ranked(raw, ascending), _ranked(identity, ascending)]
+        parts.extend(
+            _ranked(value_key(row.get(name)), True) for name in tie_vars
+        )
+        return tuple(parts)
+
+    return key
+
+
 def row_key(row: Row) -> tuple:
     """Canonical hashable identity of a whole row."""
     return tuple(sorted((name, value_key(value)) for name, value in row.items()))
@@ -122,10 +192,12 @@ def row_key(row: Row) -> tuple:
 
 __all__ = [
     "Obj",
+    "ReversedKey",
     "Row",
     "eval_comparison",
     "eval_conjunction",
     "eval_term",
+    "ordering_key",
     "row_key",
     "value_key",
 ]

@@ -1,0 +1,87 @@
+"""CLI for the differential fuzzer.
+
+::
+
+    PYTHONPATH=src python -m repro.fuzz --seed 0 --iterations 200
+    PYTHONPATH=src python -m repro.fuzz --seed 7 --iterations 1000 \\
+        --write-corpus --corpus tests/corpus
+
+Exit status 0 when every configuration pair agreed on every case,
+1 when any mismatch was found (repros written when requested).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.fuzz.runner import DEFAULT_QUERIES_PER_WORLD, fuzz
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse CLI arguments, run the fuzz loop, print a summary."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differential plan-equivalence fuzzer.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--iterations", type=int, default=100)
+    parser.add_argument(
+        "--queries-per-world",
+        type=int,
+        default=DEFAULT_QUERIES_PER_WORLD,
+        help="queries drawn from each generated world",
+    )
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        nargs="*",
+        default=[2, 3],
+        metavar="N",
+        help="exchange degrees compared against the serial reference",
+    )
+    parser.add_argument(
+        "--corpus",
+        default="tests/corpus",
+        help="directory for failing repros (with --write-corpus)",
+    )
+    parser.add_argument(
+        "--write-corpus",
+        action="store_true",
+        help="shrink failures and save them under --corpus",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip minimization of failing cases",
+    )
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    log = (lambda message: None) if args.quiet else print
+    started = time.perf_counter()
+    stats = fuzz(
+        seed=args.seed,
+        iterations=args.iterations,
+        queries_per_world=args.queries_per_world,
+        degrees=tuple(args.parallelism),
+        shrink=not args.no_shrink,
+        corpus_dir=args.corpus if args.write_corpus else None,
+        log=log,
+    )
+    elapsed = time.perf_counter() - started
+    print(
+        f"{stats.iterations} cases ({stats.skipped} skipped), "
+        f"{stats.pairs_run} configuration pairs, "
+        f"{len(stats.mismatches)} mismatch(es) in {elapsed:.1f}s"
+    )
+    for mismatch in stats.mismatches:
+        print(f"  {mismatch}")
+    for path in stats.repro_paths:
+        print(f"  repro: {path}")
+    return 0 if stats.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

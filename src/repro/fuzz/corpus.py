@@ -1,0 +1,74 @@
+"""The fuzz corpus: shrunk repros as JSON, replayed forever by pytest.
+
+A corpus file is one JSON document holding a :class:`WorldSpec`, a
+:class:`QuerySpec`, and a free-form ``note`` describing the divergence
+that produced it.  File names are content-hashed so re-finding the same
+bug is idempotent.  ``tests/integration/test_corpus.py`` collects every
+file in ``tests/corpus/`` and asserts the oracle passes on it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.fuzz.querygen import QuerySpec
+from repro.fuzz.worldgen import WorldSpec
+
+
+def case_to_json(world: WorldSpec, query: QuerySpec, note: str = "") -> dict:
+    """One corpus document: note, rendered query, and both specs."""
+    return {
+        "note": note,
+        "query_text": query.render(),
+        "world": world.to_dict(),
+        "query": query.to_dict(),
+    }
+
+
+def case_from_json(data: dict) -> tuple[WorldSpec, QuerySpec]:
+    """Rebuild the (world, query) pair from a corpus document."""
+    return (
+        WorldSpec.from_dict(data["world"]),
+        QuerySpec.from_dict(data["query"]),
+    )
+
+
+def save_repro(
+    directory: str | Path, world: WorldSpec, query: QuerySpec, note: str = ""
+) -> Path:
+    """Write a repro file; returns its path (stable per case content)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    document = case_to_json(world, query, note)
+    canonical = json.dumps(
+        {"world": document["world"], "query": document["query"]},
+        sort_keys=True,
+    )
+    digest = hashlib.sha256(canonical.encode()).hexdigest()[:12]
+    path = directory / f"repro-{digest}.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_repro(path: str | Path) -> tuple[WorldSpec, QuerySpec]:
+    """Load one saved repro file back into its (world, query) pair."""
+    return case_from_json(json.loads(Path(path).read_text()))
+
+
+def corpus_files(directory: str | Path) -> list[Path]:
+    """Every repro file under ``directory`` (empty when it is missing)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("*.json"))
+
+
+__all__ = [
+    "case_from_json",
+    "case_to_json",
+    "corpus_files",
+    "load_repro",
+    "save_repro",
+]

@@ -1,0 +1,350 @@
+"""Random OODB worlds: schema, statistics, data, and indexes.
+
+A :class:`WorldSpec` is a small, JSON-serializable description of a
+database — types with path chains (single-valued references form a DAG
+to earlier types, so generation order is well defined), clustered and
+sparse extents, named sets, nullable scalars and dangling references,
+and attribute/path indexes.  :func:`build_database` turns a spec into a
+fully populated :class:`repro.api.Database`; :func:`random_world` draws
+a spec from a seeded RNG.  Specs round-trip through dicts so shrunk
+repros can live in ``tests/corpus/``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.api import Database
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Schema, TypeDef, ref, scalar, set_ref
+from repro.catalog.statistics import AttributeStats, CollectionStats
+from repro.storage.datagen import (
+    AttributeRecipe,
+    TypeRecipe,
+    generate_random_store,
+)
+
+#: Hard ceiling on per-type population, so fuzz worlds stay fast.
+MAX_COUNT = 80
+
+
+@dataclass(frozen=True)
+class AttrSpec:
+    """One attribute of a fuzz type (see AttributeRecipe for semantics)."""
+
+    name: str
+    kind: str = "scalar"  # "scalar" | "ref" | "set_ref"
+    scalar_type: str = "int"  # "int" | "str"
+    distinct: int = 8
+    null_prob: float = 0.0
+    target: str | None = None
+    set_max: int = 3
+
+
+@dataclass(frozen=True)
+class TypeSpec:
+    """One object type plus its population directives."""
+
+    name: str
+    count: int
+    attrs: tuple[AttrSpec, ...] = ()
+    object_size: int = 100
+    extent: bool = True
+    dense: bool = True
+    named_set: str | None = None
+    named_set_count: int = 0
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """An attribute or path index over one collection."""
+
+    name: str
+    collection: str
+    path: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class WorldSpec:
+    """A complete, reproducible world: schema + data seed + indexes."""
+
+    types: tuple[TypeSpec, ...]
+    indexes: tuple[IndexSpec, ...] = ()
+    data_seed: int = 0
+
+    # -- JSON round-trip ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {
+            "data_seed": self.data_seed,
+            "types": [
+                {
+                    "name": t.name,
+                    "count": t.count,
+                    "object_size": t.object_size,
+                    "extent": t.extent,
+                    "dense": t.dense,
+                    "named_set": t.named_set,
+                    "named_set_count": t.named_set_count,
+                    "attrs": [
+                        {
+                            "name": a.name,
+                            "kind": a.kind,
+                            "scalar_type": a.scalar_type,
+                            "distinct": a.distinct,
+                            "null_prob": a.null_prob,
+                            "target": a.target,
+                            "set_max": a.set_max,
+                        }
+                        for a in t.attrs
+                    ],
+                }
+                for t in self.types
+            ],
+            "indexes": [
+                {"name": ix.name, "collection": ix.collection, "path": list(ix.path)}
+                for ix in self.indexes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorldSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(
+            data_seed=data.get("data_seed", 0),
+            types=tuple(
+                TypeSpec(
+                    name=t["name"],
+                    count=t["count"],
+                    object_size=t.get("object_size", 100),
+                    extent=t.get("extent", True),
+                    dense=t.get("dense", True),
+                    named_set=t.get("named_set"),
+                    named_set_count=t.get("named_set_count", 0),
+                    attrs=tuple(
+                        AttrSpec(
+                            name=a["name"],
+                            kind=a.get("kind", "scalar"),
+                            scalar_type=a.get("scalar_type", "int"),
+                            distinct=a.get("distinct", 8),
+                            null_prob=a.get("null_prob", 0.0),
+                            target=a.get("target"),
+                            set_max=a.get("set_max", 3),
+                        )
+                        for a in t.get("attrs", ())
+                    ),
+                )
+                for t in data["types"]
+            ),
+            indexes=tuple(
+                IndexSpec(ix["name"], ix["collection"], tuple(ix["path"]))
+                for ix in data.get("indexes", ())
+            ),
+        )
+
+    # -- derived helpers ------------------------------------------------
+
+    def type_spec(self, name: str) -> TypeSpec:
+        """The spec of one type by name; raises KeyError when absent."""
+        for t in self.types:
+            if t.name == name:
+                return t
+        raise KeyError(name)
+
+    def collections(self) -> list[tuple[str, str]]:
+        """All scannable (collection name, element type) pairs."""
+        out: list[tuple[str, str]] = []
+        for t in self.types:
+            if t.extent:
+                out.append((f"extent({t.name})", t.name))
+            if t.named_set is not None:
+                out.append((t.named_set, t.name))
+        return out
+
+
+def build_database(spec: WorldSpec) -> Database:
+    """Materialize a spec: schema, catalog statistics, data, indexes."""
+    schema = Schema()
+    for t in spec.types:
+        attrs = []
+        for a in t.attrs:
+            if a.kind == "scalar":
+                attrs.append(scalar(a.name, a.scalar_type))
+            elif a.kind == "ref":
+                attrs.append(ref(a.name, a.target or ""))
+            else:
+                attrs.append(set_ref(a.name, a.target or ""))
+        schema.add_type(
+            TypeDef(t.name, object_size=t.object_size, attributes=tuple(attrs)),
+            with_extent=t.extent,
+        )
+        if t.named_set is not None:
+            schema.add_named_set(t.named_set, t.name)
+    catalog = Catalog(schema)
+
+    for t in spec.types:
+        attr_stats = {}
+        for a in t.attrs:
+            if a.kind == "scalar":
+                attr_stats[a.name] = AttributeStats(
+                    distinct_values=max(1, a.distinct)
+                )
+            elif a.kind == "set_ref":
+                attr_stats[a.name] = AttributeStats(
+                    avg_set_size=max(1.0, a.set_max / 2.0)
+                )
+        if t.extent:
+            catalog.set_stats(
+                f"extent({t.name})",
+                CollectionStats(t.count, attributes=dict(attr_stats)),
+            )
+        if t.named_set is not None:
+            catalog.set_stats(
+                t.named_set,
+                CollectionStats(
+                    min(t.named_set_count, t.count),
+                    attributes=dict(attr_stats),
+                ),
+            )
+
+    recipes = {
+        t.name: TypeRecipe(
+            count=t.count,
+            dense=t.dense,
+            named_set=t.named_set,
+            named_set_count=t.named_set_count,
+            attributes={
+                a.name: AttributeRecipe(
+                    kind=a.kind,
+                    scalar_type=a.scalar_type,
+                    distinct=a.distinct,
+                    null_prob=a.null_prob,
+                    target=a.target,
+                    set_max=a.set_max,
+                )
+                for a in t.attrs
+            },
+        )
+        for t in spec.types
+    }
+    store = generate_random_store(catalog, recipes, seed=spec.data_seed)
+    db = Database(catalog, store)
+    for ix in spec.indexes:
+        db.create_index(ix.name, ix.collection, ix.path)
+    return db
+
+
+# ----------------------------------------------------------------------
+# Random generation
+# ----------------------------------------------------------------------
+
+_SCALAR_NULL_PROBS = (0.0, 0.0, 0.0, 0.3, 0.5)
+_REF_NULL_PROBS = (0.0, 0.0, 0.25, 0.4)
+
+
+def random_world(rng: random.Random) -> WorldSpec:
+    """Draw a random world spec: 2-4 types in a reference DAG."""
+    n_types = rng.randint(2, 4)
+    types: list[TypeSpec] = []
+    for i in range(n_types):
+        name = f"T{i}"
+        attrs: list[AttrSpec] = []
+        for j in range(rng.randint(2, 3)):
+            scalar_type = rng.choice(("int", "str"))
+            attrs.append(
+                AttrSpec(
+                    name=f"s{j}",
+                    kind="scalar",
+                    scalar_type=scalar_type,
+                    distinct=rng.choice((2, 3, 5, 8)),
+                    null_prob=rng.choice(_SCALAR_NULL_PROBS),
+                )
+            )
+        if i > 0:
+            for j in range(rng.randint(0, 2)):
+                attrs.append(
+                    AttrSpec(
+                        name=f"r{j}",
+                        kind="ref",
+                        target=f"T{rng.randrange(i)}",
+                        null_prob=rng.choice(_REF_NULL_PROBS),
+                    )
+                )
+            if rng.random() < 0.3:
+                attrs.append(
+                    AttrSpec(
+                        name="members",
+                        kind="set_ref",
+                        target=f"T{rng.randrange(i)}",
+                        set_max=rng.randint(1, 4),
+                    )
+                )
+        count = rng.randint(4, min(MAX_COUNT, 60))
+        extent = True if i == 0 else rng.random() < 0.85
+        named_set = None
+        named_set_count = 0
+        if rng.random() < 0.3 or not extent:
+            named_set = f"Set{i}"
+            named_set_count = rng.randint(1, count)
+        types.append(
+            TypeSpec(
+                name=name,
+                count=count,
+                attrs=tuple(attrs),
+                object_size=rng.choice((64, 100, 200, 400)),
+                extent=extent,
+                dense=rng.random() < 0.8,
+                named_set=named_set,
+                named_set_count=named_set_count,
+            )
+        )
+    spec = WorldSpec(
+        types=tuple(types), indexes=(), data_seed=rng.randrange(2**31)
+    )
+    indexes: list[IndexSpec] = []
+    for k in range(rng.randint(0, 3)):
+        path = _random_index_path(rng, spec)
+        if path is None:
+            continue
+        collection, links = path
+        indexes.append(IndexSpec(f"ix{k}", collection, links))
+    return WorldSpec(
+        types=spec.types, indexes=tuple(indexes), data_seed=spec.data_seed
+    )
+
+
+def _random_index_path(
+    rng: random.Random, spec: WorldSpec
+) -> tuple[str, tuple[str, ...]] | None:
+    """A random (collection, REF* SCALAR path) usable as an index key."""
+    collections = spec.collections()
+    if not collections:
+        return None
+    collection, type_name = rng.choice(collections)
+    links: list[str] = []
+    current = spec.type_spec(type_name)
+    for _ in range(rng.randint(0, 2)):
+        refs = [a for a in current.attrs if a.kind == "ref"]
+        if not refs:
+            break
+        chosen = rng.choice(refs)
+        links.append(chosen.name)
+        current = spec.type_spec(chosen.target or "")
+    scalars = [a for a in current.attrs if a.kind == "scalar"]
+    if not scalars:
+        return None
+    links.append(rng.choice(scalars).name)
+    return collection, tuple(links)
+
+
+__all__ = [
+    "AttrSpec",
+    "IndexSpec",
+    "MAX_COUNT",
+    "TypeSpec",
+    "WorldSpec",
+    "build_database",
+    "random_world",
+]

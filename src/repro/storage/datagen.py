@@ -22,7 +22,7 @@ execution engine's observed cardinalities agree to within sampling noise:
 from __future__ import annotations
 
 import random
-from dataclasses import replace
+from dataclasses import dataclass, field, replace
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.sample_db import SampleSizes, build_catalog
@@ -233,11 +233,104 @@ def generate_store(
     return store
 
 
+# ----------------------------------------------------------------------
+# Generic random population (for arbitrary catalogs, e.g. the fuzzer)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AttributeRecipe:
+    """How to synthesize values of one attribute.
+
+    ``kind`` mirrors the schema attribute kind.  Scalar values are drawn
+    uniformly from ``distinct`` choices (ints, or ``"{attr}_{k}"``
+    strings); ``null_prob`` is the chance of storing None instead — for
+    reference attributes, of a dangling/absent link.  References choose
+    uniformly among the already-generated instances of ``target``.
+    """
+
+    kind: str = "scalar"  # "scalar" | "ref" | "set_ref"
+    scalar_type: str = "int"  # "int" | "str"
+    distinct: int = 8
+    null_prob: float = 0.0
+    target: str | None = None
+    set_max: int = 3
+
+
+@dataclass(frozen=True)
+class TypeRecipe:
+    """Population directives for one object type."""
+
+    count: int
+    attributes: dict[str, AttributeRecipe] = field(default_factory=dict)
+    dense: bool = True
+    named_set: str | None = None
+    named_set_count: int = 0
+
+
+def generate_random_store(
+    catalog: Catalog, recipes: dict[str, TypeRecipe], seed: int = 0
+) -> ObjectStore:
+    """Populate a store for an arbitrary catalog from per-type recipes.
+
+    Types are generated in recipe order, so reference attributes must
+    target types that appear *earlier* in ``recipes`` (the fuzzer's world
+    generator only produces such acyclic schemas).  A segment is created
+    for every recipe even when ``count`` is zero, so that sealed extents
+    of empty types remain scannable.
+    """
+    rng = random.Random(seed)
+    store = ObjectStore(catalog)
+    oids_by_type: dict[str, list[Oid]] = {}
+
+    def scalar_value(name: str, recipe: AttributeRecipe):
+        if recipe.null_prob and rng.random() < recipe.null_prob:
+            return None
+        choice = rng.randrange(max(1, recipe.distinct))
+        if recipe.scalar_type == "str":
+            return f"{name}_{choice}"
+        return choice
+
+    for type_name, recipe in recipes.items():
+        store.create_segment(type_name, dense=recipe.dense)
+        oids: list[Oid] = []
+        for _ in range(recipe.count):
+            data: dict[str, object] = {}
+            for attr_name, attr in recipe.attributes.items():
+                if attr.kind == "scalar":
+                    data[attr_name] = scalar_value(attr_name, attr)
+                elif attr.kind == "ref":
+                    pool = oids_by_type.get(attr.target or "", [])
+                    if not pool or (
+                        attr.null_prob and rng.random() < attr.null_prob
+                    ):
+                        data[attr_name] = None
+                    else:
+                        data[attr_name] = rng.choice(pool)
+                else:  # set_ref
+                    pool = oids_by_type.get(attr.target or "", [])
+                    size = min(len(pool), rng.randint(0, max(0, attr.set_max)))
+                    data[attr_name] = (
+                        tuple(rng.sample(pool, size)) if size else ()
+                    )
+            oids.append(store.insert(type_name, data))
+        oids_by_type[type_name] = oids
+        if recipe.named_set is not None:
+            store.register_collection(
+                recipe.named_set, oids[: recipe.named_set_count]
+            )
+    store.seal()
+    return store
+
+
 __all__ = [
     "DALLAS",
     "FRED",
     "JOE",
     "QUERY4_TIME",
+    "AttributeRecipe",
+    "TypeRecipe",
+    "generate_random_store",
     "generate_store",
     "scaled_sizes",
 ]

@@ -1,0 +1,34 @@
+"""Replay every minimized fuzz repro in ``tests/corpus/`` — forever.
+
+Each corpus file is a shrunk (world, query) pair that once exposed a
+real divergence between two execution configurations (see the ``note``
+inside each file).  This collector rebuilds the world from scratch and
+re-runs the full differential oracle on it, so a regression of any
+pinned bug fails loudly with the configuration pair that diverged.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import build_database, corpus_files, load_repro, run_case
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+CORPUS = corpus_files(CORPUS_DIR)
+
+
+def test_corpus_present():
+    """The shipped corpus must never silently vanish from collection."""
+    assert len(CORPUS) >= 18
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_case_stays_fixed(path):
+    world, query = load_repro(path)
+    db = build_database(world)
+    outcome = run_case(db, query)
+    assert not outcome.skipped, f"repro query no longer plans: {outcome.query}"
+    assert not outcome.mismatches, "\n".join(
+        str(m) for m in outcome.mismatches
+    )
+    assert outcome.pairs_run > 0

@@ -1,0 +1,105 @@
+"""Tie-heavy ORDER BY through the exchange: every degree, same sequence.
+
+Forty objects ordered by a path into a three-object type gives ~40/3
+rows per sort value — the ordered k-way merge sees nothing *but* ties.
+The engine's contract (``ordering_key``: value, then binding identity,
+then the plan's iteration variables) makes the order total, so the
+merged sequence must be byte-identical to the serial sort at every
+worker count, and the direct :class:`repro.engine.parallel.Exchange`
+merge must reproduce a serial :func:`repro.engine.iterators.sort_rows`.
+"""
+
+from repro.engine import iterators as it
+from repro.engine.parallel import Exchange, merge_key
+from repro.engine.tuples import row_key
+from repro.fuzz import AttrSpec, TypeSpec, WorldSpec, build_database
+
+TIE_WORLD = WorldSpec(
+    data_seed=11,
+    types=(
+        TypeSpec("T0", count=3, attrs=(AttrSpec("s0", distinct=2),)),
+        TypeSpec(
+            "T1",
+            count=40,
+            attrs=(
+                AttrSpec("s0", distinct=2, null_prob=0.3),
+                AttrSpec("r0", kind="ref", target="T0"),
+            ),
+        ),
+    ),
+)
+
+ORDERED = "SELECT * FROM x IN extent(T1) ORDER BY x.r0.s0 {direction}"
+
+
+class TestThroughTheOptimizer:
+    def _sequences(self, direction):
+        db = build_database(TIE_WORLD)
+        serial = db.query(
+            ORDERED.format(direction=direction), use_cache=False
+        ).rows
+        assert len(serial) == 40
+        reference = [row_key(r) for r in serial]
+        for degree in (1, 2, 3, 4):
+            rows = db.query(
+                ORDERED.format(direction=direction),
+                use_cache=False,
+                parallelism=degree,
+            ).rows
+            yield degree, reference, [row_key(r) for r in rows]
+
+    def test_desc_ties_stable_across_worker_counts(self):
+        for degree, reference, candidate in self._sequences("DESC"):
+            assert candidate == reference, f"parallelism={degree} diverged"
+
+    def test_asc_ties_stable_across_worker_counts(self):
+        for degree, reference, candidate in self._sequences("ASC"):
+            assert candidate == reference, f"parallelism={degree} diverged"
+
+
+class TestDirectExchangeMerge:
+    def _rows(self):
+        db = build_database(TIE_WORLD)
+        return db.query("SELECT * FROM x IN extent(T1)", use_cache=False).rows
+
+    def test_ordered_merge_equals_serial_sort(self):
+        rows = self._rows()
+        tie_vars = ("x",)
+        serial = [
+            row_key(r)
+            for r in it.sort_rows(rows, "x", "s0", True, tie_vars)
+        ]
+        for degree in (2, 3, 4):
+            partitions = [rows[i::degree] for i in range(degree)]
+            sorted_parts = [
+                it.sort_rows(part, "x", "s0", True, tie_vars)
+                for part in partitions
+            ]
+            merged = Exchange(
+                sorted_parts,
+                ordered=True,
+                key=merge_key("x", "s0", True, tie_vars),
+            )
+            assert [row_key(r) for r in merged] == serial, (
+                f"{degree}-way merge diverged from the serial sort"
+            )
+
+    def test_merge_handles_all_null_partition(self):
+        rows = self._rows()
+        null_rows = [r for r in rows if r["x"].field("s0") is None]
+        value_rows = [r for r in rows if r["x"].field("s0") is not None]
+        assert null_rows and value_rows  # null_prob=0.3 guarantees both
+        tie_vars = ("x",)
+        serial = [
+            row_key(r)
+            for r in it.sort_rows(rows, "x", "s0", False, tie_vars)
+        ]
+        merged = Exchange(
+            [
+                it.sort_rows(null_rows, "x", "s0", False, tie_vars),
+                it.sort_rows(value_rows, "x", "s0", False, tie_vars),
+            ],
+            ordered=True,
+            key=merge_key("x", "s0", False, tie_vars),
+        )
+        assert [row_key(r) for r in merged] == serial

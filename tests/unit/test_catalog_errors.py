@@ -1,0 +1,95 @@
+"""Catalog error handling: narrow catches, traced warnings, loud bugs.
+
+``Catalog.collection`` translates a schema "no such collection" into a
+:class:`repro.errors.CatalogError` and (when a tracer is attached)
+records a warning event.  Crucially it must catch *only*
+:class:`~repro.errors.SchemaError` — a genuine programming error inside
+the schema layer has to propagate, not get laundered into a polite
+"unknown collection" message.
+"""
+
+import pytest
+
+from repro.api import Database
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Schema, TypeDef, scalar
+from repro.errors import CatalogError
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+
+def _catalog() -> Catalog:
+    schema = Schema()
+    schema.add_type(
+        TypeDef("Person", 100, (scalar("name", "str"),)), with_extent=True
+    )
+    return Catalog(schema)
+
+
+class TestUnknownCollection:
+    def test_raises_catalog_error(self):
+        with pytest.raises(CatalogError, match="unknown collection"):
+            _catalog().collection("Nope")
+
+    def test_chains_the_schema_error(self):
+        try:
+            _catalog().collection("Nope")
+        except CatalogError as exc:
+            from repro.errors import SchemaError
+
+            assert isinstance(exc.__cause__, SchemaError)
+
+    def test_traced_lookup_records_a_warning(self):
+        catalog = _catalog()
+        catalog.tracer = Tracer()
+        with pytest.raises(CatalogError):
+            catalog.collection("Nope")
+        (event,) = catalog.tracer.events_in("warning")
+        assert event.name == "unknown-collection"
+        assert ("collection", "Nope") in event.detail
+
+    def test_null_tracer_records_nothing(self):
+        catalog = _catalog()
+        assert catalog.tracer is NULL_TRACER
+        with pytest.raises(CatalogError):
+            catalog.collection("Nope")
+        assert catalog.tracer.events == []
+
+
+class TestProgrammingErrorsPropagate:
+    def test_runtime_error_is_not_swallowed(self, monkeypatch):
+        catalog = _catalog()
+
+        def boom(name):
+            raise RuntimeError("schema layer bug")
+
+        monkeypatch.setattr(catalog._schema, "collection", boom)
+        with pytest.raises(RuntimeError, match="schema layer bug"):
+            catalog.collection("Persons")
+
+    def test_type_error_is_not_swallowed(self, monkeypatch):
+        catalog = _catalog()
+        monkeypatch.setattr(
+            catalog._schema,
+            "collection",
+            lambda name: (_ for _ in ()).throw(TypeError("bad call")),
+        )
+        with pytest.raises(TypeError):
+            catalog.collection("extent(Person)")
+
+
+class TestDatabaseTracerWiring:
+    def test_assigning_db_tracer_reaches_the_catalog(self):
+        db = Database(_catalog())
+        tracer = Tracer()
+        db.tracer = tracer
+        assert db.catalog.tracer is tracer
+        with pytest.raises(CatalogError):
+            db.catalog.collection("Nope")
+        assert tracer.events_in("warning")
+
+    def test_assigning_none_restores_the_null_tracer(self):
+        db = Database(_catalog())
+        db.tracer = Tracer()
+        db.tracer = None
+        assert db.tracer is NULL_TRACER
+        assert db.catalog.tracer is NULL_TRACER

@@ -1,0 +1,189 @@
+"""NULL (missing-attribute) semantics, identical across every operator.
+
+The engine's contract is SQL-style: a comparison over None is false, so
+nulls never satisfy a predicate, never equi-join, and never eliminate a
+row from an anti-join — and the sort enforcer orders them *last* in both
+directions instead of crashing on ``None < int``.  These tests pin each
+operator's behaviour directly, independent of the differential fuzzer
+that originally found the divergences.
+"""
+
+import pytest
+
+from repro.algebra.predicates import (
+    CompOp,
+    Comparison,
+    Conjunction,
+    Const,
+    FieldRef,
+)
+from repro.catalog.catalog import Catalog, IndexDef, extent_name
+from repro.catalog.schema import Schema, TypeDef, scalar
+from repro.engine import iterators as it
+from repro.engine.tuples import eval_comparison, ordering_key
+from repro.storage.index import IndexRuntime
+from repro.storage.store import ObjectStore
+
+PERSONS = extent_name("Person")
+PETS = extent_name("Pet")
+
+
+def _catalog() -> Catalog:
+    schema = Schema()
+    schema.add_type(
+        TypeDef("Person", 400, (scalar("name", "str"), scalar("age"))),
+        with_extent=True,
+    )
+    schema.add_type(
+        TypeDef("Pet", 400, (scalar("name", "str"),)),
+        with_extent=True,
+    )
+    return Catalog(schema)
+
+
+@pytest.fixture()
+def store() -> ObjectStore:
+    store = ObjectStore(_catalog())
+    for name, age in [
+        ("joe", 50),
+        (None, None),
+        ("ann", 30),
+        ("joe", None),
+    ]:
+        store.insert("Person", {"name": name, "age": age})
+    for name in ["joe", None, "rex"]:
+        store.insert("Pet", {"name": name})
+    store.seal()
+    return store
+
+
+class TestComparisons:
+    def test_null_compares_false_under_every_op(self):
+        row = {"p": None}
+        for op in CompOp:
+            comparison = Comparison(Const(None), op, Const(1))
+            assert eval_comparison(comparison, row) is False
+            flipped = Comparison(Const(1), op, Const(None))
+            assert eval_comparison(flipped, row) is False
+
+    def test_null_does_not_equal_null(self):
+        comparison = Comparison(Const(None), CompOp.EQ, Const(None))
+        assert eval_comparison(comparison, {}) is False
+
+    def test_cross_type_comparison_is_false_not_a_crash(self):
+        comparison = Comparison(Const("joe"), CompOp.LT, Const(7))
+        assert eval_comparison(comparison, {}) is False
+
+
+class TestSortEnforcer:
+    def test_nulls_sort_last_ascending(self, store):
+        rows = it.file_scan(store, PERSONS, "p")
+        out = list(it.sort_rows(rows, "p", "age", True))
+        assert [r["p"].field("age") for r in out] == [30, 50, None, None]
+
+    def test_nulls_sort_last_descending_too(self, store):
+        rows = it.file_scan(store, PERSONS, "p")
+        out = list(it.sort_rows(rows, "p", "age", False))
+        assert [r["p"].field("age") for r in out] == [50, 30, None, None]
+
+    def test_tie_vars_make_the_order_total(self, store):
+        people = list(it.file_scan(store, PERSONS, "p"))
+        pets = list(it.file_scan(store, PETS, "q"))
+        # Every row shares the same p: the key ties completely without
+        # tie_vars, but the q component makes each key distinct.
+        rows = [{"p": people[0]["p"], "q": pet["q"]} for pet in pets]
+        key = ordering_key("p", "age", True, tie_vars=("q",))
+        keys = [key(r) for r in rows]
+        assert len(set(keys)) == len(keys)
+        forward = sorted(rows, key=key)
+        backward = sorted(reversed(rows), key=key)
+        assert [r["q"].oid for r in forward] == [r["q"].oid for r in backward]
+
+
+class TestIndexScan:
+    def test_ne_probe_excludes_the_null_bucket(self, store):
+        index = IndexRuntime.build(
+            store, IndexDef("ix", PERSONS, ("name",), 3)
+        )
+        rows = list(
+            it.index_scan(
+                store,
+                index,
+                "p",
+                Comparison(FieldRef("p", "name"), CompOp.NE, Const("joe")),
+                Conjunction.true(),
+            )
+        )
+        # Only "ann": the two "joe"s are equal, the null name is unknown.
+        assert [r["p"].field("name") for r in rows] == ["ann"]
+
+    def test_eq_probe_never_returns_null_keys(self, store):
+        index = IndexRuntime.build(
+            store, IndexDef("ix", PERSONS, ("name",), 3)
+        )
+        rows = list(
+            it.index_scan(
+                store,
+                index,
+                "p",
+                Comparison(FieldRef("p", "name"), CompOp.EQ, Const("joe")),
+                Conjunction.true(),
+            )
+        )
+        assert all(r["p"].field("name") == "joe" for r in rows)
+        assert len(rows) == 2
+
+
+class TestHashJoin:
+    def _join(self, store):
+        people = list(it.file_scan(store, PERSONS, "p"))
+        pets = list(it.file_scan(store, PETS, "q"))
+        pred = Conjunction.of(
+            Comparison(
+                FieldRef("p", "name"), CompOp.EQ, FieldRef("q", "name")
+            )
+        )
+        return people, pets, pred
+
+    def test_null_keys_never_match(self, store):
+        people, pets, pred = self._join(store)
+        out = list(it.hash_join(people, pets, pred))
+        # joe(50) and joe(None) each match the pet "joe"; the null names
+        # on both sides never pair up, even though dict equality would
+        # happily have said None == None.
+        assert sorted(r["p"].field("age") or 0 for r in out) == [0, 50]
+        assert all(r["q"].field("name") == "joe" for r in out)
+
+    def test_matches_nested_loops_exactly(self, store):
+        people, pets, pred = self._join(store)
+        hj = {
+            (r["p"].oid, r["q"].oid)
+            for r in it.hash_join(people, pets, pred)
+        }
+        nl = {
+            (r["p"].oid, r["q"].oid)
+            for r in it.nested_loops_join(people, pets, pred)
+        }
+        assert hj == nl
+
+
+class TestAntiJoin:
+    def test_null_left_key_survives_and_null_right_rows_do_not_kill(
+        self, store
+    ):
+        people = list(it.file_scan(store, PERSONS, "p"))
+        pets = list(it.file_scan(store, PETS, "q"))
+        pred = Conjunction.of(
+            Comparison(
+                FieldRef("p", "name"), CompOp.EQ, FieldRef("q", "name")
+            )
+        )
+        out = list(it.anti_join(people, pets, pred))
+        # Survivors: ann (no pet named ann) and the null-named person
+        # (NOT EXISTS over an always-unknown predicate is true).  Both
+        # joes are eliminated by the pet "joe"; the null-named pet
+        # eliminates nobody.
+        names = sorted(
+            (r["p"].field("name") or "<null>") for r in out
+        )
+        assert names == ["<null>", "ann"]
