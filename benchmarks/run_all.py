@@ -37,6 +37,7 @@ MODULES = [
     "bench_plan_cache",
     "bench_explain_analyze",
     "bench_parallel",
+    "bench_governor",
 ]
 
 

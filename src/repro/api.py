@@ -15,9 +15,10 @@ Typical use::
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, replace
-from typing import Any, Union
+from typing import Any, Mapping, Union
 
 from repro.baselines.greedy import GreedyOptimizer
 from repro.baselines.naive import NaiveOptimizer
@@ -33,8 +34,16 @@ from repro.catalog.catalog import Catalog, IndexDef
 from repro.catalog.sample_db import SampleSizes, build_catalog
 from repro.engine.executor import ExecutionResult, Executor
 from repro.engine.tuples import Row
-from repro.errors import CatalogError, ParameterBindingError, StorageError
+from repro.errors import (
+    CatalogError,
+    IndexCorruptionError,
+    ParameterBindingError,
+    StorageError,
+)
 from repro.algebra.operators import LogicalOp
+from repro.governor.admission import AdmissionController
+from repro.governor.context import QueryContext
+from repro.governor.faults import FaultPlan
 from repro.obs.explain import ExplainReport, build_report
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.lang.ast import QueryAst, SetQueryAst
@@ -59,6 +68,10 @@ class QueryResult:
     # How the plan cache treated this query (None on the uncached
     # pipeline, e.g. ``Database.optimize`` or logical-tree input).
     cache: CacheInfo | None = None
+    # The governor context the query ran under (None when ungoverned);
+    # carries the degradation markers (`governor.degraded`) and, under
+    # fault injection, the injector's stats.
+    governor: QueryContext | None = None
 
     def explain(self, costs: bool = False) -> str:
         return self.optimization.explain(costs=costs)
@@ -85,6 +98,10 @@ class Database:
         # `cache_plans = False` (or `query(..., use_cache=False)`) opts out.
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.cache_plans = True
+        # Optional admission controller: when set, `query` (and prepared
+        # executions) wait for a slot and raise AdmissionRejected after
+        # the controller's bounded wait.  None = unlimited concurrency.
+        self.admission: AdmissionController | None = None
         # Observability sink for recoverable warnings (and, when callers
         # pass none of their own, for traced optimizations).  Disabled by
         # default; assign an enabled Tracer to capture events.  The
@@ -251,12 +268,15 @@ class Database:
         query: Union[str, QueryAst, SetQueryAst, LogicalOp],
         config: OptimizerConfig | None = None,
         tracer: Tracer | None = None,
+        governor: QueryContext | None = None,
     ) -> OptimizationResult:
         """Optimize a query (text, AST, or logical tree) into a plan.
 
         ``tracer`` (default: the database's own, normally disabled)
         records rule firings, prunes, and enforcer applications for the
-        run; see ``OptimizationResult.trace_events``.
+        run; see ``OptimizationResult.trace_events``.  ``governor``
+        bounds the search (anytime: the deadline degrades, it does not
+        fail — see :class:`~repro.governor.QueryContext`).
         """
         if isinstance(query, LogicalOp):
             tree, result_vars, order = query, (), None
@@ -265,12 +285,16 @@ class Database:
             tree = simplified.tree
             result_vars = simplified.result_vars
             order = simplified.order
-        optimizer = Optimizer(self.catalog, config or self.config)
+        config = config or self.config
+        if governor is not None and governor.memory_bytes is not None:
+            config = config.with_memory_budget(governor.memory_bytes)
+        optimizer = Optimizer(self.catalog, config)
         return optimizer.optimize(
             tree,
             result_vars=result_vars,
             order=order,
             tracer=tracer if tracer is not None else self.tracer,
+            query_ctx=governor,
         )
 
     def explain(
@@ -299,6 +323,7 @@ class Database:
         config: OptimizerConfig | None = None,
         cold: bool = True,
         tracer: Tracer | None = None,
+        governor: QueryContext | None = None,
     ) -> ExplainReport:
         """EXPLAIN ANALYZE: optimize with tracing, execute instrumented.
 
@@ -311,10 +336,16 @@ class Database:
         if self.executor is None:
             raise CatalogError("EXPLAIN ANALYZE requires a populated store")
         tracer = tracer if tracer is not None else Tracer()
+        if governor is not None and governor.tracer is NULL_TRACER:
+            governor.tracer = tracer
         text = query if isinstance(query, str) else str(query)
-        optimization = self.optimize(query, config, tracer=tracer)
+        optimization = self.optimize(query, config, tracer=tracer, governor=governor)
         execution = self.executor.execute(
-            optimization.plan, cold=cold, collect_stats=True, tracer=tracer
+            optimization.plan,
+            cold=cold,
+            collect_stats=True,
+            tracer=tracer,
+            ctx=governor,
         )
         return build_report(
             text,
@@ -329,15 +360,18 @@ class Database:
         plan: PhysicalNode,
         cold: bool = True,
         result_vars: tuple[str, ...] = (),
+        ctx: QueryContext | None = None,
     ) -> ExecutionResult:
         """Run a physical plan with fresh I/O accounting.
 
         ``result_vars`` optionally prunes rows to the user-visible
-        variables (as `query` does for SELECT *).
+        variables (as `query` does for SELECT *).  ``ctx`` makes the run
+        governed: deadline/cancel polls on every pipeline, memory-budget
+        spill in sort and hash joins, fault injection on disk reads.
         """
         if self.executor is None:
             raise CatalogError("this database has no populated store")
-        result = self.executor.execute(plan, cold=cold)
+        result = self.executor.execute(plan, cold=cold, ctx=ctx)
         if result_vars:
             keep = set(result_vars)
             result.rows = [
@@ -353,6 +387,8 @@ class Database:
         execute: bool = True,
         use_cache: bool | None = None,
         parallelism: int | None = None,
+        options: Mapping[str, Any] | None = None,
+        governor: QueryContext | None = None,
     ) -> QueryResult:
         """Parse, simplify, optimize, and (by default) execute a query.
 
@@ -366,9 +402,20 @@ class Database:
         (the cost model decides whether they pay off; small inputs stay
         serial).  The parallelism degree is part of the effective config,
         so cached serial and parallel plans never collide.
+
+        ``options`` sets per-query resource limits by ``$``-key:
+        ``$timeout`` (whole-query deadline, ms — exceeding it raises
+        :class:`~repro.errors.QueryTimeout`), ``$memory`` (operator
+        memory budget, bytes — sorts and hash joins beyond it spill to
+        temp segments), ``$search_timeout`` (optimizer-search budget, ms
+        — soft: the search degrades, the query still runs), ``$chaos``
+        (fault-injection seed, for testing).  Alternatively pass a fully
+        built ``governor`` :class:`~repro.governor.QueryContext`; the
+        result's ``.governor`` carries degradation markers either way.
         """
         if parallelism is not None:
             config = (config or self.config).with_parallelism(parallelism)
+        governor = self._governor_for(options, governor)
         parameterized = parameterize(self.parse(text), auto=True)
         if parameterized.user_param_names:
             names = ", ".join(f"${n}" for n in parameterized.user_param_names)
@@ -384,6 +431,38 @@ class Database:
             config=config,
             execute=execute,
             use_cache=use_cache,
+            governor=governor,
+        )
+
+    #: The option keys `query` understands (anything else is an error).
+    _OPTION_KEYS = ("$timeout", "$memory", "$search_timeout", "$chaos")
+
+    def _governor_for(
+        self,
+        options: Mapping[str, Any] | None,
+        governor: QueryContext | None,
+    ) -> QueryContext | None:
+        """Build a QueryContext from ``$``-key options (or pass one through)."""
+        if options is None or not options:
+            return governor
+        if governor is not None:
+            raise ParameterBindingError(
+                "pass either options or a prebuilt governor, not both"
+            )
+        unknown = sorted(set(options) - set(self._OPTION_KEYS))
+        if unknown:
+            known = ", ".join(self._OPTION_KEYS)
+            raise ParameterBindingError(
+                f"unknown query option(s) {', '.join(unknown)}; "
+                f"supported: {known}"
+            )
+        chaos = options.get("$chaos")
+        return QueryContext(
+            timeout_ms=options.get("$timeout"),
+            search_timeout_ms=options.get("$search_timeout"),
+            memory_bytes=options.get("$memory"),
+            fault_plan=FaultPlan.chaos(int(chaos)) if chaos is not None else None,
+            tracer=self.tracer,
         )
 
     # ------------------------------------------------------------------
@@ -434,6 +513,7 @@ class Database:
         execute: bool = True,
         use_cache: bool = True,
         dynamic: bool = False,
+        governor: QueryContext | None = None,
     ) -> QueryResult:
         """The cached query pipeline shared by `query` and PreparedQuery.
 
@@ -441,6 +521,34 @@ class Database:
         values; validation has already happened for prepared queries.
         """
         config = config or self.config
+        if governor is not None:
+            governor.start()
+            if governor.memory_bytes is not None:
+                # The cost model plans against the same budget the
+                # executor enforces (and budgeted plans get their own
+                # cache key, since the config is part of it).
+                config = config.with_memory_budget(governor.memory_bytes)
+        admit = (
+            self.admission.admit()
+            if self.admission is not None
+            else contextlib.nullcontext()
+        )
+        with admit:
+            return self._run_governed(
+                parameterized, values, config, execute, use_cache, dynamic,
+                governor,
+            )
+
+    def _run_governed(
+        self,
+        parameterized: ParameterizedQuery,
+        values: dict[str, Any],
+        config: OptimizerConfig,
+        execute: bool,
+        use_cache: bool,
+        dynamic: bool,
+        governor: QueryContext | None,
+    ) -> QueryResult:
         if not use_cache or not parameterized.cacheable:
             bound = bind_template(parameterized, values, tagged=False)
             simplified = simplify_full(bound, self.catalog)
@@ -448,10 +556,14 @@ class Database:
                 simplified.tree,
                 result_vars=simplified.result_vars,
                 order=simplified.order,
+                query_ctx=governor,
             )
             outcome = "bypass" if parameterized.cacheable else "uncacheable"
             info = CacheInfo(outcome, parameterized.text_key, self.catalog.version)
-            return self._finish(optimization, simplified.result_vars, execute, info)
+            return self._finish(
+                optimization, simplified.result_vars, execute, info,
+                config=config, governor=governor,
+            )
 
         key = self._cache_key(parameterized, config, dynamic)
         entry, outcome = self.plan_cache.lookup(key, self.catalog)
@@ -466,7 +578,10 @@ class Database:
             info = CacheInfo(
                 outcome, key, self.catalog.version, entry.optimization_seconds
             )
-            return self._finish(optimization, entry.result_vars, execute, info)
+            return self._finish(
+                optimization, entry.result_vars, execute, info,
+                config=config, governor=governor,
+            )
 
         # Miss: optimize with tagged constants so the stored plan can be
         # re-bound, then cache it for the current catalog version.
@@ -477,6 +592,7 @@ class Database:
             simplified.tree,
             result_vars=simplified.result_vars,
             order=simplified.order,
+            query_ctx=governor,
         )
         dynamic_plan = None
         if dynamic:
@@ -492,6 +608,15 @@ class Database:
                     order=simplified.order,
                 )
         elapsed = time.perf_counter() - started
+        if governor is not None and governor.degraded:
+            # A deadline-truncated search produced a best-effort plan;
+            # caching it would serve degraded plans to future un-degraded
+            # runs of the same query shape.
+            info = CacheInfo("bypass", key, self.catalog.version)
+            return self._finish(
+                optimization, simplified.result_vars, execute, info,
+                config=config, governor=governor,
+            )
         self.plan_cache.store(
             CacheEntry(
                 key=key,
@@ -505,7 +630,10 @@ class Database:
             )
         )
         info = CacheInfo("miss", key, self.catalog.version)
-        return self._finish(optimization, simplified.result_vars, execute, info)
+        return self._finish(
+            optimization, simplified.result_vars, execute, info,
+            config=config, governor=governor,
+        )
 
     def _finish(
         self,
@@ -513,6 +641,8 @@ class Database:
         result_vars: tuple[str, ...],
         execute: bool,
         info: CacheInfo,
+        config: OptimizerConfig | None = None,
+        governor: QueryContext | None = None,
     ) -> QueryResult:
         execution = None
         rows: list[Row] = []
@@ -520,9 +650,55 @@ class Database:
             # SELECT *: the user sees the range variables; helper scope
             # variables a particular plan happened to materialize are
             # not part of the result.
-            execution = self.execute_plan(optimization.plan, result_vars=result_vars)
+            try:
+                execution = self.execute_plan(
+                    optimization.plan, result_vars=result_vars, ctx=governor
+                )
+            except IndexCorruptionError as exc:
+                # Degradation ladder, step 2 (after the buffer pool's
+                # retries): a persistently corrupt index can't be read,
+                # but the base collections still can — replan without
+                # index access paths and run the scan-based plan under
+                # the same governor (same clocks, same injector).
+                optimization, execution = self._degrade_to_scan(
+                    exc, optimization, result_vars, config, governor
+                )
             rows = execution.rows
-        return QueryResult(rows, optimization.plan, optimization, execution, info)
+        return QueryResult(
+            rows, optimization.plan, optimization, execution, info,
+            governor=governor,
+        )
+
+    def _degrade_to_scan(
+        self,
+        exc: IndexCorruptionError,
+        optimization: OptimizationResult,
+        result_vars: tuple[str, ...],
+        config: OptimizerConfig | None,
+        governor: QueryContext | None,
+    ) -> tuple[OptimizationResult, ExecutionResult]:
+        """Replan a query whose chosen index turned out corrupt."""
+        from repro.optimizer.config import COLLAPSE_TO_INDEX_SCAN
+
+        if governor is not None:
+            governor.mark_degraded("index_corruption", index=exc.index_name)
+        elif self.tracer.enabled:
+            self.tracer.event(
+                "degraded", "index_corruption", index=exc.index_name
+            )
+        degraded_config = (config or self.config).without(
+            COLLAPSE_TO_INDEX_SCAN
+        )
+        optimization = Optimizer(self.catalog, degraded_config).optimize(
+            optimization.logical,
+            required=optimization.required,
+            tracer=self.tracer,
+            query_ctx=governor,
+        )
+        execution = self.execute_plan(
+            optimization.plan, result_vars=result_vars, ctx=governor
+        )
+        return optimization, execution
 
     # ------------------------------------------------------------------
     # Dynamic plan selection (ObjectStore's capability, cost-based)

@@ -29,6 +29,15 @@ Dot-commands:
 ``.parallel N``      offer N-worker exchange plans to the optimizer for
                      subsequent queries ( .parallel 1 returns to serial;
                      bare .parallel shows the current degree )
+``.timeout MS``      deadline for subsequent queries, in milliseconds;
+                     queries over it fail with QueryTimeout
+                     ( .timeout off clears; bare .timeout shows it )
+``.memory BYTES``    per-query operator memory budget; sorts and hash
+                     joins beyond it spill to temp segments
+                     ( .memory off clears; bare .memory shows it )
+``.chaos SEED``      seeded fault injection (transient read errors,
+                     latency spikes, corrupt indexes) for subsequent
+                     queries ( .chaos off clears; bare .chaos shows it )
 ``.quit``            leave
 ===================  ====================================================
 
@@ -66,6 +75,11 @@ class Shell:
         self.disabled: set[str] = set()
         self.prepared: dict[str, object] = {}
         self.parallelism = 1
+        # Session resource limits (None = unlimited), applied to every
+        # subsequent query via the governor's $-options.
+        self.timeout_ms: float | None = None
+        self.memory_bytes: int | None = None
+        self.chaos_seed: int | None = None
 
     # ------------------------------------------------------------------
 
@@ -206,8 +220,41 @@ class Shell:
             self.parallelism = degree
             label = "serial" if degree == 1 else f"{degree} workers"
             print(f"parallelism set to {degree} ({label})")
+        elif command == ".timeout" and len(args) <= 1:
+            self.timeout_ms = self._limit(
+                args, self.timeout_ms, "timeout", float, "ms"
+            )
+        elif command == ".memory" and len(args) <= 1:
+            self.memory_bytes = self._limit(
+                args, self.memory_bytes, "memory budget", int, "bytes"
+            )
+        elif command == ".chaos" and len(args) <= 1:
+            self.chaos_seed = self._limit(
+                args, self.chaos_seed, "chaos seed", int, ""
+            )
         else:
             print(f"unknown command {line!r}; try .help")
+
+    @staticmethod
+    def _limit(args, current, label, parse, unit):
+        """Shared show/set/clear handling for .timeout/.memory/.chaos."""
+        if not args:
+            shown = "off" if current is None else f"{current:g} {unit}".strip()
+            print(f"{label}: {shown}")
+            return current
+        if args[0] in ("off", "none"):
+            print(f"{label} cleared")
+            return None
+        try:
+            value = parse(args[0])
+        except ValueError:
+            print(f"error: expected a number, got {args[0]!r}")
+            return current
+        if value <= 0 and label != "chaos seed":
+            print(f"error: {label} must be positive")
+            return current
+        print(f"{label} set to {value:g} {unit}".rstrip())
+        return value
 
     def _trace(self, text: str) -> None:
         """Optimize ``text`` with an enabled tracer and print the trace.
@@ -234,8 +281,21 @@ class Shell:
             if event.category in ("prune", "enforcer", "warning", "phase"):
                 print(f"  {event.format()}")
 
+    def _options(self) -> dict | None:
+        """The session's resource limits as `Database.query` $-options."""
+        options: dict = {}
+        if self.timeout_ms is not None:
+            options["$timeout"] = self.timeout_ms
+        if self.memory_bytes is not None:
+            options["$memory"] = self.memory_bytes
+        if self.chaos_seed is not None:
+            options["$chaos"] = self.chaos_seed
+        return options or None
+
     def _query(self, text: str) -> None:
-        self._print_result(self.db.query(text, config=self._config()))
+        self._print_result(
+            self.db.query(text, config=self._config(), options=self._options())
+        )
 
     def _print_result(self, result) -> None:
         """Render one QueryResult: plan, rows, I/O and cache summary."""
@@ -246,12 +306,20 @@ class Shell:
         if remaining > 0:
             print(f"  ... {remaining} more rows")
         if result.execution is not None:
+            spill = ""
+            if result.execution.spill_page_writes:
+                spill = (
+                    f", spilled {result.execution.spill_page_writes} pages"
+                )
             print(
                 f"-- {len(result.rows)} rows, simulated I/O "
                 f"{result.execution.simulated_io_seconds:.3f}s, "
                 f"{result.execution.page_reads} page reads, wall "
-                f"{result.execution.wall_seconds * 1000:.1f} ms"
+                f"{result.execution.wall_seconds * 1000:.1f} ms{spill}"
             )
+        if result.governor is not None and result.governor.degraded:
+            reasons = ", ".join(dict.fromkeys(result.governor.degraded))
+            print(f"-- degraded: {reasons}")
         if result.cache is not None:
             saved = (
                 f", saved {result.cache.saved_seconds * 1000:.1f} ms"

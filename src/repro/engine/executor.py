@@ -9,6 +9,8 @@ from typing import Iterator
 from repro.engine import iterators, parallel
 from repro.engine.tuples import Row
 from repro.errors import ExecutionError
+from repro.governor import spill
+from repro.governor.context import QueryContext, governed
 from repro.obs.runtime import RunStatsCollector
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.optimizer.plans import (
@@ -50,6 +52,8 @@ class ExecutionResult:
     buffer_hit_rate: float
     wall_seconds: float
     operator_stats: "RunStatsCollector | None" = None
+    spill_page_writes: int = 0
+    spill_page_reads: int = 0
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -72,6 +76,9 @@ class Executor:
         # Iteration variables of the plan currently running — the sort
         # enforcer's and ordered merge's deterministic tie-break.
         self._tie_vars: tuple[str, ...] = ()
+        # Governor context of the query currently running (deadline,
+        # cancel token, memory budget); None for ungoverned queries.
+        self._ctx: QueryContext | None = None
 
     def runtime_index(self, name: str) -> IndexRuntime:
         """The built runtime index for a catalog index name (cached)."""
@@ -97,6 +104,7 @@ class Executor:
         cold: bool = True,
         collect_stats: bool = False,
         tracer: Tracer | None = None,
+        ctx: QueryContext | None = None,
     ) -> ExecutionResult:
         """Run a plan to completion with fresh I/O accounting.
 
@@ -105,6 +113,12 @@ class Executor:
         the collector as ``ExecutionResult.operator_stats`` — the raw
         material of EXPLAIN ANALYZE.  ``tracer`` (default: the executor's
         own, normally disabled) receives exchange span events.
+
+        ``ctx`` (a :class:`repro.governor.QueryContext`) arms the
+        governor: every pipeline polls the deadline/cancel token at
+        batch granularity, blocking operators honour ``memory_bytes`` by
+        spilling, and the context's fault injector (if any) is installed
+        on the buffer pool for the duration of the run.
         """
         # Build any needed indexes *before* resetting the clocks.
         for node in plan.walk():
@@ -115,13 +129,34 @@ class Executor:
         previous_tracer = self.tracer
         if tracer is not None:
             self.tracer = tracer
+        buffer = self.store.buffer
+        previous_faults = buffer.faults
+        if ctx is not None:
+            ctx.start()
+            if ctx.faults is not None:
+                buffer.faults = ctx.faults
         self._tie_vars = iteration_vars(plan)
+        self._ctx = ctx
         started = time.perf_counter()
         try:
             rows = list(self.rows(plan, collector))
         finally:
+            run_tracer = self.tracer
             self.tracer = previous_tracer
             self._tie_vars = ()
+            self._ctx = None
+            buffer.faults = previous_faults
+            # The instrumented iterators pop their own scopes in their
+            # finally blocks; this is the last-resort unwind so a query
+            # abandoned mid-raise can never poison the next query's
+            # per-operator I/O attribution on this thread.
+            leaked = buffer.clear_io_scopes()
+            if leaked and run_tracer.enabled:
+                run_tracer.warning(
+                    "io-scope-leak",
+                    f"cleared {leaked} stale I/O scopes after query teardown",
+                    count=leaked,
+                )
         wall = time.perf_counter() - started
         stats = self.store.buffer.stats
         hit_rate = stats.hit_rate
@@ -132,6 +167,8 @@ class Executor:
             buffer_hit_rate=hit_rate,
             wall_seconds=wall,
             operator_stats=collector,
+            spill_page_writes=stats.spill_writes,
+            spill_page_reads=stats.spill_reads,
         )
 
     def rows(
@@ -151,6 +188,9 @@ class Executor:
         partitioned scans, which then read only their page-range share.
         """
         source = self._dispatch(plan, collector, partition)
+        ctx = self._ctx
+        if ctx is not None:
+            source = governed(source, ctx)
         if collector is None:
             return source
         return iterators.instrumented(
@@ -273,12 +313,32 @@ class Executor:
                 self.rows(plan.children[0], collector, partition), plan.var, plan.attr, plan.out
             )
         if isinstance(plan, HashJoinNode):
+            ctx = self._ctx
+            if ctx is not None and ctx.memory_bytes is not None:
+                return spill.spill_hash_join(
+                    self.store,
+                    self.rows(plan.children[0], collector, partition),
+                    self.rows(plan.children[1], collector, partition),
+                    plan.predicate,
+                    budget_bytes=ctx.memory_bytes,
+                    tracer=self.tracer,
+                )
             return iterators.hash_join(
                 self.rows(plan.children[0], collector, partition),
                 self.rows(plan.children[1], collector, partition),
                 plan.predicate,
             )
         if isinstance(plan, HashAntiJoinNode):
+            ctx = self._ctx
+            if ctx is not None and ctx.memory_bytes is not None:
+                return spill.spill_anti_join(
+                    self.store,
+                    self.rows(plan.children[0], collector, partition),
+                    self.rows(plan.children[1], collector, partition),
+                    plan.predicate,
+                    budget_bytes=ctx.memory_bytes,
+                    tracer=self.tracer,
+                )
             return iterators.anti_join(
                 self.rows(plan.children[0], collector, partition),
                 self.rows(plan.children[1], collector, partition),
@@ -296,6 +356,18 @@ class Executor:
             order = plan.delivered.order
             if order is None:
                 raise ExecutionError("sort node without an order key")
+            ctx = self._ctx
+            if ctx is not None and ctx.memory_bytes is not None:
+                return spill.spill_sort_rows(
+                    self.store,
+                    self.rows(plan.children[0], collector, partition),
+                    order.var,
+                    order.attr,
+                    order.ascending,
+                    self._tie_vars,
+                    budget_bytes=ctx.memory_bytes,
+                    tracer=self.tracer,
+                )
             return iterators.sort_rows(
                 self.rows(plan.children[0], collector, partition),
                 order.var,

@@ -87,6 +87,7 @@ class Exchange:
         self.capacity = max(1, capacity)
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
+        self._queues: list["queue.Queue"] = []
         self._started = False
 
     # ------------------------------------------------------------------
@@ -99,8 +100,20 @@ class Exchange:
                 if not self._put(out, ("row", row)):
                     return  # consumer went away; stop quietly
             self._put(out, ("done", None))
-        except BaseException as exc:  # propagate to the consumer
+        except BaseException as exc:  # noqa: BLE001 - the worker must trap
+            # *everything* (governor timeouts included) and hand it to the
+            # consumer's thread; an escaping exception would die silently
+            # in the thread runner and hang the merge.
             self._put(out, ("error", exc))
+        finally:
+            # Close the partition pipeline HERE, on the worker thread that
+            # consumed it: generator finalizers (I/O scope pops, nested
+            # exchange shutdowns) must run on the thread whose state they
+            # unwind, and an abandoned consumer must not leave suspended
+            # generators alive until GC.
+            close = getattr(source, "close", None)
+            if close is not None:
+                close()
 
     def _put(self, out: "queue.Queue", item: tuple) -> bool:
         while not self._stop.is_set():
@@ -138,6 +151,7 @@ class Exchange:
         shared: "queue.Queue" = queue.Queue(
             maxsize=self.capacity * self.degree
         )
+        self._queues = [shared]
         self._start(lambda index: shared)
         live = self.degree
         try:
@@ -156,6 +170,7 @@ class Exchange:
         queues = [
             queue.Queue(maxsize=self.capacity) for _ in range(self.degree)
         ]
+        self._queues = queues
         self._start(lambda index: queues[index])
         heap: list[tuple] = []
         try:
@@ -184,11 +199,24 @@ class Exchange:
         raise payload
 
     def close(self) -> None:
-        """Stop all workers and join them (idempotent)."""
+        """Stop all workers, join them, and drain the queues (idempotent).
+
+        Draining matters when the consumer abandons the merge early:
+        without it, the rows the workers got in before observing the
+        stop event would sit in the queues for as long as the Exchange
+        object lives.
+        """
         self._stop.set()
         for thread in self._threads:
             thread.join(timeout=10.0)
         self._threads = []
+        for part in self._queues:
+            while True:
+                try:
+                    part.get_nowait()
+                except queue.Empty:
+                    break
+        self._queues = []
 
 
 __all__ = ["DEFAULT_QUEUE_CAPACITY", "Exchange", "merge_key"]

@@ -58,6 +58,60 @@ class ExecutionError(ReproError):
     """Raised by the physical execution engine."""
 
 
+class GovernorError(ReproError):
+    """Base class for resource-governor failures.
+
+    Every governor outcome that stops a query — deadline, cancellation,
+    admission rejection, exhausted storage retries — derives from this
+    class, so "the query was governed, not wrong" is one ``except``
+    clause.  The chaos oracle relies on exactly this distinction: a run
+    under injected faults must either match the fault-free run or raise
+    a ``GovernorError`` subclass, never anything else.
+    """
+
+
+class QueryTimeout(GovernorError):
+    """Raised when a query exceeds its :class:`QueryContext` deadline."""
+
+
+class QueryCancelled(GovernorError):
+    """Raised when a query's cooperative cancel token was triggered."""
+
+
+class MemoryBudgetExceeded(GovernorError):
+    """Raised when an operator cannot honour its memory budget even by
+    spilling (e.g. a single row larger than the whole budget)."""
+
+
+class AdmissionRejected(GovernorError):
+    """Raised when the admission controller's bounded wait for a free
+    query slot expires."""
+
+
+class TransientIOError(StorageError):
+    """An injected transient page-read failure (retried internally;
+    surfaces as :class:`StorageFaultError` only when retries exhaust)."""
+
+    def __init__(self, page_id: int) -> None:
+        super().__init__(f"transient I/O error reading page {page_id}")
+        self.page_id = page_id
+
+
+class StorageFaultError(GovernorError, StorageError):
+    """A page read kept failing after all retries — the degradation
+    ladder's typed terminal error for persistent storage faults."""
+
+
+class IndexCorruptionError(StorageError):
+    """An index probe hit a corrupt page.  Callers degrade to a scan
+    plan (``Database`` replans without index scans) instead of failing
+    the query."""
+
+    def __init__(self, index_name: str) -> None:
+        super().__init__(f"index {index_name!r} has corrupt pages")
+        self.index_name = index_name
+
+
 class PlanCacheError(ReproError):
     """Raised for plan-cache misuse (bad capacity, unbindable plans)."""
 

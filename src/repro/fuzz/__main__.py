@@ -56,11 +56,51 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip minimization of failing cases",
     )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run the oracle under seeded fault injection: every case "
+        "must match the fault-free run or fail with a typed governor "
+        "error",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=None,
+        help="transient-fault probability for --chaos (default 0.05)",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
     log = (lambda message: None) if args.quiet else print
     started = time.perf_counter()
+    if args.chaos:
+        from repro.fuzz.chaos import DEFAULT_FAULT_RATE, chaos_fuzz
+
+        stats = chaos_fuzz(
+            seed=args.seed,
+            iterations=args.iterations,
+            fault_rate=(
+                args.fault_rate
+                if args.fault_rate is not None
+                else DEFAULT_FAULT_RATE
+            ),
+            queries_per_world=args.queries_per_world,
+            corpus_dir=args.corpus if args.write_corpus else None,
+            log=log,
+        )
+        elapsed = time.perf_counter() - started
+        print(
+            f"{stats.iterations} chaos cases ({stats.skipped} skipped): "
+            f"{stats.matched} matched, {stats.typed_failures} typed "
+            f"failure(s), {stats.degraded} degraded, "
+            f"{len(stats.mismatches)} mismatch(es) in {elapsed:.1f}s"
+        )
+        for mismatch in stats.mismatches:
+            print(f"  {mismatch}")
+        for path in stats.repro_paths:
+            print(f"  repro: {path}")
+        return 0 if stats.ok else 1
     stats = fuzz(
         seed=args.seed,
         iterations=args.iterations,

@@ -117,7 +117,7 @@ def run_case(
         # (unsupported shape, unknown path, ...): nothing to compare.
         result.skipped = True
         return result
-    except Exception:
+    except Exception:  # noqa: BLE001 - any crash IS the finding here
         result.mismatches.append(
             Mismatch("reference-crash", text, traceback.format_exc(limit=3))
         )
@@ -142,7 +142,7 @@ def run_case(
             rows = run()
         except (NoPlanFoundError, OptimizerError):
             return  # configuration cannot plan this query: not a bug
-        except Exception:
+        except Exception:  # noqa: BLE001 - any crash IS the finding here
             result.pairs_run += 1
             result.mismatches.append(
                 Mismatch(kind, text, traceback.format_exc(limit=3))

@@ -42,7 +42,8 @@ def shrink_case(
         attempts += 1
         try:
             return fails(w, q)
-        except Exception:
+        except Exception:  # noqa: BLE001 - a crashing candidate is just
+            # a failed shrink step, not the bug being minimized
             return False
 
     progress = True

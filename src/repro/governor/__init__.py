@@ -1,0 +1,37 @@
+"""Resource governance: deadlines, memory budgets, faults, admission.
+
+The governor is the layer that turns "the optimizer and engine always
+run to completion with unbounded memory over a perfect store" into the
+industrial assumptions: every query carries a :class:`QueryContext`
+with a deadline and cancel token, blocking operators spill to simulated
+disk instead of exceeding their memory budget, storage faults are
+injected deterministically and absorbed by a retry → replan → typed
+error degradation ladder, and an admission controller bounds how many
+queries run at once.
+"""
+
+from repro.governor.admission import AdmissionController
+from repro.governor.context import CHECK_INTERVAL_ROWS, QueryContext, governed
+from repro.governor.faults import FaultInjector, FaultPlan, FaultStats
+from repro.governor.spill import (
+    ROW_OVERHEAD_BYTES,
+    approx_row_bytes,
+    spill_anti_join,
+    spill_hash_join,
+    spill_sort_rows,
+)
+
+__all__ = [
+    "AdmissionController",
+    "CHECK_INTERVAL_ROWS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "QueryContext",
+    "ROW_OVERHEAD_BYTES",
+    "approx_row_bytes",
+    "governed",
+    "spill_anti_join",
+    "spill_hash_join",
+    "spill_sort_rows",
+]

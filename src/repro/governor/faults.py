@@ -1,0 +1,170 @@
+"""Deterministic fault injection for the simulated storage layer.
+
+A :class:`FaultPlan` is a frozen, seeded description of how unreliable
+the store should be: probabilities for transient page-read errors,
+latency spikes, and corrupt index pages, plus the retry/backoff policy.
+A :class:`FaultInjector` is the per-query stateful realization — one
+seeded RNG behind a lock (exchange workers draw concurrently), counters
+for what was injected, and a sticky per-index corruption decision so a
+corrupt index stays corrupt for the whole query (which is what forces
+the degrade-to-scan replan instead of a lucky retry).
+
+Everything is simulated: backoff accrues *simulated* milliseconds on the
+injector's counters (and, for spikes, on the disk clock) rather than
+sleeping, so chaos sweeps run at full speed while still showing the cost
+of retries in the accounting.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded description of injected storage unreliability."""
+
+    seed: int = 0
+    #: Probability that one page-read attempt fails transiently.
+    read_error_prob: float = 0.0
+    #: Probability that one successful disk read takes a latency spike.
+    latency_spike_prob: float = 0.0
+    #: Probability that a given index is (persistently) corrupt.
+    corrupt_index_prob: float = 0.0
+    #: Simulated milliseconds added by one latency spike.
+    spike_ms: float = 40.0
+    #: Retries before a transient fault becomes a StorageFaultError.
+    max_retries: int = 4
+    #: Exponential backoff: base * 2**(attempt-1), capped, jittered.
+    backoff_base_ms: float = 1.0
+    backoff_cap_ms: float = 50.0
+
+    def backoff_for(self, attempt: int) -> float:
+        """Deterministic (pre-jitter) backoff for the Nth retry (1-based)."""
+        return min(
+            self.backoff_cap_ms, self.backoff_base_ms * (2.0 ** (attempt - 1))
+        )
+
+    @classmethod
+    def chaos(cls, seed: int, fault_rate: float = 0.05) -> "FaultPlan":
+        """The standard chaos mix used by ``.chaos`` and ``fuzz --chaos``:
+        transient read errors at ``fault_rate``, latency spikes at half of
+        it, and a small chance of a persistently corrupt index."""
+        return cls(
+            seed=seed,
+            read_error_prob=fault_rate,
+            latency_spike_prob=fault_rate / 2.0,
+            corrupt_index_prob=min(0.02, fault_rate),
+        )
+
+
+@dataclass
+class FaultStats:
+    """What one injector actually did to one query."""
+
+    transient_errors: int = 0
+    retries_exhausted: int = 0
+    latency_spikes: int = 0
+    spike_ms: float = 0.0
+    backoff_ms: float = 0.0
+    corrupt_indexes: list[str] = field(default_factory=list)
+
+
+class FaultInjector:
+    """Per-query realization of a :class:`FaultPlan`.
+
+    Thread-safe: exchange workers read pages concurrently, so every RNG
+    draw and counter update happens under one lock.  Determinism is
+    per-query under serial execution; under parallel execution the
+    *sequence* of draws depends on thread interleaving, but correctness
+    never does — faults only delay or fail reads, never corrupt data.
+    """
+
+    def __init__(self, plan: FaultPlan, tracer: Tracer = NULL_TRACER) -> None:
+        self.plan = plan
+        self.tracer = tracer
+        self.stats = FaultStats()
+        self._rng = random.Random(plan.seed)
+        self._lock = threading.Lock()
+        self._corrupt: dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Page reads (called by BufferPool under its latch)
+    # ------------------------------------------------------------------
+
+    def read_fails(self, page_id: int, attempt: int) -> bool:
+        """Draw whether this read attempt fails transiently (and trace)."""
+        if self.plan.read_error_prob <= 0.0:
+            return False
+        with self._lock:
+            failed = self._rng.random() < self.plan.read_error_prob
+            if failed:
+                self.stats.transient_errors += 1
+        if failed and self.tracer.enabled:
+            self.tracer.event(
+                "fault", "transient-read", page=page_id, attempt=attempt
+            )
+        return failed
+
+    def backoff(self, page_id: int, attempt: int) -> float:
+        """Charge one capped-exponential, jittered retry backoff (ms)."""
+        with self._lock:
+            jitter = 0.5 + self._rng.random() * 0.5
+            wait = self.plan.backoff_for(attempt) * jitter
+            self.stats.backoff_ms += wait
+        if self.tracer.enabled:
+            self.tracer.event(
+                "fault", "retry", page=page_id, attempt=attempt, backoff_ms=wait
+            )
+        return wait
+
+    def exhausted(self, page_id: int, attempts: int) -> None:
+        """Record that retries ran out for a page (fault becomes typed)."""
+        with self._lock:
+            self.stats.retries_exhausted += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "fault", "retries-exhausted", page=page_id, attempts=attempts
+            )
+
+    def latency_spike(self, page_id: int) -> float:
+        """Simulated extra milliseconds for this disk read (usually 0)."""
+        if self.plan.latency_spike_prob <= 0.0:
+            return 0.0
+        with self._lock:
+            if self._rng.random() >= self.plan.latency_spike_prob:
+                return 0.0
+            spike = self.plan.spike_ms
+            self.stats.latency_spikes += 1
+            self.stats.spike_ms += spike
+        if self.tracer.enabled:
+            self.tracer.event(
+                "fault", "latency-spike", page=page_id, spike_ms=spike
+            )
+        return spike
+
+    # ------------------------------------------------------------------
+    # Index corruption (called by IndexRuntime)
+    # ------------------------------------------------------------------
+
+    def index_corrupted(self, name: str) -> bool:
+        """Whether this index is corrupt — decided once, then sticky."""
+        if self.plan.corrupt_index_prob <= 0.0:
+            return False
+        with self._lock:
+            decided = self._corrupt.get(name)
+            if decided is None:
+                decided = self._rng.random() < self.plan.corrupt_index_prob
+                self._corrupt[name] = decided
+                if decided:
+                    self.stats.corrupt_indexes.append(name)
+        if decided and self.tracer.enabled:
+            self.tracer.event("fault", "index-corruption", index=name)
+        return decided
+
+
+__all__ = ["FaultInjector", "FaultPlan", "FaultStats"]

@@ -39,6 +39,8 @@ class NodeReport:
     next_seconds: float
     buffer_hits: int
     buffer_misses: int
+    spill_reads: int = 0
+    spill_writes: int = 0
     children: tuple["NodeReport", ...] = ()
 
     @property
@@ -55,11 +57,17 @@ class NodeReport:
 
     def line(self) -> str:
         """The annotation appended to this operator's plan line."""
+        spill = ""
+        if self.spill_writes or self.spill_reads:
+            spill = (
+                f", spill {self.spill_writes} writes/"
+                f"{self.spill_reads} reads"
+            )
         return (
             f"[est {self.est_rows:.0f} rows, {self.est_cost_total:.3f}s]"
             f" (act {self.actual_rows} rows, "
             f"{self.next_seconds * 1000:.2f} ms, "
-            f"{self.buffer_hits} hits/{self.buffer_misses} misses)"
+            f"{self.buffer_hits} hits/{self.buffer_misses} misses{spill})"
         )
 
     def walk(self):
@@ -83,6 +91,8 @@ class NodeReport:
                 "next_seconds": self.next_seconds,
                 "buffer_hits": self.buffer_hits,
                 "buffer_misses": self.buffer_misses,
+                "spill_reads": self.spill_reads,
+                "spill_writes": self.spill_writes,
             },
             "cardinality_error": self.cardinality_error,
             "children": [child.to_dict() for child in self.children],
@@ -219,6 +229,8 @@ def build_report(
             next_seconds=stats.next_seconds,
             buffer_hits=stats.io.hits,
             buffer_misses=stats.io.misses,
+            spill_reads=stats.io.spill_reads,
+            spill_writes=stats.io.spill_writes,
             children=tuple(node_report(child) for child in node.children),
         )
 

@@ -28,6 +28,8 @@ class OperatorIOStats:
 
     hits: int = 0
     misses: int = 0
+    spill_reads: int = 0
+    spill_writes: int = 0
 
     @property
     def page_reads(self) -> int:
@@ -94,6 +96,8 @@ class RunStatsCollector:
             mine.next_seconds += record.next_seconds
             mine.io.hits += record.io.hits
             mine.io.misses += record.io.misses
+            mine.io.spill_reads += record.io.spill_reads
+            mine.io.spill_writes += record.io.spill_writes
 
     def __len__(self) -> int:
         return len(self._stats)

@@ -152,6 +152,14 @@ class OptimizerConfig:
         """A config offering N-worker parallel plans to the search."""
         return replace(self, parallelism=max(1, parallelism))
 
+    def with_memory_budget(self, memory_bytes: int) -> "OptimizerConfig":
+        """A config whose cost model plans against a per-query memory
+        budget: sorts and hash joins whose inputs exceed it are costed
+        with the spill I/O the executor will actually incur."""
+        return replace(
+            self, cost=replace(self.cost, work_mem_bytes=max(1, memory_bytes))
+        )
+
 
 __all__ = [
     "ALG_PROJECT",

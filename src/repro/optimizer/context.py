@@ -6,6 +6,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.catalog.catalog import Catalog
+from repro.governor.context import QueryContext
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.optimizer.config import OptimizerConfig
 from repro.optimizer.cost import CostModel
@@ -28,6 +29,9 @@ class OptimizeContext:
     # Search-observability sink; the shared disabled instance by default,
     # so un-traced optimizations pay one `enabled` check per event site.
     tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
+    # Per-query governor (search deadline, cancel token); None means the
+    # search runs unbounded, exactly as before the governor existed.
+    governor: QueryContext | None = None
 
     # ------------------------------------------------------------------
     # Derived helpers

@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 
 from repro.algebra.operators import LogicalOp, Project, SetOp
 from repro.catalog.catalog import Catalog
+from repro.errors import NoPlanFoundError
+from repro.governor.context import QueryContext
 from repro.obs.tracer import NULL_TRACER, TraceEvent, Tracer
 from repro.optimizer.config import OptimizerConfig
 from repro.optimizer.context import OptimizeContext
@@ -14,8 +16,12 @@ from repro.optimizer.cost import Cost, CostModel
 from repro.optimizer.logical_props import build_query_vars
 from repro.optimizer.memo import Memo
 from repro.optimizer.physical_props import PhysProps, SortKey
-from repro.optimizer.plans import PhysicalNode
-from repro.optimizer.search import SearchEngine, SearchStats
+from repro.optimizer.plans import PhysicalNode, SortNode
+from repro.optimizer.search import (
+    SearchBudgetExhausted,
+    SearchEngine,
+    SearchStats,
+)
 from repro.optimizer.selectivity import SelectivityModel
 
 
@@ -95,6 +101,7 @@ class Optimizer:
         result_vars: tuple[str, ...] = (),
         order: tuple[str, str | None, bool] | None = None,
         tracer: Tracer | None = None,
+        query_ctx: QueryContext | None = None,
     ) -> OptimizationResult:
         """Optimize a logical expression into its cheapest physical plan.
 
@@ -102,6 +109,12 @@ class Optimizer:
         group creation/merge, branch-and-bound prune, and enforcer
         application; the events also land on the result's
         ``trace_events``.  Without one, tracing costs nothing.
+
+        A ``query_ctx`` with a search deadline makes the search
+        *anytime*: when the budget runs out mid-search, the best
+        complete plan found so far is returned (degrading to a greedy
+        descent, then the greedy baseline, if no complete plan exists),
+        with the degradation recorded on the context and its trace.
         """
         tracer = tracer if tracer is not None else NULL_TRACER
         started = time.perf_counter()
@@ -117,6 +130,7 @@ class Optimizer:
             query_vars=query_vars,
             config=self.config,
             tracer=tracer,
+            governor=query_ctx,
         )
         from repro.optimizer.implementations import ALL_RULES as IMPLS
         from repro.optimizer.transformations import ALL_RULES as TRANSFORMS
@@ -126,12 +140,19 @@ class Optimizer:
             transformations=TRANSFORMS + self.extra_transformations,
             implementations=IMPLS + self.extra_implementations,
         )
+        if query_ctx is not None:
+            query_ctx.begin_search()
         with tracer.span("phase", "explore"):
             engine.explore()
         if required is None:
             required = default_required_props(logical, result_vars, order)
         with tracer.span("phase", "optimize"):
-            plan = engine.best_plan(root_gid, required)
+            try:
+                plan = engine.best_plan(root_gid, required)
+            except SearchBudgetExhausted:
+                plan = self._anytime_fallback(
+                    engine, ctx, root_gid, required, logical, result_vars
+                )
         elapsed = time.perf_counter() - started
         return OptimizationResult(
             plan=plan,
@@ -144,6 +165,81 @@ class Optimizer:
             search_trace=tuple(engine.trace),
             trace_events=tuple(tracer.events),
         )
+
+    def _anytime_fallback(
+        self,
+        engine: SearchEngine,
+        ctx: OptimizeContext,
+        root_gid: int,
+        required: PhysProps,
+        logical: LogicalOp,
+        result_vars: tuple[str, ...],
+    ) -> PhysicalNode:
+        """Best-effort plan when the search deadline expired mid-descent.
+
+        The degradation ladder, cheapest-exit first:
+
+        1. *memo-best* — the root group already has a complete winner for
+           the required properties; return it (it is the best plan the
+           budgeted search actually proved).
+        2. *greedy-descent* — re-run the top-down descent over the memo
+           explored so far with ``candidate_cap=1`` and no deadline:
+           pure greedy, linear in plan depth, completes in microseconds.
+           Winners from the budgeted search seed the descent so proven
+           subplans are reused.
+        3. *greedy-baseline* — the memo has no implementable root (the
+           deadline hit during exploration): fall back to the standalone
+           greedy heuristic optimizer, wrapping a sort enforcer on top
+           if the goal demands an order the baseline never delivers.
+        """
+        governor = ctx.governor
+        memo = ctx.memo
+        winner = engine._winners.get((memo.find(root_gid), required))
+        if winner is not None and winner.plan is not None:
+            if governor is not None:
+                governor.mark_degraded("search_timeout", fallback="memo-best")
+            return winner.plan
+        greedy_ctx = dataclass_replace(
+            ctx,
+            config=self.config.with_heuristics(candidate_cap=1),
+            governor=None,
+        )
+        from repro.optimizer.implementations import ALL_RULES as IMPLS
+
+        descent = SearchEngine(
+            greedy_ctx,
+            transformations=(),
+            implementations=IMPLS + self.extra_implementations,
+        )
+        # Seed with every complete winner the budgeted search proved, so
+        # the descent only fills in the groups the deadline cut short.
+        for key, won in engine._winners.items():
+            if won.plan is not None:
+                descent._winners[key] = won
+        try:
+            plan = descent.best_plan(root_gid, required)
+            if governor is not None:
+                governor.mark_degraded(
+                    "search_timeout", fallback="greedy-descent"
+                )
+            return plan
+        except NoPlanFoundError:
+            pass
+        from repro.baselines.greedy import GreedyOptimizer
+
+        plan = GreedyOptimizer(self.catalog, self.cost_model).optimize(
+            logical, result_vars
+        )
+        if required.order is not None:
+            plan = SortNode(
+                children=(plan,),
+                delivered=plan.delivered.with_order(required.order),
+                rows=plan.rows,
+                local_cost=self.cost_model.sort(plan.rows, 128.0),
+            )
+        if governor is not None:
+            governor.mark_degraded("search_timeout", fallback="greedy-baseline")
+        return plan
 
 
 __all__ = ["OptimizationResult", "Optimizer", "default_required_props"]

@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.errors import NoPlanFoundError
+from repro.errors import NoPlanFoundError, QueryCancelled
 from repro.optimizer import config as rule_names
 from repro.optimizer.context import OptimizeContext
 from repro.optimizer.implementations import ALL_RULES as ALL_IMPLEMENTATIONS
@@ -40,6 +40,16 @@ from repro.optimizer.transformations import ALL_RULES as ALL_TRANSFORMATIONS
 from repro.optimizer.transformations import TransformationRule
 
 _MAX_EXPLORATION_ROUNDS = 64
+
+
+class SearchBudgetExhausted(Exception):
+    """Internal control flow: the governor's search deadline expired.
+
+    Raised out of :meth:`SearchEngine.optimize` and caught by the
+    :class:`~repro.optimizer.optimizer.Optimizer` facade, which falls
+    back to the best plan discovered so far (anytime behavior).  Never
+    escapes the optimizer, so it is not a :class:`~repro.errors.ReproError`.
+    """
 
 
 @dataclass
@@ -108,7 +118,15 @@ class SearchEngine:
         # groups gains an expression.  Track the input-group versions seen
         # at the last application of each m-expr and skip unchanged ones.
         seen_versions: dict[tuple, tuple[int, ...]] = {}
+        governor = self.ctx.governor
+        truncated = False
         for _ in range(_MAX_EXPLORATION_ROUNDS):
+            if governor is not None and governor.search_expired():
+                # Anytime exploration: the memo always contains the
+                # original expression, so stopping early only narrows
+                # the space phase 2 searches — never breaks it.
+                truncated = True
+                break
             self.stats.exploration_rounds += 1
             changed = False
             for group in list(memo.groups()):
@@ -142,6 +160,12 @@ class SearchEngine:
             memo.dedup_group(group.gid)
         self.stats.mexprs_generated = memo.mexpr_count
         self.stats.group_merges = memo.merge_count
+        if truncated and governor is not None:
+            governor.mark_degraded(
+                "search_timeout",
+                phase="explore",
+                rounds=self.stats.exploration_rounds,
+            )
 
     # ------------------------------------------------------------------
     # Phase 2: top-down, property-driven optimization
@@ -156,6 +180,12 @@ class SearchEngine:
         bound budget.  Returns None when no plan fits the properties
         within the limit.
         """
+        governor = self.ctx.governor
+        if governor is not None:
+            if governor.cancelled:
+                raise QueryCancelled("query cancelled during optimization")
+            if governor.search_expired():
+                raise SearchBudgetExhausted
         memo = self.ctx.memo
         gid = memo.find(gid)
         group = memo.group(gid)
@@ -454,4 +484,4 @@ class SearchEngine:
         return plan
 
 
-__all__ = ["SearchEngine", "SearchStats"]
+__all__ = ["SearchBudgetExhausted", "SearchEngine", "SearchStats"]

@@ -20,8 +20,13 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from repro.errors import StorageFaultError
 from repro.storage.disk import DiskSimulator
+
+if TYPE_CHECKING:
+    from repro.governor.faults import FaultInjector
 
 DEFAULT_POOL_PAGES = 2048  # 8 MB of 4 KB pages
 
@@ -32,6 +37,8 @@ class BufferStats:
 
     hits: int = 0
     misses: int = 0
+    spill_reads: int = 0
+    spill_writes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -62,6 +69,9 @@ class BufferPool:
     # I/O-latency-bound, so partitioned scans overlap their waits and
     # show real wall-clock speedups despite the GIL.
     latency_scale: float = 0.0
+    # Per-query fault injector (see repro.governor.faults); installed by
+    # the executor for the duration of one execution, None otherwise.
+    faults: "FaultInjector | None" = None
     _frames: OrderedDict[int, None] = field(default_factory=OrderedDict)
     # Per-thread stacks of objects with `hits`/`misses` attributes
     # (duck-typed so the storage layer needs no dependency on repro.obs).
@@ -92,12 +102,74 @@ class BufferPool:
             self.stats.misses += 1
             if scopes:
                 scopes[-1].misses += 1
-            cost = self.disk.read(page_id)
+            cost = self._disk_read(page_id)
             self._frames[page_id] = None
             if len(self._frames) > self.capacity:
                 self._frames.popitem(last=False)
         if self.latency_scale > 0.0:
             # Sleep OUTSIDE the latch: concurrent workers overlap waits.
+            time.sleep(cost * self.latency_scale)
+        return cost
+
+    def _disk_read(self, page_id: int) -> float:
+        """One disk read with fault injection and bounded retries.
+
+        Transient injected failures are retried with capped exponential
+        backoff (seeded jitter; the simulated wait is charged to the
+        disk clock, and each retry is traced by the injector).  When the
+        retries run out the fault becomes the typed
+        :class:`~repro.errors.StorageFaultError` — the bottom rung of
+        the degradation ladder.
+        """
+        faults = self.faults
+        if faults is None:
+            return self.disk.read(page_id)
+        attempt = 1
+        while faults.read_fails(page_id, attempt):
+            if attempt > faults.plan.max_retries:
+                faults.exhausted(page_id, attempt)
+                raise StorageFaultError(
+                    f"page {page_id} unreadable after {attempt} attempts"
+                )
+            self.disk.stats.elapsed_ms += faults.backoff(page_id, attempt)
+            attempt += 1
+        cost = self.disk.read(page_id)
+        spike = faults.latency_spike(page_id)
+        if spike > 0.0:
+            self.disk.stats.elapsed_ms += spike
+            cost += spike
+        return cost
+
+    # ------------------------------------------------------------------
+    # Spill traffic (temp pages bypass the frames: they are written once
+    # and read back once, so caching them would only evict real data and
+    # hide the spill I/O the accounting exists to show)
+    # ------------------------------------------------------------------
+
+    def spill_write(self, page_id: int) -> float:
+        """Write one spill page straight to disk; returns simulated ms."""
+        scopes = self._scope_stack()
+        with self._latch:
+            self.stats.spill_writes += 1
+            if scopes:
+                top = scopes[-1]
+                top.spill_writes = getattr(top, "spill_writes", 0) + 1
+            cost = self.disk.write(page_id)
+        if self.latency_scale > 0.0:
+            time.sleep(cost * self.latency_scale)
+        return cost
+
+    def spill_read(self, page_id: int) -> float:
+        """Read one spill page back (fault injection applies like any
+        other disk read); returns simulated ms."""
+        scopes = self._scope_stack()
+        with self._latch:
+            self.stats.spill_reads += 1
+            if scopes:
+                top = scopes[-1]
+                top.spill_reads = getattr(top, "spill_reads", 0) + 1
+            cost = self._disk_read(page_id)
+        if self.latency_scale > 0.0:
             time.sleep(cost * self.latency_scale)
         return cost
 
@@ -118,6 +190,20 @@ class BufferPool:
     def io_scope_depth(self) -> int:
         """How many I/O scopes the calling thread has pushed (0 = none)."""
         return len(self._scope_stack())
+
+    def clear_io_scopes(self) -> int:
+        """Drop every scope the calling thread still has pushed.
+
+        Defensive unwinding for the executor's ``finally``: scopes are
+        normally popped by the instrumented iterators' own ``finally``
+        blocks, but a query abandoned mid-raise must never leak
+        attribution state into the next query on this thread.  Returns
+        how many scopes were actually dropped (0 on the healthy path).
+        """
+        stack = self._scope_stack()
+        dropped = len(stack)
+        stack.clear()
+        return dropped
 
     def flush(self, reset_stats: bool = False) -> None:
         """Empty the pool (between benchmark runs, for cold-cache numbers).

@@ -58,12 +58,17 @@ class DiskStats:
     page_reads: int = 0
     sequential_reads: int = 0
     random_reads: int = 0
+    page_writes: int = 0
     elapsed_ms: float = 0.0
 
     def snapshot(self) -> "DiskStats":
         """An independent copy of the counters (for before/after diffs)."""
         return DiskStats(
-            self.page_reads, self.sequential_reads, self.random_reads, self.elapsed_ms
+            self.page_reads,
+            self.sequential_reads,
+            self.random_reads,
+            self.page_writes,
+            self.elapsed_ms,
         )
 
 
@@ -94,6 +99,19 @@ class DiskSimulator:
             self.stats.random_reads += 1
         self._head = page_id
         self.stats.page_reads += 1
+        self.stats.elapsed_ms += cost
+        return cost
+
+    def write(self, page_id: int) -> float:
+        """Simulate writing one page (spill output); same seek curve as
+        reads — the head still has to get there."""
+        distance = abs(page_id - self._head)
+        if distance <= 1:
+            cost = self.params.sequential_read_ms
+        else:
+            cost = self.params.random_read_ms(self.span_pages, distance)
+        self._head = page_id
+        self.stats.page_writes += 1
         self.stats.elapsed_ms += cost
         return cost
 

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.catalog.catalog import IndexDef
-from repro.errors import StorageError
+from repro.errors import IndexCorruptionError, StorageError
 from repro.storage.objects import Oid
 from repro.storage.store import ObjectStore
 
@@ -115,6 +115,12 @@ class IndexRuntime:
         return matches
 
     def _charge(self, store: ObjectStore, matches: list[Oid]) -> None:
+        # Every lookup path funnels through here, so this is also the
+        # fault-injection point: a corrupt index raises before any result
+        # leaves the probe, and the caller degrades to a scan plan.
+        faults = store.buffer.faults
+        if faults is not None and faults.index_corrupted(self.definition.name):
+            raise IndexCorruptionError(self.definition.name)
         # Interior traversal: `height` random page reads (synthetic page ids
         # beyond the data segments so they never collide with object pages).
         base = store.total_pages() + hash(self.definition.name) % 1000

@@ -18,6 +18,7 @@ result data and faithful simulated I/O time.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -74,6 +75,8 @@ class ObjectStore:
         self._position: dict[Oid, int] = {}
         self._collections: dict[str, list[Oid]] = {}
         self._sealed = False
+        self._temp_lock = threading.Lock()
+        self._temp_next: int | None = None
 
     # ------------------------------------------------------------------
     # Loading phase
@@ -222,6 +225,28 @@ class ObjectStore:
 
     def total_pages(self) -> int:
         return sum(max(1, s.page_count) for s in self._segments.values())
+
+    #: Gap between data pages and the temp (spill) page range, leaving
+    #: room for the index runtimes' synthetic traversal/leaf pages.
+    TEMP_PAGE_GAP = 100_000
+
+    def allocate_temp_pages(self, count: int) -> list[int]:
+        """Reserve ``count`` fresh temp page ids for spill output.
+
+        Temp pages live far beyond the data segments and the indexes'
+        synthetic pages, so spill I/O never collides with (or caches as)
+        real data; the disk span grows so seek distances stay modelled.
+        Thread-safe: spilling operators may run on exchange workers.
+        """
+        if count <= 0:
+            return []
+        with self._temp_lock:
+            if self._temp_next is None:
+                self._temp_next = self.total_pages() + self.TEMP_PAGE_GAP
+            start = self._temp_next
+            self._temp_next += count
+        self.disk.extend_span(start + count)
+        return list(range(start, start + count))
 
     # ------------------------------------------------------------------
     # Accounting helpers

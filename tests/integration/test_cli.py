@@ -153,3 +153,65 @@ class TestExtendedCommands:
         )
         assert "scenarios" in output
         assert "(no indexes)" in output
+
+
+class TestResourceLimits:
+    """Satellite (c): .timeout / .memory / .chaos session limits."""
+
+    def test_help_documents_limits(self, shell):
+        output = run_lines(shell, ".help")
+        assert ".timeout" in output
+        assert ".memory" in output
+        assert ".chaos" in output
+
+    def test_show_set_clear_cycle(self, shell):
+        output = run_lines(
+            shell,
+            ".timeout",
+            ".timeout 5000",
+            ".timeout",
+            ".timeout off",
+            ".timeout",
+        )
+        assert "timeout: off" in output
+        assert "timeout set to 5000 ms" in output
+        assert "timeout: 5000 ms" in output
+        assert "timeout cleared" in output
+
+    def test_rejects_non_positive_limits(self, shell):
+        output = run_lines(shell, ".timeout -3", ".memory 0")
+        assert "timeout must be positive" in output
+        assert "memory budget must be positive" in output
+        assert shell.timeout_ms is None
+        assert shell.memory_bytes is None
+
+    def test_memory_budget_spills_queries(self, shell):
+        output = run_lines(
+            shell,
+            ".memory 512",
+            "SELECT c.name, c.population FROM c IN Cities ORDER BY c.name",
+        )
+        assert "memory budget set to 512 bytes" in output
+        assert "spilled" in output
+
+    def test_expired_timeout_reports_typed_error(self, shell):
+        output = run_lines(
+            shell,
+            ".timeout 0.00001",
+            "SELECT c.name FROM c IN Cities ORDER BY c.name",
+        )
+        assert "exceeded its 1e-05 ms deadline" in output
+
+    def test_chaos_seed_keeps_answers_right(self, shell):
+        clean = run_lines(
+            shell, "SELECT c.name FROM c IN Cities WHERE c.population >= 0"
+        )
+        chaotic = run_lines(
+            shell,
+            ".chaos 7",
+            "SELECT c.name FROM c IN Cities WHERE c.population >= 0",
+        )
+        assert "chaos seed set to 7" in chaotic
+        clean_rows = [l for l in clean.splitlines() if l.startswith("  ")]
+        chaos_rows = [l for l in chaotic.splitlines() if l.startswith("  ")]
+        assert sorted(clean_rows) == sorted(chaos_rows)

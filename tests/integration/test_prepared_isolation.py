@@ -48,7 +48,8 @@ class TestConcurrentRebinds:
                             f"{who}: got rows for someone else's binding"
                         )
                         return
-            except Exception as exc:  # pragma: no cover - failure path
+            except Exception as exc:  # noqa: BLE001 - worker thread: any
+                # crash must be surfaced in the main thread's assertion
                 failures.append(f"{who}: {exc!r}")
 
         threads = [

@@ -108,7 +108,8 @@ class TestConcurrentQueries:
                     result = db.query(query.format(name))
                     with lock:
                         results.append(len(result.rows))
-            except BaseException as exc:  # surfaced below
+            except BaseException as exc:  # noqa: BLE001 - worker thread:
+                # any crash must surface in the main thread's assertion
                 with lock:
                     errors.append(exc)
 

@@ -167,3 +167,97 @@ class TestShutdown:
     def test_zero_partitions_rejected(self):
         with pytest.raises(ExecutionError):
             Exchange([])
+
+
+class TestCleanShutdown:
+    """The governor satellite: abandonment and worker failure must leave
+    no live workers, no queued rows, and no suspended source generators."""
+
+    @staticmethod
+    def _wait_for_no_workers(timeout=5.0):
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            alive = [
+                t
+                for t in threading.enumerate()
+                if t.is_alive() and t.name.startswith("exchange-worker")
+            ]
+            if not alive:
+                return []
+            time.sleep(0.01)
+        return [t.name for t in alive]
+
+    def test_abandonment_drains_queues(self):
+        exchange = Exchange(
+            [rows_of(range(10_000)), rows_of(range(10_000))], capacity=8
+        )
+        stream = iter(exchange)
+        next(stream)
+        stream.close()
+        assert exchange._queues == []
+        assert self._wait_for_no_workers() == []
+
+    def test_abandonment_closes_partition_sources(self):
+        closed = threading.Event()
+
+        def tracked_source():
+            try:
+                for i in range(100_000):
+                    yield {"x": i}
+            finally:
+                # Generator finalizer: must run on the worker promptly,
+                # not whenever GC gets around to the suspended frame.
+                closed.set()
+
+        exchange = Exchange([tracked_source()], capacity=1)
+        stream = iter(exchange)
+        next(stream)
+        stream.close()
+        assert closed.wait(timeout=5.0), "source generator never closed"
+        assert self._wait_for_no_workers() == []
+
+    def test_worker_raise_leaves_no_threads_or_rows(self):
+        def exploding():
+            yield {"x": 0}
+            raise ValueError("boom mid-partition")
+
+        exchange = Exchange(
+            [exploding(), rows_of(range(10_000))], capacity=4
+        )
+        with pytest.raises(ValueError, match="boom"):
+            list(exchange)
+        assert exchange._queues == []
+        assert exchange._threads == []
+        assert self._wait_for_no_workers() == []
+
+    def test_worker_raise_closes_sibling_sources(self):
+        closed = threading.Event()
+
+        def sibling():
+            try:
+                for i in range(100_000):
+                    yield {"x": i}
+            finally:
+                closed.set()
+
+        def exploding():
+            yield {"x": -1}
+            raise ValueError("boom")
+
+        exchange = Exchange([exploding(), sibling()], capacity=2)
+        with pytest.raises(ValueError):
+            list(exchange)
+        assert closed.wait(timeout=5.0)
+        assert self._wait_for_no_workers() == []
+
+    def test_ordered_abandonment_drains_all_queues(self):
+        key = merge_key("x", None)
+        sources = [
+            rows_of(sorted(range(i, 5_000, 3))) for i in range(3)
+        ]
+        exchange = Exchange(sources, ordered=True, key=key, capacity=4)
+        stream = iter(exchange)
+        next(stream)
+        stream.close()
+        assert exchange._queues == []
+        assert self._wait_for_no_workers() == []
