@@ -1,0 +1,176 @@
+"""EXP-SERVING — serving-tier throughput and tail latency.
+
+Drives a real :class:`DatabaseServer` over loopback TCP with concurrent
+:class:`ServerClient` sessions and measures statement throughput plus
+p50/p99 latency across a small matrix of session counts and read/write
+mixes.  Reads are point lookups (cached plans); writes are single-city
+UPDATEs spread across disjoint key ranges so the numbers measure the
+serving path — protocol, admission, MVCC commit — rather than
+write-write conflict retries.
+
+Deliberately NOT part of the perf-gate baseline (``bench_quick.py``):
+socket scheduling and thread interleaving make wall times far noisier
+than the optimizer microbenchmarks the gate protects.  The regenerated
+table ships in ``BENCH_ALL.json`` via ``run_all.py`` instead.
+"""
+
+import os
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import pytest
+
+import common
+from repro.api import Database
+from repro.server import DatabaseServer, ServerClient
+
+SESSION_COUNTS = (1, 4, 16)
+#: (write fraction, label) — every session interleaves reads and writes.
+MIXES = ((0.0, "read-only"), (0.1, "90/10"), (0.5, "50/50"))
+OPS_PER_SESSION = 40
+CITY_COUNT = 200  # scale 0.02 generates city0..city199
+
+
+def serving_database(scale: float = 0.02) -> Database:
+    """A private populated database for one benchmark run."""
+    return Database.sample(scale=scale)
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[rank]
+
+
+def _session_ops(session_index: int, write_fraction: float) -> list[str]:
+    """The deterministic statement list one session executes."""
+    ops = []
+    write_every = int(1 / write_fraction) if write_fraction else 0
+    for i in range(OPS_PER_SESSION):
+        city = f"city{(session_index * OPS_PER_SESSION + i) % CITY_COUNT}"
+        if write_every and i % write_every == 0:
+            ops.append(
+                f"UPDATE x IN Cities SET x.population = {i} "
+                f"WHERE x.name == '{city}'"
+            )
+        else:
+            ops.append(
+                f"SELECT x.population FROM x IN Cities "
+                f"WHERE x.name == '{city}'"
+            )
+    return ops
+
+
+def measure_serving(
+    db=None,
+    session_counts=SESSION_COUNTS,
+    mixes=MIXES,
+) -> list[dict]:
+    """Throughput and latency percentiles for each (sessions, mix) cell."""
+    db = db or serving_database()
+    rows = []
+    for write_fraction, mix_label in mixes:
+        for sessions in session_counts:
+            server = DatabaseServer(
+                db, port=0, max_concurrent=8, max_wait_ms=60_000.0
+            )
+            host, port = server.start()
+            latencies: list[list[float]] = [[] for _ in range(sessions)]
+            errors: list[str] = []
+            gate = threading.Event()
+
+            def worker(index):
+                try:
+                    with ServerClient(host, port, timeout=120.0) as client:
+                        ops = _session_ops(index, write_fraction)
+                        gate.wait()
+                        for text in ops:
+                            started = time.perf_counter()
+                            client.query(text)
+                            latencies[index].append(
+                                time.perf_counter() - started
+                            )
+                except Exception as exc:  # noqa: BLE001 — reported below
+                    errors.append(repr(exc))
+
+            threads = [
+                threading.Thread(target=worker, args=(i,), daemon=True)
+                for i in range(sessions)
+            ]
+            for thread in threads:
+                thread.start()
+            wall_started = time.perf_counter()
+            gate.set()
+            for thread in threads:
+                thread.join(timeout=300.0)
+            wall = time.perf_counter() - wall_started
+            server.stop(drain=False)
+            assert not errors, errors[:3]
+            flat = sorted(x for chunk in latencies for x in chunk)
+            rows.append(
+                {
+                    "mix": mix_label,
+                    "sessions": sessions,
+                    "ops": len(flat),
+                    "wall_s": wall,
+                    "throughput": len(flat) / wall if wall else 0.0,
+                    "p50_ms": _percentile(flat, 0.50) * 1000,
+                    "p99_ms": _percentile(flat, 0.99) * 1000,
+                }
+            )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def serving_db():
+    return serving_database()
+
+
+def test_serving_completes_all_ops(serving_db):
+    rows = measure_serving(
+        serving_db, session_counts=(1, 4), mixes=((0.5, "50/50"),)
+    )
+    for row in rows:
+        assert row["ops"] == row["sessions"] * OPS_PER_SESSION
+        assert row["throughput"] > 0
+
+
+def test_tail_latency_is_ordered(serving_db):
+    rows = measure_serving(
+        serving_db, session_counts=(4,), mixes=((0.0, "read-only"),)
+    )
+    (row,) = rows
+    assert row["p99_ms"] >= row["p50_ms"] > 0
+
+
+def report(rows: list[dict]) -> str:
+    return common.format_table(
+        ["mix", "sessions", "ops", "ops/s", "p50 ms", "p99 ms"],
+        [
+            [
+                r["mix"],
+                str(r["sessions"]),
+                str(r["ops"]),
+                f"{r['throughput']:.0f}",
+                f"{r['p50_ms']:.2f}",
+                f"{r['p99_ms']:.2f}",
+            ]
+            for r in rows
+        ],
+        "Serving-tier throughput and latency over loopback TCP",
+    )
+
+
+def main() -> None:
+    text = report(measure_serving())
+    common.register_report("Serving tier (EXP-SERVING)", text)
+    print(text)
+
+
+if __name__ == "__main__":
+    main()

@@ -38,6 +38,7 @@ MODULES = [
     "bench_explain_analyze",
     "bench_parallel",
     "bench_governor",
+    "bench_serving",
 ]
 
 

@@ -39,15 +39,18 @@ from repro.errors import (
     IndexCorruptionError,
     ParameterBindingError,
     StorageError,
+    TransactionError,
 )
 from repro.algebra.operators import LogicalOp
+from repro.engine.dml import DmlResult
 from repro.governor.admission import AdmissionController
 from repro.governor.context import QueryContext
 from repro.governor.faults import FaultPlan
 from repro.obs.explain import ExplainReport, build_report
 from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.lang.ast import QueryAst, SetQueryAst
-from repro.lang.parser import parse_query
+from repro.lang.ast import DeleteAst, InsertAst, QueryAst, SetQueryAst, UpdateAst
+from repro.lang.parser import parse_query, parse_statement
+from repro.storage.mvcc import CommitRecord, Transaction
 from repro.optimizer.config import OptimizerConfig
 from repro.optimizer.optimizer import OptimizationResult, Optimizer
 from repro.optimizer.plans import PhysicalNode
@@ -102,6 +105,11 @@ class Database:
         # executions) wait for a slot and raise AdmissionRejected after
         # the controller's bounded wait.  None = unlimited concurrency.
         self.admission: AdmissionController | None = None
+        # Committed DML feeds the catalog's per-collection data versions
+        # (and, past the drift threshold, statistics refresh → plan-cache
+        # invalidation), extending the catalog-version scheme to writes.
+        if store is not None:
+            store.add_commit_listener(self._on_commit)
         # Observability sink for recoverable warnings (and, when callers
         # pass none of their own, for traced optimizations).  Disabled by
         # default; assign an enabled Tracer to capture events.  The
@@ -251,6 +259,110 @@ class Database:
         return collected
 
     # ------------------------------------------------------------------
+    # Transactions and DML
+    # ------------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Open a transaction pinned at the current committed snapshot.
+
+        Pass it to :meth:`query` (reads see the snapshot plus the
+        transaction's own writes; DML buffers into it), then ``commit()``
+        or ``rollback()``.  Also usable as a context manager: the block
+        commits on success, rolls back on exception.  Commit raises
+        :class:`~repro.errors.WriteConflict` when another transaction
+        committed a write to the same object first.
+        """
+        if self.store is None:
+            raise TransactionError("transactions require a populated store")
+        return self.store.begin()
+
+    def _on_commit(self, record: CommitRecord) -> None:
+        """Commit listener: feed DML deltas into the catalog's versions."""
+        for name, delta in record.deltas.items():
+            self.catalog.note_data_changed(name, delta)
+
+    def _run_dml(
+        self,
+        statement: Union[InsertAst, UpdateAst, DeleteAst],
+        config: OptimizerConfig | None,
+        governor: QueryContext | None,
+        transaction: Transaction | None,
+        use_cache: bool | None,
+    ) -> DmlResult:
+        """Admission, transaction scoping, and commit for one statement."""
+        from repro.algebra import dml as dml_algebra
+        from repro.engine import dml as dml_engine
+
+        if self.store is None or self.executor is None:
+            raise TransactionError("DML requires a populated store")
+        config = config or self.config
+        if governor is not None:
+            governor.start()
+            if governor.memory_bytes is not None:
+                config = config.with_memory_budget(governor.memory_bytes)
+        if use_cache is None:
+            use_cache = self.cache_plans
+        admit = (
+            self.admission.admit()
+            if self.admission is not None
+            else contextlib.nullcontext()
+        )
+        with admit:
+            txn = transaction if transaction is not None else self.store.begin()
+            try:
+                if isinstance(statement, InsertAst):
+                    plan = dml_algebra.plan_insert(statement, self.catalog)
+                    affected = dml_engine.apply_insert(txn, plan)
+                    operation = "insert"
+                else:
+                    if isinstance(statement, UpdateAst):
+                        plan = dml_algebra.plan_update(statement, self.catalog)
+                        operation = "update"
+                    else:
+                        plan = dml_algebra.plan_delete(statement, self.catalog)
+                        operation = "delete"
+                    view = self.store.view(txn=txn)
+                    targets = self._dml_targets(
+                        plan.target, config, governor, use_cache, view
+                    )
+                    if operation == "update":
+                        affected = dml_engine.apply_update(
+                            view, txn, plan, targets
+                        )
+                    else:
+                        affected = dml_engine.apply_delete(txn, plan, targets)
+            except Exception:
+                if transaction is None:
+                    txn.rollback()
+                raise
+            csn = None
+            if transaction is None:
+                csn = txn.commit()
+            return DmlResult(operation, affected, csn)
+
+    def _dml_targets(
+        self,
+        target: QueryAst,
+        config: OptimizerConfig,
+        governor: QueryContext | None,
+        use_cache: bool,
+        view,
+    ) -> list[Row]:
+        """Run a write plan's target query through the cached pipeline."""
+        parameterized = parameterize(target, auto=True)
+        result = self._run_governed(
+            parameterized,
+            parameterized.auto_values,
+            config,
+            execute=True,
+            use_cache=use_cache and parameterized.cacheable,
+            dynamic=False,
+            governor=governor,
+            view=view,
+        )
+        return result.rows
+
+    # ------------------------------------------------------------------
     # Query pipeline
     # ------------------------------------------------------------------
 
@@ -361,6 +473,7 @@ class Database:
         cold: bool = True,
         result_vars: tuple[str, ...] = (),
         ctx: QueryContext | None = None,
+        view=None,
     ) -> ExecutionResult:
         """Run a physical plan with fresh I/O accounting.
 
@@ -368,10 +481,12 @@ class Database:
         variables (as `query` does for SELECT *).  ``ctx`` makes the run
         governed: deadline/cancel polls on every pipeline, memory-budget
         spill in sort and hash joins, fault injection on disk reads.
+        ``view`` pins the run's MVCC snapshot (default: latest committed
+        state, pinned at start).
         """
         if self.executor is None:
             raise CatalogError("this database has no populated store")
-        result = self.executor.execute(plan, cold=cold, ctx=ctx)
+        result = self.executor.execute(plan, cold=cold, ctx=ctx, view=view)
         if result_vars:
             keep = set(result_vars)
             result.rows = [
@@ -389,8 +504,21 @@ class Database:
         parallelism: int | None = None,
         options: Mapping[str, Any] | None = None,
         governor: QueryContext | None = None,
-    ) -> QueryResult:
-        """Parse, simplify, optimize, and (by default) execute a query.
+        transaction: Transaction | None = None,
+    ) -> Union[QueryResult, DmlResult]:
+        """Parse, simplify, optimize, and (by default) execute a statement.
+
+        Accepts queries *and* DML.  An INSERT/UPDATE/DELETE returns a
+        :class:`~repro.engine.dml.DmlResult`; with no ``transaction`` it
+        auto-commits (the result carries the commit CSN), with one it
+        buffers into that transaction.  UPDATE/DELETE target selection
+        runs through this same pipeline (plan cache, indexes, governor
+        included).
+
+        ``transaction`` also scopes reads: a SELECT inside a transaction
+        sees the transaction's snapshot plus its own uncommitted writes;
+        without one, each query pins the latest committed snapshot at
+        execution start.
 
         The query is auto-parameterized and the plan cache consulted
         transparently: repeats of the same query shape with different
@@ -416,7 +544,19 @@ class Database:
         if parallelism is not None:
             config = (config or self.config).with_parallelism(parallelism)
         governor = self._governor_for(options, governor)
-        parameterized = parameterize(self.parse(text), auto=True)
+        statement = parse_statement(text)
+        if isinstance(statement, (InsertAst, UpdateAst, DeleteAst)):
+            if use_cache is None:
+                use_cache = self.cache_plans
+            return self._run_dml(
+                statement, config, governor, transaction, use_cache
+            )
+        view = None
+        if transaction is not None:
+            if self.store is None:
+                raise TransactionError("this database has no populated store")
+            view = self.store.view(txn=transaction)
+        parameterized = parameterize(statement, auto=True)
         if parameterized.user_param_names:
             names = ", ".join(f"${n}" for n in parameterized.user_param_names)
             raise ParameterBindingError(
@@ -432,6 +572,7 @@ class Database:
             execute=execute,
             use_cache=use_cache,
             governor=governor,
+            view=view,
         )
 
     #: The option keys `query` understands (anything else is an error).
@@ -514,6 +655,7 @@ class Database:
         use_cache: bool = True,
         dynamic: bool = False,
         governor: QueryContext | None = None,
+        view=None,
     ) -> QueryResult:
         """The cached query pipeline shared by `query` and PreparedQuery.
 
@@ -536,7 +678,7 @@ class Database:
         with admit:
             return self._run_governed(
                 parameterized, values, config, execute, use_cache, dynamic,
-                governor,
+                governor, view=view,
             )
 
     def _run_governed(
@@ -548,6 +690,7 @@ class Database:
         use_cache: bool,
         dynamic: bool,
         governor: QueryContext | None,
+        view=None,
     ) -> QueryResult:
         if not use_cache or not parameterized.cacheable:
             bound = bind_template(parameterized, values, tagged=False)
@@ -562,7 +705,7 @@ class Database:
             info = CacheInfo(outcome, parameterized.text_key, self.catalog.version)
             return self._finish(
                 optimization, simplified.result_vars, execute, info,
-                config=config, governor=governor,
+                config=config, governor=governor, view=view,
             )
 
         key = self._cache_key(parameterized, config, dynamic)
@@ -580,7 +723,7 @@ class Database:
             )
             return self._finish(
                 optimization, entry.result_vars, execute, info,
-                config=config, governor=governor,
+                config=config, governor=governor, view=view,
             )
 
         # Miss: optimize with tagged constants so the stored plan can be
@@ -615,7 +758,7 @@ class Database:
             info = CacheInfo("bypass", key, self.catalog.version)
             return self._finish(
                 optimization, simplified.result_vars, execute, info,
-                config=config, governor=governor,
+                config=config, governor=governor, view=view,
             )
         self.plan_cache.store(
             CacheEntry(
@@ -632,7 +775,7 @@ class Database:
         info = CacheInfo("miss", key, self.catalog.version)
         return self._finish(
             optimization, simplified.result_vars, execute, info,
-            config=config, governor=governor,
+            config=config, governor=governor, view=view,
         )
 
     def _finish(
@@ -643,6 +786,7 @@ class Database:
         info: CacheInfo,
         config: OptimizerConfig | None = None,
         governor: QueryContext | None = None,
+        view=None,
     ) -> QueryResult:
         execution = None
         rows: list[Row] = []
@@ -652,7 +796,8 @@ class Database:
             # not part of the result.
             try:
                 execution = self.execute_plan(
-                    optimization.plan, result_vars=result_vars, ctx=governor
+                    optimization.plan, result_vars=result_vars, ctx=governor,
+                    view=view,
                 )
             except IndexCorruptionError as exc:
                 # Degradation ladder, step 2 (after the buffer pool's
@@ -661,7 +806,7 @@ class Database:
                 # index access paths and run the scan-based plan under
                 # the same governor (same clocks, same injector).
                 optimization, execution = self._degrade_to_scan(
-                    exc, optimization, result_vars, config, governor
+                    exc, optimization, result_vars, config, governor, view
                 )
             rows = execution.rows
         return QueryResult(
@@ -676,6 +821,7 @@ class Database:
         result_vars: tuple[str, ...],
         config: OptimizerConfig | None,
         governor: QueryContext | None,
+        view=None,
     ) -> tuple[OptimizationResult, ExecutionResult]:
         """Replan a query whose chosen index turned out corrupt."""
         from repro.optimizer.config import COLLAPSE_TO_INDEX_SCAN
@@ -696,7 +842,8 @@ class Database:
             query_ctx=governor,
         )
         execution = self.execute_plan(
-            optimization.plan, result_vars=result_vars, ctx=governor
+            optimization.plan, result_vars=result_vars, ctx=governor,
+            view=view,
         )
         return optimization, execution
 

@@ -29,6 +29,13 @@ from repro.obs.tracer import NULL_TRACER, Tracer
 
 DEFAULT_PAGE_SIZE = 4096
 
+#: Relative cardinality drift a collection tolerates before its committed
+#: DML forces a statistics bump (and with it plan-cache invalidation).
+#: Below the threshold cached plans are *safely rebound*: plans are
+#: data-independent (MVCC snapshots give correctness), so only costing —
+#: which drifts with cardinality — justifies throwing a plan away.
+DATA_DRIFT_THRESHOLD = 0.20
+
 
 @dataclass(frozen=True)
 class IndexDef:
@@ -87,6 +94,14 @@ class Catalog:
         # is unchanged by re-selecting among its compiled scenarios.
         self._version = 0
         self._stats_version = 0
+        # Per-collection *data* versions: bumped by every committed DML
+        # write touching the collection.  Deliberately separate from
+        # ``version``: data movement alone does not invalidate cached
+        # plans (they rebind safely) until cardinality drift crosses
+        # DATA_DRIFT_THRESHOLD, at which point the statistics are
+        # refreshed and ``version``/``stats_version`` move.
+        self._data_versions: dict[str, int] = {}
+        self._live_cardinality: dict[str, int] = {}
         # Observability sink for recoverable lookup failures; the owning
         # Database keeps this pointed at its own tracer.
         self.tracer: Tracer = NULL_TRACER
@@ -115,6 +130,42 @@ class Catalog:
         refining histograms on existing records) so cached plans that
         were costed against the old statistics are invalidated."""
         self._bump(stats=True)
+
+    def data_version(self, collection_name: str) -> int:
+        """How many committed DML writes have touched a collection."""
+        return self._data_versions.get(collection_name, 0)
+
+    def live_cardinality(self, collection_name: str) -> int | None:
+        """The cardinality implied by committed DML deltas, when tracked.
+
+        None before any DML touched the collection (the loaded
+        statistics are authoritative then).
+        """
+        return self._live_cardinality.get(collection_name)
+
+    def note_data_changed(self, collection_name: str, delta: int = 0) -> None:
+        """Record one committed DML write to a collection.
+
+        Always bumps the collection's data version.  When the cumulative
+        cardinality drift against the costed statistics exceeds
+        :data:`DATA_DRIFT_THRESHOLD`, the statistics are refreshed to the
+        live cardinality and the stats version moves — invalidating
+        version-keyed cached plans, exactly as ``analyze`` would.  Below
+        the threshold, cached plans keep rebinding safely.
+        """
+        self._data_versions[collection_name] = (
+            self._data_versions.get(collection_name, 0) + 1
+        )
+        if collection_name not in self._stats:
+            return
+        stats = self._stats[collection_name]
+        live = self._live_cardinality.get(collection_name, stats.cardinality)
+        live += delta
+        self._live_cardinality[collection_name] = live
+        baseline = stats.cardinality
+        if abs(live - baseline) > DATA_DRIFT_THRESHOLD * max(1, baseline):
+            stats.cardinality = max(0, live)
+            self._bump(stats=True)
 
     # ------------------------------------------------------------------
     # Schema access
@@ -325,6 +376,8 @@ class Catalog:
         view = Catalog(self._schema, self.page_size)
         view._stats = self._stats
         view._type_populations = self._type_populations
+        view._data_versions = self._data_versions
+        view._live_cardinality = self._live_cardinality
         for index in self._indexes.values():
             if index.name in names:
                 view._indexes[index.name] = index
@@ -375,4 +428,11 @@ def build_catalog(schema: Schema, page_size: int = DEFAULT_PAGE_SIZE) -> Catalog
     return catalog
 
 
-__all__ = ["Catalog", "IndexDef", "DEFAULT_PAGE_SIZE", "build_catalog", "extent_name"]
+__all__ = [
+    "Catalog",
+    "DATA_DRIFT_THRESHOLD",
+    "DEFAULT_PAGE_SIZE",
+    "IndexDef",
+    "build_catalog",
+    "extent_name",
+]

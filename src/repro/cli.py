@@ -38,11 +38,23 @@ Dot-commands:
 ``.chaos SEED``      seeded fault injection (transient read errors,
                      latency spikes, corrupt indexes) for subsequent
                      queries ( .chaos off clears; bare .chaos shows it )
+``.begin``           open a transaction: subsequent queries see its
+                     snapshot (plus its own writes); DML buffers into it
+``.commit``          commit the open transaction; a concurrent write to
+                     the same object reports a write conflict and rolls
+                     back (first committer wins)
+``.rollback``        discard the open transaction's writes
+``.server start [PORT]``   serve this database over TCP (JSON-line
+                     protocol, one session per connection; port 0 picks
+                     a free port).  ``.server stop`` drains and stops;
+                     bare ``.server`` shows the address
+``.sessions``        list the server's live sessions
 ``.quit``            leave
 ===================  ====================================================
 
-Anything else is parsed as a ZQL query, optimized, executed, and printed
-with its plan and simulated I/O cost.
+Anything else is parsed as a ZQL statement (query or INSERT/UPDATE/
+DELETE), optimized, executed, and printed with its plan and simulated
+I/O cost.
 """
 
 from __future__ import annotations
@@ -51,6 +63,7 @@ import argparse
 import sys
 
 from repro.api import Database
+from repro.engine.dml import DmlResult
 from repro.engine.tuples import Obj
 from repro.errors import ReproError
 from repro.obs.tracer import Tracer
@@ -68,10 +81,16 @@ _MAX_ROWS = 20
 
 
 class Shell:
-    """The interactive loop: dot-commands plus ZQL query execution."""
+    """The interactive loop: dot-commands plus ZQL query execution.
 
-    def __init__(self, db: Database) -> None:
+    ``out`` redirects everything the shell prints; the serving tier runs
+    one Shell per remote session with a per-request buffer, so the TCP
+    protocol and the terminal share one command surface.
+    """
+
+    def __init__(self, db: Database, out=None) -> None:
         self.db = db
+        self.out = out
         self.disabled: set[str] = set()
         self.prepared: dict[str, object] = {}
         self.parallelism = 1
@@ -80,16 +99,28 @@ class Shell:
         self.timeout_ms: float | None = None
         self.memory_bytes: int | None = None
         self.chaos_seed: int | None = None
+        # Open transaction (None = auto-commit) and embedded server.
+        self.transaction = None
+        self.server = None
+
+    def echo(self, *args, **kwargs) -> None:
+        """`print` onto the shell's output stream.
+
+        ``sys.stdout`` is resolved at call time (not construction) so
+        output-capturing wrappers like ``contextlib.redirect_stdout``
+        keep working for terminal shells.
+        """
+        print(*args, file=self.out if self.out is not None else sys.stdout, **kwargs)
 
     # ------------------------------------------------------------------
 
     def run(self, stream=sys.stdin, interactive: bool = True) -> None:
         """Read-eval-print until EOF or ``.quit``."""
         if interactive:
-            print("Open OODB query optimizer shell — .help for commands")
+            self.echo("Open OODB query optimizer shell — .help for commands")
         while True:
             if interactive:
-                print(_PROMPT, end="", flush=True)
+                self.echo(_PROMPT, end="", flush=True)
             line = stream.readline()
             if not line:
                 break
@@ -101,7 +132,17 @@ class Shell:
             try:
                 self.dispatch(line)
             except ReproError as exc:
-                print(f"error: {exc}")
+                self.echo(f"error: {exc}")
+        self._shutdown()
+
+    def _shutdown(self) -> None:
+        """Roll back any open transaction and stop an embedded server."""
+        if self.transaction is not None:
+            self.transaction.rollback()
+            self.transaction = None
+        if self.server is not None:
+            self.server.stop()
+            self.server = None
 
     def dispatch(self, line: str) -> None:
         """Route one input line to a dot-command or the query pipeline."""
@@ -123,30 +164,30 @@ class Shell:
         parts = line.split()
         command, args = parts[0], parts[1:]
         if command == ".help":
-            print(__doc__)
+            self.echo(__doc__)
         elif command == ".catalog":
-            print(self.db.catalog.describe())
+            self.echo(self.db.catalog.describe())
         elif command == ".indexes":
             for index in self.db.catalog.indexes():
-                print(f"  {index.name}: {index.describe()}")
+                self.echo(f"  {index.name}: {index.describe()}")
         elif command == ".index" and len(args) == 3:
             name, collection, path = args
             self.db.create_index(name, collection, tuple(path.split(".")))
-            print(f"created {name}")
+            self.echo(f"created {name}")
         elif command == ".drop" and len(args) == 1:
             self.db.drop_index(args[0])
-            print(f"dropped {args[0]}")
+            self.echo(f"dropped {args[0]}")
         elif command == ".analyze" and len(args) == 1:
             analyzed = self.db.analyze(args[0])
-            print(f"analyzed {args[0]}: {', '.join(analyzed)}")
+            self.echo(f"analyzed {args[0]}: {', '.join(analyzed)}")
         elif command == ".explain":
             rest = line[len(".explain") :].strip()
             if rest.startswith("analyze ") or rest == "analyze":
                 query = rest[len("analyze") :].strip()
-                print(self.db.explain(query, config=self._config(), analyze=True))
+                self.echo(self.db.explain(query, config=self._config(), analyze=True))
             else:
                 result = self.db.optimize(rest, config=self._config())
-                print(result.explain(costs=True))
+                self.echo(result.explain(costs=True))
         elif command == ".trace":
             rest = line[len(".trace") :].strip()
             self._trace(rest)
@@ -154,40 +195,40 @@ class Shell:
             from repro.optimizer.calibration import CostModelValidator
 
             if self.db.store is None:
-                print("error: no populated store")
+                self.echo("error: no populated store")
                 return
             for row in CostModelValidator(self.db.store).validate_all():
-                print(
+                self.echo(
                     f"  {row.operation:34} formula {row.predicted_io_s:7.3f}s"
                     f"  simulated {row.simulated_io_s:7.3f}s"
                     f"  ratio {row.ratio:5.2f}x"
                 )
         elif command == ".dynamic":
             rest = line[len(".dynamic") :].strip()
-            print(self.db.dynamic_plan(rest, config=self._config()).describe())
+            self.echo(self.db.dynamic_plan(rest, config=self._config()).describe())
         elif command == ".cache":
             if args == ["clear"]:
                 self.db.plan_cache.clear()
-                print("plan cache cleared")
+                self.echo("plan cache cleared")
             elif args == ["off"]:
                 self.db.cache_plans = False
-                print("plan cache disabled")
+                self.echo("plan cache disabled")
             elif args == ["on"]:
                 self.db.cache_plans = True
-                print("plan cache enabled")
+                self.echo("plan cache enabled")
             else:
-                print(self.db.plan_cache.describe())
+                self.echo(self.db.plan_cache.describe())
         elif command == ".prepare" and len(args) >= 2:
             name = args[0]
             text = line[len(".prepare") :].strip()[len(name) :].strip()
             prepared = self.db.prepare(text, config=self._config())
             self.prepared[name] = prepared
             params = ", ".join(f"${p}" for p in prepared.param_names)
-            print(f"prepared {name} ({params or 'no parameters'})")
+            self.echo(f"prepared {name} ({params or 'no parameters'})")
         elif command == ".exec" and len(args) >= 1:
             prepared = self.prepared.get(args[0])
             if prepared is None:
-                print(f"error: no prepared query {args[0]!r}; use .prepare first")
+                self.echo(f"error: no prepared query {args[0]!r}; use .prepare first")
                 return
             bindings = dict(self._parse_binding(arg) for arg in args[1:])
             self._print_result(prepared.execute(**bindings))
@@ -198,28 +239,28 @@ class Shell:
                 + (ASSEMBLY_ENFORCER, SORT_ENFORCER, EXCHANGE_ENFORCER)
             ):
                 marker = " (disabled)" if name in self.disabled else ""
-                print(f"  {name}{marker}")
+                self.echo(f"  {name}{marker}")
         elif command == ".disable" and len(args) == 1:
             self.disabled.add(args[0])
-            print(f"disabled {args[0]}")
+            self.echo(f"disabled {args[0]}")
         elif command == ".enable" and len(args) == 1:
             self.disabled.discard(args[0])
-            print(f"enabled {args[0]}")
+            self.echo(f"enabled {args[0]}")
         elif command == ".parallel" and len(args) <= 1:
             if not args:
-                print(f"parallelism: {self.parallelism}")
+                self.echo(f"parallelism: {self.parallelism}")
                 return
             try:
                 degree = int(args[0])
             except ValueError:
-                print(f"error: expected a worker count, got {args[0]!r}")
+                self.echo(f"error: expected a worker count, got {args[0]!r}")
                 return
             if degree < 1:
-                print("error: parallelism must be >= 1")
+                self.echo("error: parallelism must be >= 1")
                 return
             self.parallelism = degree
             label = "serial" if degree == 1 else f"{degree} workers"
-            print(f"parallelism set to {degree} ({label})")
+            self.echo(f"parallelism set to {degree} ({label})")
         elif command == ".timeout" and len(args) <= 1:
             self.timeout_ms = self._limit(
                 args, self.timeout_ms, "timeout", float, "ms"
@@ -232,28 +273,96 @@ class Shell:
             self.chaos_seed = self._limit(
                 args, self.chaos_seed, "chaos seed", int, ""
             )
+        elif command == ".begin" and not args:
+            if self.transaction is not None:
+                self.echo("error: a transaction is already open")
+                return
+            self.transaction = self.db.begin()
+            self.echo(f"begin (snapshot csn {self.transaction.snapshot})")
+        elif command == ".commit" and not args:
+            if self.transaction is None:
+                self.echo("error: no open transaction")
+                return
+            # Commit rolls the transaction back itself on WriteConflict;
+            # the conflict propagates as a typed error (the interactive
+            # loop prints it, the serving tier encodes it).
+            txn, self.transaction = self.transaction, None
+            csn = txn.commit()
+            self.echo(f"committed at csn {csn}")
+        elif command == ".rollback" and not args:
+            if self.transaction is None:
+                self.echo("error: no open transaction")
+                return
+            self.transaction.rollback()
+            self.transaction = None
+            self.echo("rolled back")
+        elif command == ".server":
+            self._server_command(args)
+        elif command == ".sessions" and not args:
+            if self.server is None:
+                self.echo("server not running; use .server start")
+                return
+            sessions = self.server.session_info()
+            self.echo(f"{len(sessions)} session(s)")
+            for info in sessions:
+                self.echo(f"  {info}")
         else:
-            print(f"unknown command {line!r}; try .help")
+            self.echo(f"unknown command {line!r}; try .help")
 
-    @staticmethod
-    def _limit(args, current, label, parse, unit):
+    def _server_command(self, args: list[str]) -> None:
+        """``.server start [PORT]`` / ``.server stop`` / bare ``.server``."""
+        from repro.server import DatabaseServer
+
+        if not args:
+            if self.server is None:
+                self.echo("server not running")
+            else:
+                host, port = self.server.address
+                self.echo(f"serving on {host}:{port}")
+            return
+        if args[0] == "start":
+            if self.server is not None:
+                host, port = self.server.address
+                self.echo(f"error: already serving on {host}:{port}")
+                return
+            port = 0
+            if len(args) > 1:
+                try:
+                    port = int(args[1])
+                except ValueError:
+                    self.echo(f"error: expected a port, got {args[1]!r}")
+                    return
+            self.server = DatabaseServer(self.db, port=port)
+            host, port = self.server.start()
+            self.echo(f"serving on {host}:{port}")
+        elif args[0] == "stop":
+            if self.server is None:
+                self.echo("error: server not running")
+                return
+            self.server.stop()
+            self.server = None
+            self.echo("server stopped")
+        else:
+            self.echo(f"error: expected start/stop, got {args[0]!r}")
+
+    def _limit(self, args, current, label, parse, unit):
         """Shared show/set/clear handling for .timeout/.memory/.chaos."""
         if not args:
             shown = "off" if current is None else f"{current:g} {unit}".strip()
-            print(f"{label}: {shown}")
+            self.echo(f"{label}: {shown}")
             return current
         if args[0] in ("off", "none"):
-            print(f"{label} cleared")
+            self.echo(f"{label} cleared")
             return None
         try:
             value = parse(args[0])
         except ValueError:
-            print(f"error: expected a number, got {args[0]!r}")
+            self.echo(f"error: expected a number, got {args[0]!r}")
             return current
         if value <= 0 and label != "chaos seed":
-            print(f"error: {label} must be positive")
+            self.echo(f"error: {label} must be positive")
             return current
-        print(f"{label} set to {value:g} {unit}".rstrip())
+        self.echo(f"{label} set to {value:g} {unit}".rstrip())
         return value
 
     def _trace(self, text: str) -> None:
@@ -273,13 +382,13 @@ class Shell:
         finally:
             self.db.tracer = previous
         for entry in result.search_trace:
-            print(f"  {entry}")
+            self.echo(f"  {entry}")
         counts = tracer.counts()
         summary = ", ".join(f"{name} {n}" for name, n in sorted(counts.items()))
-        print(f"-- {len(tracer.events)} events ({summary}) --")
+        self.echo(f"-- {len(tracer.events)} events ({summary}) --")
         for event in tracer.events:
             if event.category in ("prune", "enforcer", "warning", "phase"):
-                print(f"  {event.format()}")
+                self.echo(f"  {event.format()}")
 
     def _options(self) -> dict | None:
         """The session's resource limits as `Database.query` $-options."""
@@ -293,25 +402,37 @@ class Shell:
         return options or None
 
     def _query(self, text: str) -> None:
-        self._print_result(
-            self.db.query(text, config=self._config(), options=self._options())
+        result = self.db.query(
+            text,
+            config=self._config(),
+            options=self._options(),
+            transaction=self.transaction,
         )
+        self._print_result(result)
 
     def _print_result(self, result) -> None:
-        """Render one QueryResult: plan, rows, I/O and cache summary."""
-        print(result.explain(costs=True))
+        """Render one result: DML summary, or plan + rows + I/O summary."""
+        if isinstance(result, DmlResult):
+            suffix = (
+                f" (committed at csn {result.csn})"
+                if result.csn is not None
+                else " (buffered in open transaction)"
+            )
+            self.echo(f"{result.operation}: {result.affected} object(s){suffix}")
+            return
+        self.echo(result.explain(costs=True))
         for row in result.rows[:_MAX_ROWS]:
-            print("  " + self._format_row(row))
+            self.echo("  " + self._format_row(row))
         remaining = len(result.rows) - _MAX_ROWS
         if remaining > 0:
-            print(f"  ... {remaining} more rows")
+            self.echo(f"  ... {remaining} more rows")
         if result.execution is not None:
             spill = ""
             if result.execution.spill_page_writes:
                 spill = (
                     f", spilled {result.execution.spill_page_writes} pages"
                 )
-            print(
+            self.echo(
                 f"-- {len(result.rows)} rows, simulated I/O "
                 f"{result.execution.simulated_io_seconds:.3f}s, "
                 f"{result.execution.page_reads} page reads, wall "
@@ -319,14 +440,14 @@ class Shell:
             )
         if result.governor is not None and result.governor.degraded:
             reasons = ", ".join(dict.fromkeys(result.governor.degraded))
-            print(f"-- degraded: {reasons}")
+            self.echo(f"-- degraded: {reasons}")
         if result.cache is not None:
             saved = (
                 f", saved {result.cache.saved_seconds * 1000:.1f} ms"
                 if result.cache.hit
                 else ""
             )
-            print(
+            self.echo(
                 f"-- plan cache: {result.cache.outcome} "
                 f"(catalog v{result.cache.catalog_version}{saved})"
             )
@@ -380,7 +501,10 @@ def main(argv: list[str] | None = None) -> int:
     shell = Shell(db)
     try:
         if options.command:
-            shell.dispatch(options.command)
+            try:
+                shell.dispatch(options.command)
+            finally:
+                shell._shutdown()
         else:
             shell.run()
     except ReproError as exc:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.engine import iterators, parallel
@@ -34,7 +34,13 @@ from repro.optimizer.plans import (
     WarmStartAssemblyNode,
 )
 from repro.storage.index import IndexRuntime
+from repro.storage.mvcc import SnapshotView
 from repro.storage.store import ObjectStore
+
+#: Cached runtime-index generations kept per index name.  Concurrent
+#: snapshots can need at most a handful of generations at once; older
+#: ones are rebuildable on demand.
+INDEX_GENERATIONS_KEPT = 2
 
 
 @dataclass
@@ -59,42 +65,98 @@ class ExecutionResult:
         return len(self.rows)
 
 
+@dataclass
+class PlanRun:
+    """Everything one plan execution needs, bundled per run.
+
+    The executor used to stash the governor context, tie-break variables,
+    and tracer on ``self`` for the duration of a run — which made two
+    concurrent sessions executing on the same database trample each
+    other's state.  All per-run state now travels in this object, so the
+    executor instance itself is read-mostly and safe to share across
+    server sessions.
+
+    ``view`` is the read surface for the run: the raw store for
+    latest-state reads on a never-written database, or a
+    :class:`~repro.storage.mvcc.SnapshotView` pinning the run's MVCC
+    snapshot (optionally overlaying an in-flight transaction's writes).
+    """
+
+    view: "ObjectStore | SnapshotView"
+    tie_vars: tuple[str, ...] = ()
+    ctx: QueryContext | None = None
+    tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
+
+
 class Executor:
     """Executes optimizer plans against one object store.
 
-    Runtime indexes are built lazily (and exactly once) per index
-    definition; index construction is maintenance work and is not charged
-    to the query's I/O clock.
+    Runtime indexes are built lazily per (index name, data generation):
+    the generation is how many commits visible at the run's snapshot
+    touched the indexed collection, so a store that never sees DML
+    builds each index exactly once, while post-DML snapshots get an
+    index consistent with exactly the versions they can see.  Index
+    construction is maintenance work and is not charged to the query's
+    I/O clock.
     """
 
     def __init__(self, store: ObjectStore) -> None:
         self.store = store
-        self._indexes: dict[str, IndexRuntime] = {}
+        self._indexes: dict[tuple[str, int], IndexRuntime] = {}
         # Event sink for exchange spans; assign an enabled Tracer (or
         # pass one to `execute`) to observe worker fan-out and merges.
         self.tracer: Tracer = NULL_TRACER
-        # Iteration variables of the plan currently running — the sort
-        # enforcer's and ordered merge's deterministic tie-break.
-        self._tie_vars: tuple[str, ...] = ()
-        # Governor context of the query currently running (deadline,
-        # cancel token, memory budget); None for ungoverned queries.
-        self._ctx: QueryContext | None = None
 
-    def runtime_index(self, name: str) -> IndexRuntime:
-        """The built runtime index for a catalog index name (cached)."""
-        if name not in self._indexes:
-            definition = self.store.catalog.index(name)
-            self._indexes[name] = IndexRuntime.build(self.store, definition)
-        return self._indexes[name]
+    def runtime_index(
+        self, name: str, view: "ObjectStore | SnapshotView | None" = None
+    ) -> IndexRuntime:
+        """The built runtime index for a catalog index name.
+
+        Snapshot-consistent: the returned index contains exactly the
+        entries visible to ``view`` (default: latest committed state).
+        Cached per (name, data generation); a view overlaying an
+        uncommitted transaction that wrote the indexed collection gets a
+        private uncached build, since its contents belong to no
+        committed generation.
+        """
+        if view is None:
+            view = self.store.view()
+        definition = self.store.catalog.index(name)
+        txn = getattr(view, "txn", None)
+        if txn is not None and txn.touches_collection(
+            definition.collection,
+            self.store.catalog.collection(definition.collection).element_type,
+        ):
+            return IndexRuntime.build(view, definition)
+        snapshot = getattr(view, "snapshot", None)
+        if snapshot is None:
+            snapshot = self.store.mvcc.current_csn
+        generation = self.store.mvcc.data_version_at(
+            definition.collection, snapshot
+        )
+        key = (name, generation)
+        cached = self._indexes.get(key)
+        if cached is None:
+            cached = IndexRuntime.build(view, definition)
+            self._indexes[key] = cached
+            stale = sorted(
+                gen
+                for (cached_name, gen) in self._indexes
+                if cached_name == name
+            )[:-INDEX_GENERATIONS_KEPT]
+            for gen in stale:
+                self._indexes.pop((name, gen), None)
+        return cached
 
     def invalidate_index(self, name: str) -> None:
-        """Discard the cached runtime index for ``name`` (if built).
+        """Discard every cached generation of index ``name`` (if built).
 
         Called when the index is dropped from the catalog; a later index
         of the same name is rebuilt from scratch.  Unknown names are a
         no-op.
         """
-        self._indexes.pop(name, None)
+        for key in [k for k in self._indexes if k[0] == name]:
+            self._indexes.pop(key, None)
 
     # ------------------------------------------------------------------
 
@@ -105,6 +167,7 @@ class Executor:
         collect_stats: bool = False,
         tracer: Tracer | None = None,
         ctx: QueryContext | None = None,
+        view: "ObjectStore | SnapshotView | None" = None,
     ) -> ExecutionResult:
         """Run a plan to completion with fresh I/O accounting.
 
@@ -119,40 +182,43 @@ class Executor:
         batch granularity, blocking operators honour ``memory_bytes`` by
         spilling, and the context's fault injector (if any) is installed
         on the buffer pool for the duration of the run.
+
+        ``view`` pins the run's MVCC read snapshot (see
+        :meth:`ObjectStore.view`); omitted, the run reads the latest
+        committed state.
         """
+        if view is None:
+            view = self.store.view()
         # Build any needed indexes *before* resetting the clocks.
         for node in plan.walk():
             if isinstance(node, IndexScanNode):
-                self.runtime_index(node.index.name)
+                self.runtime_index(node.index.name, view)
         self.store.reset_accounting(cold=cold)
         collector = RunStatsCollector() if collect_stats else None
-        previous_tracer = self.tracer
-        if tracer is not None:
-            self.tracer = tracer
+        run = PlanRun(
+            view=view,
+            tie_vars=iteration_vars(plan),
+            ctx=ctx,
+            tracer=tracer if tracer is not None else self.tracer,
+        )
         buffer = self.store.buffer
         previous_faults = buffer.faults
         if ctx is not None:
             ctx.start()
             if ctx.faults is not None:
                 buffer.faults = ctx.faults
-        self._tie_vars = iteration_vars(plan)
-        self._ctx = ctx
         started = time.perf_counter()
         try:
-            rows = list(self.rows(plan, collector))
+            rows = list(self.rows(plan, run, collector))
         finally:
-            run_tracer = self.tracer
-            self.tracer = previous_tracer
-            self._tie_vars = ()
-            self._ctx = None
             buffer.faults = previous_faults
             # The instrumented iterators pop their own scopes in their
             # finally blocks; this is the last-resort unwind so a query
             # abandoned mid-raise can never poison the next query's
             # per-operator I/O attribution on this thread.
             leaked = buffer.clear_io_scopes()
-            if leaked and run_tracer.enabled:
-                run_tracer.warning(
+            if leaked and run.tracer.enabled:
+                run.tracer.warning(
                     "io-scope-leak",
                     f"cleared {leaked} stale I/O scopes after query teardown",
                     count=leaked,
@@ -172,7 +238,7 @@ class Executor:
         )
 
     def rows(
-        self, plan: PhysicalNode, collector=None, partition=None
+        self, plan: PhysicalNode, run: PlanRun, collector=None, partition=None
     ) -> Iterator[Row]:
         """The plan's output stream (no accounting reset).
 
@@ -187,24 +253,27 @@ class Executor:
         partition pipeline built by an exchange; it is consumed by
         partitioned scans, which then read only their page-range share.
         """
-        source = self._dispatch(plan, collector, partition)
-        ctx = self._ctx
-        if ctx is not None:
-            source = governed(source, ctx)
+        source = self._dispatch(plan, run, collector, partition)
+        if run.ctx is not None:
+            source = governed(source, run.ctx)
         if collector is None:
             return source
         return iterators.instrumented(
             source, collector.stats_for(plan), self.store.buffer
         )
 
-    def _exchange_rows(self, plan: ExchangeNode, collector) -> Iterator[Row]:
+    def _exchange_rows(
+        self, plan: ExchangeNode, run: PlanRun, collector
+    ) -> Iterator[Row]:
         """Fan a child pipeline out over worker threads and merge back.
 
         Each partition gets its own pipeline instance *and* (when
         instrumented) its own stats collector — worker threads never
         share a mutable record.  The per-partition collectors are
         absorbed into the query's main collector once workers drain, so
-        EXPLAIN ANALYZE shows whole-operator totals.
+        EXPLAIN ANALYZE shows whole-operator totals.  The run (and with
+        it the MVCC snapshot view) is captured in each worker pipeline's
+        closure, so every worker reads the same snapshot.
         """
         child = plan.children[0]
         branch_collectors: list[RunStatsCollector] = []
@@ -214,7 +283,7 @@ class Executor:
             if branch is not None:
                 branch_collectors.append(branch)
             sources.append(
-                self.rows(child, branch, partition=(index, plan.degree))
+                self.rows(child, run, branch, partition=(index, plan.degree))
             )
         key = None
         if plan.ordered:
@@ -224,10 +293,10 @@ class Executor:
                     "ordered exchange over a child with no delivered order"
                 )
             key = parallel.merge_key(
-                order.var, order.attr, order.ascending, self._tie_vars
+                order.var, order.attr, order.ascending, run.tie_vars
             )
         exchange = parallel.Exchange(sources, ordered=plan.ordered, key=key)
-        tracer = self.tracer
+        tracer = run.tracer
 
         def stream() -> Iterator[Row]:
             if tracer.enabled:
@@ -261,93 +330,101 @@ class Executor:
         return stream()
 
     def _dispatch(
-        self, plan: PhysicalNode, collector, partition=None
+        self, plan: PhysicalNode, run: PlanRun, collector, partition=None
     ) -> Iterator[Row]:
+        view = run.view
         if isinstance(plan, ExchangeNode):
-            return self._exchange_rows(plan, collector)
+            return self._exchange_rows(plan, run, collector)
         if isinstance(plan, PartitionedScanNode):
             if partition is None:
                 # Outside an exchange (e.g. a subtree run directly) the
                 # partitioned scan degenerates to a whole-collection scan.
-                return iterators.file_scan(
-                    self.store, plan.collection, plan.var
-                )
+                return iterators.file_scan(view, plan.collection, plan.var)
             index, degree = partition
             return iterators.partitioned_scan(
-                self.store, plan.collection, plan.var, index, degree
+                view, plan.collection, plan.var, index, degree
             )
         if isinstance(plan, FileScanNode):
-            return iterators.file_scan(self.store, plan.collection, plan.var)
+            return iterators.file_scan(view, plan.collection, plan.var)
         if isinstance(plan, IndexScanNode):
             return iterators.index_scan(
-                self.store,
-                self.runtime_index(plan.index.name),
+                view,
+                self.runtime_index(plan.index.name, view),
                 plan.var,
                 plan.comparison,
                 plan.residual,
             )
         if isinstance(plan, FilterNode):
-            return iterators.filter_rows(self.rows(plan.children[0], collector, partition), plan.predicate)
+            return iterators.filter_rows(
+                self.rows(plan.children[0], run, collector, partition),
+                plan.predicate,
+            )
         if isinstance(plan, AssemblyNode):
             return iterators.assembly(
-                self.store,
-                self.rows(plan.children[0], collector, partition),
+                view,
+                self.rows(plan.children[0], run, collector, partition),
                 plan.source,
                 plan.out,
                 plan.window,
             )
         if isinstance(plan, PointerJoinNode):
             return iterators.pointer_join(
-                self.store, self.rows(plan.children[0], collector, partition), plan.source, plan.out
+                view,
+                self.rows(plan.children[0], run, collector, partition),
+                plan.source,
+                plan.out,
             )
         if isinstance(plan, WarmStartAssemblyNode):
             return iterators.warm_start_assembly(
-                self.store,
-                self.rows(plan.children[0], collector, partition),
+                view,
+                self.rows(plan.children[0], run, collector, partition),
                 plan.source,
                 plan.out,
                 plan.target_collection,
             )
         if isinstance(plan, AlgUnnestNode):
             return iterators.unnest(
-                self.rows(plan.children[0], collector, partition), plan.var, plan.attr, plan.out
+                self.rows(plan.children[0], run, collector, partition),
+                plan.var,
+                plan.attr,
+                plan.out,
             )
         if isinstance(plan, HashJoinNode):
-            ctx = self._ctx
+            ctx = run.ctx
             if ctx is not None and ctx.memory_bytes is not None:
                 return spill.spill_hash_join(
                     self.store,
-                    self.rows(plan.children[0], collector, partition),
-                    self.rows(plan.children[1], collector, partition),
+                    self.rows(plan.children[0], run, collector, partition),
+                    self.rows(plan.children[1], run, collector, partition),
                     plan.predicate,
                     budget_bytes=ctx.memory_bytes,
-                    tracer=self.tracer,
+                    tracer=run.tracer,
                 )
             return iterators.hash_join(
-                self.rows(plan.children[0], collector, partition),
-                self.rows(plan.children[1], collector, partition),
+                self.rows(plan.children[0], run, collector, partition),
+                self.rows(plan.children[1], run, collector, partition),
                 plan.predicate,
             )
         if isinstance(plan, HashAntiJoinNode):
-            ctx = self._ctx
+            ctx = run.ctx
             if ctx is not None and ctx.memory_bytes is not None:
                 return spill.spill_anti_join(
                     self.store,
-                    self.rows(plan.children[0], collector, partition),
-                    self.rows(plan.children[1], collector, partition),
+                    self.rows(plan.children[0], run, collector, partition),
+                    self.rows(plan.children[1], run, collector, partition),
                     plan.predicate,
                     budget_bytes=ctx.memory_bytes,
-                    tracer=self.tracer,
+                    tracer=run.tracer,
                 )
             return iterators.anti_join(
-                self.rows(plan.children[0], collector, partition),
-                self.rows(plan.children[1], collector, partition),
+                self.rows(plan.children[0], run, collector, partition),
+                self.rows(plan.children[1], run, collector, partition),
                 plan.predicate,
             )
         if isinstance(plan, MergeJoinNode):
             return iterators.merge_join(
-                self.rows(plan.children[0], collector, partition),
-                self.rows(plan.children[1], collector, partition),
+                self.rows(plan.children[0], run, collector, partition),
+                self.rows(plan.children[1], run, collector, partition),
                 plan.predicate,
                 plan.left_key,
                 plan.right_key,
@@ -356,38 +433,40 @@ class Executor:
             order = plan.delivered.order
             if order is None:
                 raise ExecutionError("sort node without an order key")
-            ctx = self._ctx
+            ctx = run.ctx
             if ctx is not None and ctx.memory_bytes is not None:
                 return spill.spill_sort_rows(
                     self.store,
-                    self.rows(plan.children[0], collector, partition),
+                    self.rows(plan.children[0], run, collector, partition),
                     order.var,
                     order.attr,
                     order.ascending,
-                    self._tie_vars,
+                    run.tie_vars,
                     budget_bytes=ctx.memory_bytes,
-                    tracer=self.tracer,
+                    tracer=run.tracer,
                 )
             return iterators.sort_rows(
-                self.rows(plan.children[0], collector, partition),
+                self.rows(plan.children[0], run, collector, partition),
                 order.var,
                 order.attr,
                 order.ascending,
-                self._tie_vars,
+                run.tie_vars,
             )
         if isinstance(plan, NestedLoopsNode):
             return iterators.nested_loops_join(
-                self.rows(plan.children[0], collector, partition),
-                self.rows(plan.children[1], collector, partition),
+                self.rows(plan.children[0], run, collector, partition),
+                self.rows(plan.children[1], run, collector, partition),
                 plan.predicate,
             )
         if isinstance(plan, AlgProjectNode):
             return iterators.project(
-                self.rows(plan.children[0], collector, partition), plan.items, plan.distinct
+                self.rows(plan.children[0], run, collector, partition),
+                plan.items,
+                plan.distinct,
             )
         if isinstance(plan, HashGroupByNode):
             return iterators.group_by(
-                self.rows(plan.children[0], collector, partition),
+                self.rows(plan.children[0], run, collector, partition),
                 plan.keys,
                 plan.aggregates,
                 plan.order_output,
@@ -396,8 +475,8 @@ class Executor:
         if isinstance(plan, HashSetOpNode):
             return iterators.set_op(
                 plan.kind,
-                self.rows(plan.children[0], collector, partition),
-                self.rows(plan.children[1], collector, partition),
+                self.rows(plan.children[0], run, collector, partition),
+                self.rows(plan.children[1], run, collector, partition),
             )
         raise ExecutionError(f"no executor for plan node {plan.algorithm}")
 
@@ -421,4 +500,4 @@ def iteration_vars(plan: PhysicalNode) -> tuple[str, ...]:
     return tuple(sorted(names))
 
 
-__all__ = ["ExecutionResult", "Executor", "iteration_vars"]
+__all__ = ["ExecutionResult", "Executor", "PlanRun", "iteration_vars"]

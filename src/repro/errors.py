@@ -112,6 +112,27 @@ class IndexCorruptionError(StorageError):
         self.index_name = index_name
 
 
+class TransactionError(ReproError):
+    """Raised for transaction misuse: writing through a finished
+    transaction, committing twice, DML without a populated store."""
+
+
+class WriteConflict(TransactionError):
+    """Raised at commit when another transaction committed a write to
+    the same object after this transaction's snapshot was taken.
+
+    Snapshot isolation's first-committer-wins rule: readers never block
+    writers, writers never block readers, but two writers of the same
+    object cannot both win.  The losing transaction is rolled back (none
+    of its writes are visible) and the caller may retry on a fresh
+    snapshot.
+    """
+
+    def __init__(self, message: str, oid: object = None) -> None:
+        super().__init__(message)
+        self.oid = oid
+
+
 class PlanCacheError(ReproError):
     """Raised for plan-cache misuse (bad capacity, unbindable plans)."""
 

@@ -57,6 +57,19 @@ def main(argv: list[str] | None = None) -> int:
         help="skip minimization of failing cases",
     )
     parser.add_argument(
+        "--dml",
+        action="store_true",
+        help="run the DML-interleaved oracle: the same seeded write "
+        "batch under every engine configuration must produce "
+        "byte-identical transcripts (reads, counts, typed errors)",
+    )
+    parser.add_argument(
+        "--ops-per-batch",
+        type=int,
+        default=None,
+        help="DML statements per batch for --dml (default 8)",
+    )
+    parser.add_argument(
         "--chaos",
         action="store_true",
         help="run the oracle under seeded fault injection: every case "
@@ -74,6 +87,32 @@ def main(argv: list[str] | None = None) -> int:
 
     log = (lambda message: None) if args.quiet else print
     started = time.perf_counter()
+    if args.dml:
+        from repro.fuzz.dml import DEFAULT_OPS_PER_BATCH, dml_fuzz
+
+        stats = dml_fuzz(
+            seed=args.seed,
+            iterations=args.iterations,
+            ops_per_batch=(
+                args.ops_per_batch
+                if args.ops_per_batch is not None
+                else DEFAULT_OPS_PER_BATCH
+            ),
+            shrink=not args.no_shrink,
+            corpus_dir=args.corpus if args.write_corpus else None,
+            log=log,
+        )
+        elapsed = time.perf_counter() - started
+        print(
+            f"{stats.iterations} DML cases ({stats.skipped} skipped), "
+            f"{stats.pairs_run} configuration replays, "
+            f"{len(stats.mismatches)} mismatch(es) in {elapsed:.1f}s"
+        )
+        for mismatch in stats.mismatches:
+            print(f"  {mismatch}")
+        for path in stats.repro_paths:
+            print(f"  repro: {path}")
+        return 0 if stats.ok else 1
     if args.chaos:
         from repro.fuzz.chaos import DEFAULT_FAULT_RATE, chaos_fuzz
 

@@ -167,6 +167,76 @@ class QueryAst:
 
 
 @dataclass(frozen=True)
+class InsertAst:
+    """``INSERT INTO collection (cols...) VALUES (...), (...)``.
+
+    Each value is a :class:`ConstAst` or :class:`ParamAst`; attributes of
+    the element type not named in ``columns`` default to null (empty set
+    for set-valued attributes).
+    """
+
+    collection: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Operand, ...], ...]
+
+    def __str__(self) -> str:
+        cols = ", ".join(self.columns)
+        rows = ", ".join(
+            "(" + ", ".join(str(v) for v in row) + ")" for row in self.rows
+        )
+        return f"insert into {self.collection} ({cols}) values {rows}"
+
+
+@dataclass(frozen=True)
+class AssignmentAst:
+    """``var.attr = operand`` — one SET clause of an UPDATE."""
+
+    target: PathAst  # range variable plus exactly one attribute link
+    value: Operand
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.value}"
+
+
+@dataclass(frozen=True)
+class UpdateAst:
+    """``UPDATE [Type] var IN source SET assignments [WHERE ...]``.
+
+    The range and WHERE reuse the query grammar, so target selection
+    runs through the normal optimizer (index plans included).
+    """
+
+    range: RangeAst
+    assignments: tuple[AssignmentAst, ...]
+    where: tuple[Condition, ...] = ()
+
+    def __str__(self) -> str:
+        out = f"update {self.range} set " + ", ".join(
+            str(a) for a in self.assignments
+        )
+        if self.where:
+            out += " where " + " and ".join(str(c) for c in self.where)
+        return out
+
+
+@dataclass(frozen=True)
+class DeleteAst:
+    """``DELETE [Type] var IN source [WHERE ...]``."""
+
+    range: RangeAst
+    where: tuple[Condition, ...] = ()
+
+    def __str__(self) -> str:
+        out = f"delete {self.range}"
+        if self.where:
+            out += " where " + " and ".join(str(c) for c in self.where)
+        return out
+
+
+DmlAst = Union[InsertAst, UpdateAst, DeleteAst]
+
+
+@dataclass(frozen=True)
 class SetQueryAst:
     """``query UNION query`` etc. — left-associative chains."""
 
@@ -180,10 +250,14 @@ class SetQueryAst:
 
 __all__ = [
     "AggregateAst",
+    "AssignmentAst",
     "ComparisonAst",
     "Condition",
     "ConstAst",
+    "DeleteAst",
+    "DmlAst",
     "ExistsAst",
+    "InsertAst",
     "Operand",
     "OrderByAst",
     "ParamAst",
@@ -193,4 +267,5 @@ __all__ = [
     "SelectItem",
     "SelectItemAst",
     "SetQueryAst",
+    "UpdateAst",
 ]

@@ -30,6 +30,13 @@ KEYWORDS = {
     "true",
     "false",
     "null",
+    # DML
+    "insert",
+    "into",
+    "values",
+    "update",
+    "set",
+    "delete",
 }
 
 
@@ -60,7 +67,7 @@ class Token:
 
 
 _TWO_CHAR_SYMBOLS = ("==", "!=", "<=", ">=", "&&")
-_ONE_CHAR_SYMBOLS = "(),.<>*;"
+_ONE_CHAR_SYMBOLS = "(),.<>*;="
 
 
 def tokenize(text: str) -> list[Token]:

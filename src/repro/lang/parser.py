@@ -5,6 +5,15 @@ C++ accessor syntax of ZQL[C++] and is accepted and ignored):
 
 .. code-block:: text
 
+    statement  := set_query | insert | update | delete
+    insert     := INSERT INTO ident '(' ident (',' ident)* ')'
+                  VALUES tuple (',' tuple)*
+    tuple      := '(' value (',' value)* ')'
+    value      := NUMBER | STRING | TRUE | FALSE | NULL | '$' ident
+    update     := UPDATE range SET assignment (',' assignment)*
+                  [WHERE condition (('&&' | AND) condition)*]
+    assignment := ident '.' ident '=' operand
+    delete     := DELETE range [WHERE condition (('&&' | AND) condition)*]
     set_query  := query ((UNION | INTERSECT | EXCEPT) query)*
     query      := SELECT [DISTINCT] select_list FROM range (',' range)*
                   [WHERE condition (('&&' | AND) condition)*]
@@ -25,10 +34,14 @@ from typing import Union
 from repro.errors import QuerySyntaxError
 from repro.lang.ast import (
     AggregateAst,
+    AssignmentAst,
     ComparisonAst,
     Condition,
     ConstAst,
+    DeleteAst,
+    DmlAst,
     ExistsAst,
+    InsertAst,
     Operand,
     OrderByAst,
     ParamAst,
@@ -37,6 +50,7 @@ from repro.lang.ast import (
     RangeAst,
     SelectItemAst,
     SetQueryAst,
+    UpdateAst,
 )
 from repro.lang.lexer import Token, TokenKind, tokenize
 
@@ -204,6 +218,90 @@ class _Parser:
             alias = self._expect_ident().text
         return SelectItemAst(path, alias)
 
+    # -- DML productions ------------------------------------------------
+
+    def parse_insert(self) -> InsertAst:
+        """``INSERT INTO collection (cols) VALUES (...)[, (...)]``."""
+        self._expect_keyword("insert")
+        self._expect_keyword("into")
+        target = self._parse_path()
+        if not target.is_bare_var:
+            raise QuerySyntaxError(
+                "INSERT target must be a collection name", self._peek().position
+            )
+        self._expect_symbol("(")
+        columns = [self._expect_ident().text]
+        while self._accept_symbol(","):
+            columns.append(self._expect_ident().text)
+        self._expect_symbol(")")
+        self._expect_keyword("values")
+        rows = [self._parse_value_tuple()]
+        while self._accept_symbol(","):
+            rows.append(self._parse_value_tuple())
+        return InsertAst(target.root, tuple(columns), tuple(rows))
+
+    def _parse_value_tuple(self) -> tuple[Operand, ...]:
+        self._expect_symbol("(")
+        values = [self._parse_value()]
+        while self._accept_symbol(","):
+            values.append(self._parse_value())
+        self._expect_symbol(")")
+        return tuple(values)
+
+    def _parse_value(self) -> Operand:
+        token = self._peek()
+        if token.kind in (TokenKind.NUMBER, TokenKind.STRING):
+            self._advance()
+            return ConstAst(token.value)
+        if token.kind is TokenKind.PARAM:
+            self._advance()
+            return ParamAst(token.text)
+        if token.is_keyword("true") or token.is_keyword("false"):
+            self._advance()
+            return ConstAst(token.text == "true")
+        if token.is_keyword("null"):
+            self._advance()
+            return ConstAst(None)
+        raise QuerySyntaxError(
+            "expected a literal value or $param", token.position
+        )
+
+    def parse_update(self) -> UpdateAst:
+        """``UPDATE [Type] var IN source SET a.x = v, ... [WHERE ...]``."""
+        self._expect_keyword("update")
+        range_ = self._parse_range()
+        self._expect_keyword("set")
+        assignments = [self._parse_assignment()]
+        while self._accept_symbol(","):
+            assignments.append(self._parse_assignment())
+        where: tuple[Condition, ...] = ()
+        if self._accept_keyword("where"):
+            where = tuple(self._parse_condition_list())
+        return UpdateAst(range_, tuple(assignments), where)
+
+    def _parse_assignment(self) -> AssignmentAst:
+        start = self._peek().position
+        target = self._parse_path()
+        if len(target.links) != 1:
+            raise QuerySyntaxError(
+                "assignment target must be var.attribute", start
+            )
+        token = self._peek()
+        if token.is_symbol("=") or token.is_symbol("=="):
+            self._advance()
+        else:
+            raise QuerySyntaxError("expected '=' in assignment", token.position)
+        return AssignmentAst(target, self._parse_operand())
+
+    def parse_delete(self) -> DeleteAst:
+        """``DELETE [Type] var IN source [WHERE ...]``."""
+        self._expect_keyword("delete")
+        range_ = self._parse_range()
+        where: tuple[Condition, ...] = ()
+        if self._accept_keyword("where"):
+            where = tuple(self._parse_condition_list())
+        return DeleteAst(range_, where)
+
     def _parse_range(self) -> RangeAst:
         first = self._expect_ident()
         if self._peek().kind is TokenKind.IDENT:
@@ -323,4 +421,20 @@ def parse_query(text: str) -> Union[QueryAst, SetQueryAst]:
     return result
 
 
-__all__ = ["parse_query"]
+def parse_statement(text: str) -> Union[QueryAst, SetQueryAst, DmlAst]:
+    """Parse any ZQL statement: a query or an INSERT/UPDATE/DELETE."""
+    parser = _Parser(tokenize(text))
+    first = parser._peek()
+    if first.is_keyword("insert"):
+        result: Union[QueryAst, SetQueryAst, DmlAst] = parser.parse_insert()
+    elif first.is_keyword("update"):
+        result = parser.parse_update()
+    elif first.is_keyword("delete"):
+        result = parser.parse_delete()
+    else:
+        result = parser.parse_set_query()
+    parser.finish()
+    return result
+
+
+__all__ = ["parse_query", "parse_statement"]

@@ -1,0 +1,23 @@
+"""The multi-user serving tier: sessions, protocol, threaded server.
+
+``DatabaseServer`` serves one shared :class:`~repro.api.Database` to
+many concurrent TCP sessions; each session speaks the JSON-line
+protocol of :mod:`repro.server.protocol` and reuses the interactive
+CLI's command surface (:mod:`repro.server.session`).  Isolation between
+sessions is MVCC snapshot isolation from the storage layer, and
+overload is handled by the governor's admission controller.
+"""
+
+from repro.server.client import ServerClient, ServerError
+from repro.server.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.server.server import DatabaseServer
+from repro.server.session import Session
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DatabaseServer",
+    "ProtocolError",
+    "ServerClient",
+    "ServerError",
+    "Session",
+]

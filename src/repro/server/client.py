@@ -1,0 +1,126 @@
+"""A small blocking client for the serving tier's JSON-line protocol.
+
+Used by the examples, the stress tests, and the benchmark harness; it
+is deliberately tiny — connect, send one JSON line, read one JSON line.
+Typed server errors re-raise locally as the matching exception class
+from :mod:`repro.errors` (``WriteConflict`` arrives as a real
+``WriteConflict``), so client code handles remote failures exactly as
+it would local ones.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+from repro import errors as _errors
+from repro.errors import ReproError
+from repro.server.protocol import encode
+
+
+class ServerError(ReproError):
+    """A typed server failure with no matching local exception class."""
+
+    def __init__(self, type_name: str, message: str) -> None:
+        super().__init__(f"{type_name}: {message}")
+        self.type_name = type_name
+
+
+def _raise_typed(error: dict[str, Any]) -> None:
+    """Re-raise a protocol error object as its local exception class."""
+    type_name = error.get("type", "ServerError")
+    message = error.get("message", "")
+    cls = getattr(_errors, type_name, None)
+    if isinstance(cls, type) and issubclass(cls, Exception):
+        if type_name == "WriteConflict":
+            raise cls(message, oid=error.get("oid"))
+        raise cls(message)
+    raise ServerError(type_name, message)
+
+
+class ServerClient:
+    """One session against a :class:`DatabaseServer`."""
+
+    def __init__(
+        self, host: str, port: int, timeout: float | None = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    # -- context manager ------------------------------------------------
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- plumbing -------------------------------------------------------
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request and return the raw response payload.
+
+        Responses with ``ok: false`` raise the typed exception instead
+        of returning.
+        """
+        self._sock.sendall(encode(payload))
+        raw = self._reader.readline()
+        if not raw:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(raw.decode("utf-8"))
+        if not response.get("ok", False):
+            _raise_typed(response.get("error", {}))
+        return response
+
+    # -- conveniences ---------------------------------------------------
+
+    def hello(self) -> dict[str, Any]:
+        """Handshake; returns the server banner payload."""
+        return self.request({"op": "hello"})
+
+    def line(self, text: str) -> str:
+        """Run one shell line remotely; returns its printed output."""
+        return self.request({"op": "line", "text": text})["output"]
+
+    def query(self, text: str) -> dict[str, Any]:
+        """Run one ZQL statement; returns the structured payload."""
+        return self.request({"op": "query", "text": text})
+
+    def query_cursor(self, text: str) -> int:
+        """Run a query keeping rows server-side; returns the cursor id."""
+        return self.request({"op": "query", "text": text, "cursor": True})[
+            "cursor"
+        ]
+
+    def fetch(self, cursor: int, n: int = 100) -> dict[str, Any]:
+        """Fetch the next batch: ``{"rows": [...], "done": bool}``."""
+        return self.request({"op": "fetch", "cursor": cursor, "n": n})
+
+    def begin(self) -> str:
+        """Open a transaction in this session."""
+        return self.line(".begin")
+
+    def commit(self) -> str:
+        """Commit this session's transaction (raises WriteConflict)."""
+        return self.line(".commit")
+
+    def rollback(self) -> str:
+        """Roll back this session's transaction."""
+        return self.line(".rollback")
+
+    def close(self) -> None:
+        """Say goodbye (best-effort) and close the socket."""
+        try:
+            self._sock.sendall(encode({"op": "bye"}))
+            self._reader.readline()
+        except OSError:
+            pass
+        finally:
+            try:
+                self._reader.close()
+            finally:
+                self._sock.close()
+
+
+__all__ = ["ServerClient", "ServerError"]

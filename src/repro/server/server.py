@@ -1,0 +1,228 @@
+"""A threaded TCP serving tier over one shared :class:`Database`.
+
+One thread accepts connections; each connection gets a daemon thread
+running a read-decode-execute-respond loop over the JSON-line protocol.
+All sessions share the database — isolation comes from MVCC snapshots,
+not from locks around the store — and per-statement concurrency is
+capped by an :class:`~repro.governor.admission.AdmissionController`:
+when more statements are in flight than the gate allows, the client
+gets a typed ``AdmissionRejected`` instead of an unbounded queue.
+
+Shutdown is graceful by default: the listener closes first (no new
+sessions), in-flight requests get ``drain_seconds`` to finish, open
+transactions of surviving sessions are rolled back, and only then are
+the sockets torn down.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import socket
+import threading
+import time
+
+from repro.governor.admission import AdmissionController
+from repro.server.protocol import (
+    ProtocolError,
+    decode,
+    encode,
+    error_payload,
+)
+from repro.server.session import Session
+
+#: Default per-statement concurrency cap (the admission gate's slots).
+DEFAULT_MAX_CONCURRENT = 8
+
+#: Default bounded wait for an admission slot, in milliseconds.
+DEFAULT_MAX_WAIT_MS = 2000.0
+
+#: How long `stop()` waits for in-flight requests before closing sockets.
+DEFAULT_DRAIN_SECONDS = 5.0
+
+
+class DatabaseServer:
+    """Serve one database to many sessions over the JSON-line protocol."""
+
+    def __init__(
+        self,
+        db,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_concurrent: int = DEFAULT_MAX_CONCURRENT,
+        max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+        drain_seconds: float = DEFAULT_DRAIN_SECONDS,
+    ) -> None:
+        self.db = db
+        self.host = host
+        self.port = port
+        self.drain_seconds = drain_seconds
+        self.admission = AdmissionController(
+            max_concurrent, max_wait_ms=max_wait_ms, tracer=db.tracer
+        )
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._session_ids = itertools.count(1)
+        self._sessions: dict[int, Session] = {}
+        self._connections: dict[int, socket.socket] = {}
+        self._lock = threading.Lock()
+        self._stopping = threading.Event()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``; raises if the server is stopped."""
+        if self._listener is None:
+            raise RuntimeError("server is not running")
+        return self._listener.getsockname()[:2]
+
+    @property
+    def running(self) -> bool:
+        return self._listener is not None
+
+    def start(self) -> tuple[str, int]:
+        """Bind, listen, and accept in a daemon thread; returns address."""
+        if self._listener is not None:
+            raise RuntimeError("server already running")
+        self._stopping.clear()
+        listener = socket.create_server(
+            (self.host, self.port), reuse_port=False
+        )
+        listener.listen(128)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def stop(self, drain: bool | None = None) -> None:
+        """Stop accepting, drain in-flight requests, close every session.
+
+        ``drain=False`` skips the grace period and cuts connections
+        immediately (open transactions still roll back).
+        """
+        if self._listener is None:
+            return
+        self._stopping.set()
+        listener, self._listener = self._listener, None
+        with contextlib.suppress(OSError):
+            listener.close()
+        if drain is None:
+            drain = True
+        if drain:
+            self._drain(self.drain_seconds)
+        with self._lock:
+            sessions = list(self._sessions.values())
+            connections = list(self._connections.values())
+            self._sessions.clear()
+            self._connections.clear()
+        for session in sessions:
+            session.close()
+        for connection in connections:
+            with contextlib.suppress(OSError):
+                connection.shutdown(socket.SHUT_RDWR)
+            with contextlib.suppress(OSError):
+                connection.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=1.0)
+            self._accept_thread = None
+
+    def _drain(self, seconds: float) -> None:
+        """Wait until no request is mid-execution (bounded)."""
+        deadline = time.monotonic() + seconds
+        while time.monotonic() < deadline:
+            with self._lock:
+                busy = any(
+                    session.lock.locked()
+                    for session in self._sessions.values()
+                )
+            if not busy:
+                return
+            time.sleep(0.01)
+
+    # ------------------------------------------------------------------
+
+    def session_info(self) -> list[str]:
+        """One description line per live session (for ``.sessions``)."""
+        with self._lock:
+            return [
+                session.describe()
+                for session in sorted(
+                    self._sessions.values(), key=lambda s: s.id
+                )
+            ]
+
+    def session_count(self) -> int:
+        """How many sessions are currently connected."""
+        with self._lock:
+            return len(self._sessions)
+
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._stopping.is_set() and listener is not None:
+            try:
+                connection, peer = listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            session_id = next(self._session_ids)
+            session = Session(
+                session_id, self.db, peer=f"{peer[0]}:{peer[1]}"
+            )
+            with self._lock:
+                self._sessions[session_id] = session
+                self._connections[session_id] = connection
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(session, connection),
+                name=f"repro-session-{session_id}",
+                daemon=True,
+            )
+            thread.start()
+
+    def _serve_connection(
+        self, session: Session, connection: socket.socket
+    ) -> None:
+        """One session's request loop: read line, execute, write line."""
+        try:
+            reader = connection.makefile("rb")
+            for raw in reader:
+                if self._stopping.is_set():
+                    break
+                response = self._respond(session, raw)
+                connection.sendall(encode(response))
+                if response.get("bye"):
+                    break
+        except OSError:
+            pass  # client went away; the finally still cleans up
+        finally:
+            session.close()
+            with self._lock:
+                self._sessions.pop(session.id, None)
+                self._connections.pop(session.id, None)
+            with contextlib.suppress(OSError):
+                connection.close()
+
+    def _respond(self, session: Session, raw: bytes) -> dict:
+        """Decode, admit, execute: every failure becomes a typed error."""
+        try:
+            request = decode(raw.strip())
+        except ProtocolError as exc:
+            return error_payload(exc)
+        try:
+            with self.admission.admit():
+                return session.handle(request)
+        except Exception as exc:  # noqa: BLE001 — the wire gets it typed
+            session.errors += 1
+            return error_payload(exc)
+
+
+__all__ = [
+    "DEFAULT_DRAIN_SECONDS",
+    "DEFAULT_MAX_CONCURRENT",
+    "DEFAULT_MAX_WAIT_MS",
+    "DatabaseServer",
+]

@@ -1,0 +1,583 @@
+"""MVCC: transactions, snapshots, and version visibility.
+
+The store's write path.  The sealed base load is *commit 0*; every
+committed transaction gets the next commit sequence number (CSN) and
+appends — never overwrites — object versions and collection-membership
+events.  A query pins a snapshot CSN ``s`` when it starts and sees
+exactly the state produced by commits ``<= s``:
+
+* object data: the latest version chained at ``csn <= s`` (the base
+  record when no chain entry qualifies);
+* collection membership: base members not yet removed at ``s``, plus
+  members added at ``csn <= s``, in insertion order;
+* a tombstone version (``data is None``) makes the object dangling from
+  ``s >= csn`` on.
+
+Readers never take the commit lock: commits append version and
+membership entries *first* and publish the new CSN *last*, so a reader
+pinned at ``s`` can never observe half of commit ``s+1`` — the entries
+exist but fail every ``csn <= s`` visibility test until the CSN moves.
+
+Write-write conflicts use first-committer-wins: a transaction that
+updates or deletes an object some other transaction committed a write
+to after this one's snapshot raises the typed
+:class:`~repro.errors.WriteConflict` (checked eagerly at write time and
+re-checked under the commit lock).  Readers are never blocked and never
+block.  This is snapshot isolation, not serializability: write skew and
+phantoms are possible (see docs §12).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.errors import StorageError, TransactionError, WriteConflict
+from repro.storage.objects import Oid
+
+if TYPE_CHECKING:
+    from repro.storage.store import ObjectStore
+
+#: Sentinel distinguishing "no visible version" from a None tombstone.
+_MISSING = object()
+
+#: Pages for post-seal inserts live in a reserved range between the data
+#: segments and the spill region, so growth never collides with either.
+OVERFLOW_PAGE_GAP = 50_000
+
+
+@dataclass
+class CommitRecord:
+    """What one commit changed, as reported to commit listeners."""
+
+    csn: int
+    #: Net cardinality delta per touched collection (inserts - deletes).
+    deltas: dict[str, int] = field(default_factory=dict)
+    #: Objects whose data changed in place (updates), per collection.
+    updated: int = 0
+
+
+class Transaction:
+    """One unit of DML work against a snapshot.
+
+    Obtained from :meth:`TransactionManager.begin` (or
+    ``Database.begin``).  Writes are buffered locally and applied
+    atomically by :meth:`commit`; :meth:`rollback` discards them.  The
+    transaction's own writes are visible to reads made through a
+    :class:`SnapshotView` carrying it (read-your-own-writes), invisible
+    to everyone else until commit.
+    """
+
+    def __init__(self, manager: "TransactionManager", snapshot: int) -> None:
+        self._manager = manager
+        self.snapshot = snapshot
+        self.status = "active"
+        #: oid -> replacement record (full data dict, already copied).
+        self.updates: dict[Oid, dict[str, Any]] = {}
+        #: oids deleted by this transaction.
+        self.deletes: set[Oid] = set()
+        #: insertion order: (target collection, oid, data).
+        self.inserts: list[tuple[str, Oid, dict[str, Any]]] = []
+        self._inserted: dict[Oid, int] = {}  # oid -> index into inserts
+
+    # -- write buffering -------------------------------------------------
+
+    def _require_active(self) -> None:
+        if self.status != "active":
+            raise TransactionError(
+                f"transaction is {self.status}; begin a new one"
+            )
+
+    def insert(self, collection: str, data: dict[str, Any]) -> Oid:
+        """Buffer a new object for ``collection``; returns its fresh OID."""
+        self._require_active()
+        oid = self._manager.mint(collection, data)
+        self._inserted[oid] = len(self.inserts)
+        self.inserts.append((collection, oid, dict(data)))
+        return oid
+
+    def update(self, oid: Oid, data: dict[str, Any]) -> None:
+        """Buffer a full-record replacement for ``oid``.
+
+        A write-write conflict detected here (another transaction
+        already committed to ``oid`` after this snapshot) rolls the
+        whole transaction back, exactly as the commit-time recheck
+        would: once doomed, none of its writes can ever apply.
+        """
+        self._require_active()
+        if oid in self.deletes:
+            raise TransactionError(f"object {oid!r} already deleted here")
+        if oid in self._inserted:
+            position = self._inserted[oid]
+            collection, _, _ = self.inserts[position]
+            self.inserts[position] = (collection, oid, dict(data))
+            return
+        self._check_writable(oid)
+        self.updates[oid] = dict(data)
+
+    def delete(self, oid: Oid) -> None:
+        """Buffer a deletion of ``oid`` (idempotent within the txn).
+
+        Conflicts roll the transaction back, as in :meth:`update`.
+        """
+        self._require_active()
+        if oid in self._inserted:
+            position = self._inserted.pop(oid)
+            self.inserts[position] = None  # type: ignore[call-overload]
+            return
+        self._check_writable(oid)
+        self.updates.pop(oid, None)
+        self.deletes.add(oid)
+
+    def _check_writable(self, oid: Oid) -> None:
+        """Visibility plus eager conflict check; conflicts doom the txn."""
+        self._manager.check_visible(self, oid)
+        try:
+            self._manager.check_conflict(self, oid)
+        except WriteConflict:
+            self.rollback()
+            raise
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def writes(self) -> int:
+        """How many buffered write operations the transaction holds."""
+        live_inserts = sum(1 for entry in self.inserts if entry is not None)
+        return live_inserts + len(self.updates) + len(self.deletes)
+
+    def commit(self) -> int:
+        """Apply the buffered writes atomically; returns the new CSN.
+
+        Raises :class:`~repro.errors.WriteConflict` (and rolls the
+        transaction back) if any written object was committed to after
+        this transaction's snapshot.
+        """
+        self._require_active()
+        try:
+            csn = self._manager.commit(self)
+        except WriteConflict:
+            self.status = "rolled-back"
+            raise
+        self.status = "committed"
+        return csn
+
+    def rollback(self) -> None:
+        """Discard the buffered writes (idempotent)."""
+        if self.status == "active":
+            self.status = "rolled-back"
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and self.status == "active":
+            self.commit()
+        else:
+            self.rollback()
+
+    # -- overlay reads (read-your-own-writes) ----------------------------
+
+    def overlay_data(self, oid: Oid) -> Any:
+        """This txn's view of ``oid``: data, ``None`` (deleted), or
+        :data:`_MISSING` when the txn has no opinion."""
+        if oid in self.deletes:
+            return None
+        if oid in self._inserted:
+            return self.inserts[self._inserted[oid]][2]
+        if oid in self.updates:
+            return self.updates[oid]
+        return _MISSING
+
+    def touches_collection(self, name: str, element_type: str) -> bool:
+        """Whether this txn's buffered writes could affect a collection.
+
+        Conservative by type: any update/delete of an object of the
+        collection's element type counts, since membership is not known
+        until commit.  Used to bypass shared runtime-index caching.
+        """
+        for entry in self.inserts:
+            if entry is None:
+                continue
+            target, oid, _ = entry
+            if target == name or oid.type_name == element_type:
+                return True
+        if any(oid.type_name == element_type for oid in self.updates):
+            return True
+        return any(oid.type_name == element_type for oid in self.deletes)
+
+    def pending_members(self, collection: str) -> list[Oid]:
+        """OIDs this txn inserted that belong in ``collection``."""
+        out: list[Oid] = []
+        for entry in self.inserts:
+            if entry is None:
+                continue
+            target, oid, _ = entry
+            if target == collection or collection in self._manager.auto_collections(
+                target, oid.type_name
+            ):
+                out.append(oid)
+        return out
+
+
+class TransactionManager:
+    """All MVCC state of one :class:`~repro.storage.store.ObjectStore`.
+
+    Readers are lock-free; :meth:`commit` and OID minting serialize on
+    one lock.  ``dirty`` stays False until the first commit, so stores
+    that never see DML keep the exact pre-MVCC read paths.
+    """
+
+    def __init__(self, store: "ObjectStore") -> None:
+        self._store = store
+        self._lock = threading.Lock()
+        self._csn = 0
+        self.dirty = False
+        #: oid -> [(csn, data-or-tombstone)], ascending csn.
+        self._versions: dict[Oid, list[tuple[int, dict[str, Any] | None]]] = {}
+        #: collection -> [(csn, +1 | -1, oid)], ascending csn.
+        self._member_log: dict[str, list[tuple[int, int, Oid]]] = {}
+        #: collection -> sorted csns of commits that touched it.
+        self._touch_csns: dict[str, list[int]] = {}
+        #: oid -> csn of the last committed update/delete (conflicts).
+        self._last_write: dict[Oid, int] = {}
+        #: post-seal page assignments, oid -> absolute page id.
+        self._overflow_pages: dict[Oid, int] = {}
+        #: per-type (next serial, open page, free slots on it).
+        self._allocators: dict[str, tuple[int, int, int]] = {}
+        self._overflow_next: int | None = None
+        #: current committed member sets, maintained incrementally under
+        #: the commit lock (containment checks for deletes).
+        self._member_sets: dict[str, set[Oid]] = {}
+        self._listeners: list[Callable[[CommitRecord], None]] = []
+
+    # -- snapshots -------------------------------------------------------
+
+    @property
+    def current_csn(self) -> int:
+        """The latest committed CSN (0 = the sealed base load)."""
+        return self._csn
+
+    def begin(self) -> Transaction:
+        """Open a transaction pinned at the current committed snapshot."""
+        return Transaction(self, self._csn)
+
+    def add_listener(self, listener: Callable[[CommitRecord], None]) -> None:
+        """Register a commit listener (called under the commit lock)."""
+        self._listeners.append(listener)
+
+    # -- OID minting and overflow pages ----------------------------------
+
+    def mint(self, collection: str, data: dict[str, Any]) -> Oid:
+        """Allocate a fresh OID (and its page) for a new object."""
+        catalog = self._store.catalog
+        type_name = catalog.collection(collection).element_type
+        with self._lock:
+            serial, page, slots = self._allocators.get(
+                type_name, (self._base_serial(type_name), -1, 0)
+            )
+            if slots <= 0:
+                object_size = catalog.type_of(type_name).object_size
+                per_page = max(1, catalog.page_size // object_size)
+                page = self._next_overflow_page()
+                slots = per_page
+            oid = Oid(type_name, serial)
+            self._overflow_pages[oid] = page
+            self._allocators[type_name] = (serial + 1, page, slots - 1)
+        self._store.disk.extend_span(page + 1)
+        return oid
+
+    def _base_serial(self, type_name: str) -> int:
+        try:
+            return len(self._store.segment(type_name).oids)
+        except StorageError:
+            return 0
+
+    def _next_overflow_page(self) -> int:
+        if self._overflow_next is None:
+            self._overflow_next = (
+                self._store.total_pages() + OVERFLOW_PAGE_GAP
+            )
+        page = self._overflow_next
+        self._overflow_next += 1
+        return page
+
+    def overflow_page(self, oid: Oid) -> int | None:
+        """The page of a post-seal object, or None for base objects."""
+        return self._overflow_pages.get(oid)
+
+    # -- conflicts -------------------------------------------------------
+
+    def check_conflict(self, txn: Transaction, oid: Oid) -> None:
+        """First-committer-wins check for one written object."""
+        last = self._last_write.get(oid, 0)
+        if last > txn.snapshot:
+            raise WriteConflict(
+                f"write-write conflict on {oid!r}: committed at csn "
+                f"{last}, after this transaction's snapshot "
+                f"{txn.snapshot}",
+                oid=oid,
+            )
+
+    def check_visible(self, txn: Transaction, oid: Oid) -> None:
+        """Reject writes to objects that do not exist at the snapshot."""
+        data = self.data_at(oid, txn.snapshot)
+        if data is None or data is _MISSING:
+            raise TransactionError(
+                f"cannot write unknown or deleted object {oid!r}"
+            )
+
+    # -- commit ----------------------------------------------------------
+
+    def auto_collections(self, target: str, type_name: str) -> tuple[str, ...]:
+        """Collections an insert into ``target`` implicitly joins.
+
+        Inserting into a named set also inserts into the element type's
+        extent (an extent is the set of *all* instances); inserting into
+        the extent joins nothing else.
+        """
+        extent = self._store.catalog.extent_of(type_name)
+        if extent is not None and extent.name != target:
+            if self._store.has_collection(extent.name):
+                return (extent.name,)
+        return ()
+
+    def collections_containing(self, oid: Oid) -> list[str]:
+        """Collections the object currently (latest commit) belongs to."""
+        out: list[str] = []
+        for name in self._store.collection_names():
+            element = self._store.catalog.collection(name).element_type
+            if element != oid.type_name:
+                continue
+            if oid in self._current_members(name):
+                out.append(name)
+        return out
+
+    def _current_members(self, name: str) -> set[Oid]:
+        members = self._member_sets.get(name)
+        if members is None:
+            members = set(self._store.base_collection_oids(name))
+            self._member_sets[name] = members
+        return members
+
+    def commit(self, txn: Transaction) -> int:
+        """Apply a transaction's writes; see :meth:`Transaction.commit`."""
+        with self._lock:
+            for oid in list(txn.updates) + list(txn.deletes):
+                self.check_conflict(txn, oid)
+            csn = self._csn + 1
+            record = CommitRecord(csn=csn)
+            for oid, data in txn.updates.items():
+                self._versions.setdefault(oid, []).append((csn, data))
+                self._last_write[oid] = csn
+                record.updated += 1
+                for name in self.collections_containing(oid):
+                    self._touch(name, csn)
+                    record.deltas.setdefault(name, 0)
+            for oid in txn.deletes:
+                self._versions.setdefault(oid, []).append((csn, None))
+                self._last_write[oid] = csn
+                for name in self.collections_containing(oid):
+                    self._member_log.setdefault(name, []).append(
+                        (csn, -1, oid)
+                    )
+                    self._current_members(name).discard(oid)
+                    self._touch(name, csn)
+                    record.deltas[name] = record.deltas.get(name, 0) - 1
+            for entry in txn.inserts:
+                if entry is None:
+                    continue
+                target, oid, data = entry
+                self._versions.setdefault(oid, []).append((csn, data))
+                names = (target, *self.auto_collections(target, oid.type_name))
+                for name in names:
+                    self._member_log.setdefault(name, []).append(
+                        (csn, +1, oid)
+                    )
+                    self._current_members(name).add(oid)
+                    self._touch(name, csn)
+                    record.deltas[name] = record.deltas.get(name, 0) + 1
+            # Publish last: a reader pinned at any s < csn has already
+            # failed every `<= s` test above; bumping the CSN is the
+            # single atomic act that makes the commit visible.
+            self.dirty = True
+            self._csn = csn
+            for listener in self._listeners:
+                listener(record)
+        return csn
+
+    def _touch(self, name: str, csn: int) -> None:
+        csns = self._touch_csns.setdefault(name, [])
+        if not csns or csns[-1] != csn:
+            csns.append(csn)
+
+    # -- visibility ------------------------------------------------------
+
+    def data_at(self, oid: Oid, snapshot: int) -> Any:
+        """Data of ``oid`` at a snapshot: a record dict, ``None`` for a
+        tombstone (deleted at or before the snapshot), or
+        :data:`_MISSING` when no version is visible."""
+        chain = self._versions.get(oid)
+        if chain:
+            for csn, data in reversed(chain):
+                if csn <= snapshot:
+                    return data
+        base = self._store.base_data(oid)
+        return base if base is not None else _MISSING
+
+    def read(self, oid: Oid, snapshot: int) -> dict[str, Any]:
+        """Like :meth:`data_at` but raises on tombstones and unknowns."""
+        data = self.data_at(oid, snapshot)
+        if data is None or data is _MISSING:
+            raise StorageError(f"dangling reference {oid!r}")
+        return data
+
+    def members_at(self, name: str, snapshot: int) -> list[Oid]:
+        """Membership of a collection at a snapshot, in scan order."""
+        base = self._store.base_collection_oids(name)
+        log = self._member_log.get(name)
+        if not log:
+            return base
+        removed: set[Oid] = set()
+        added: list[Oid] = []
+        for csn, delta, oid in log:
+            if csn > snapshot:
+                continue
+            if delta < 0:
+                removed.add(oid)
+            else:
+                added.append(oid)
+        kept = [oid for oid in base if oid not in removed]
+        kept.extend(oid for oid in added if oid not in removed)
+        return kept
+
+    def data_version_at(self, name: str, snapshot: int) -> int:
+        """How many commits touching ``name`` are visible at a snapshot.
+
+        0 for a never-written collection at any snapshot — the key that
+        keeps pre-DML runtime-index caching byte-identical.
+        """
+        csns = self._touch_csns.get(name)
+        if not csns:
+            return 0
+        return bisect_right(csns, snapshot)
+
+
+class SnapshotView:
+    """A read view of a store pinned at one snapshot CSN.
+
+    Exposes the :class:`~repro.storage.store.ObjectStore` read surface
+    (``scan`` / ``fetch`` / ``peek`` / ``collection_oids`` / partition
+    scans), resolving every read at ``snapshot`` — optionally overlaid
+    with one in-flight transaction's own writes.  Everything else
+    (buffer pool, disk, catalog, temp pages) delegates to the store, so
+    iterators, index builds, and spill operators take a view anywhere
+    they take a store.
+    """
+
+    def __init__(
+        self,
+        store: "ObjectStore",
+        snapshot: int,
+        txn: Transaction | None = None,
+    ) -> None:
+        self._store = store
+        self.snapshot = snapshot
+        self.txn = txn
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._store, name)
+
+    # -- resolution ------------------------------------------------------
+
+    def _read(self, oid: Oid) -> dict[str, Any]:
+        if self.txn is not None:
+            local = self.txn.overlay_data(oid)
+            if local is None:
+                raise StorageError(f"dangling reference {oid!r}")
+            if local is not _MISSING:
+                return local
+        return self._store.mvcc.read(oid, self.snapshot)
+
+    def visible(self, oid: Oid) -> bool:
+        """Whether the object exists (non-tombstone) in this view."""
+        if self.txn is not None:
+            local = self.txn.overlay_data(oid)
+            if local is None:
+                return False
+            if local is not _MISSING:
+                return True
+        data = self._store.mvcc.data_at(oid, self.snapshot)
+        return data is not None and data is not _MISSING
+
+    # -- the store read surface ------------------------------------------
+
+    def peek(self, oid: Oid) -> dict[str, Any]:
+        """Snapshot read without I/O accounting (index builds, checks)."""
+        return self._read(oid)
+
+    def fetch(self, oid: Oid) -> dict[str, Any]:
+        """Snapshot read of one object, charging one page read."""
+        data = self._read(oid)
+        self._store.buffer.read_page(self._store.page_of(oid))
+        return data
+
+    def collection_oids(self, name: str) -> list[Oid]:
+        """Member OIDs visible in this view, in scan order."""
+        members = self._store.mvcc.members_at(name, self.snapshot)
+        if self.txn is None:
+            return members
+        pending = self.txn.pending_members(name)
+        deleted = self.txn.deletes
+        if not pending and not deleted:
+            return members
+        # Copy before applying the overlay: `members_at` may hand back the
+        # store's own base list.
+        members = [oid for oid in members if oid not in deleted]
+        members.extend(pending)
+        return members
+
+    def collection_cardinality(self, name: str) -> int:
+        return len(self.collection_oids(name))
+
+    def has_collection(self, name: str) -> bool:
+        return self._store.has_collection(name)
+
+    def scan(self, name: str) -> Iterator[tuple[Oid, dict[str, Any]]]:
+        """Sequentially scan a collection at the snapshot, charging I/O."""
+        for oid in self.collection_oids(name):
+            data = self._read(oid)
+            self._store.buffer.read_page(self._store.page_of(oid))
+            yield oid, data
+
+    def partition_bounds(self, name: str, degree: int) -> list[tuple[int, int]]:
+        """Page-aligned partition bounds over the snapshot's members."""
+        from repro.storage.store import page_aligned_bounds
+
+        return page_aligned_bounds(
+            self.collection_oids(name), self._store.page_of, degree
+        )
+
+    def scan_partition(
+        self, name: str, partition: int, degree: int
+    ) -> Iterator[tuple[Oid, dict[str, Any]]]:
+        """Scan one page-aligned partition of the snapshot's members."""
+        bounds = self.partition_bounds(name, degree)
+        if partition >= len(bounds):
+            return
+        start, stop = bounds[partition]
+        for oid in self.collection_oids(name)[start:stop]:
+            data = self._read(oid)
+            self._store.buffer.read_page(self._store.page_of(oid))
+            yield oid, data
+
+
+__all__ = [
+    "CommitRecord",
+    "OVERFLOW_PAGE_GAP",
+    "SnapshotView",
+    "Transaction",
+    "TransactionManager",
+]

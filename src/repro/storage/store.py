@@ -26,7 +26,34 @@ from repro.catalog.catalog import Catalog
 from repro.errors import StorageError
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskSimulator
+from repro.storage.mvcc import SnapshotView, Transaction, TransactionManager
 from repro.storage.objects import Oid
+
+
+def page_aligned_bounds(
+    oids: list[Oid], page_of, degree: int
+) -> list[tuple[int, int]]:
+    """Page-aligned ``[start, stop)`` position ranges splitting a member
+    list into at most ``degree`` contiguous partitions.
+
+    Boundaries never split a page across partitions, so concurrent
+    partition scans touch disjoint page sets and the union of the
+    partitions' page reads equals a serial scan's.  Small collections may
+    yield fewer than ``degree`` non-empty partitions.  Shared by the
+    store's latest-state scans and :class:`SnapshotView`'s pinned ones.
+    """
+    count = len(oids)
+    degree = max(1, degree)
+    chunk = -(-count // degree) if count else 0
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    while start < count and len(bounds) < degree:
+        stop = min(count, start + chunk)
+        while stop < count and page_of(oids[stop]) == page_of(oids[stop - 1]):
+            stop += 1
+        bounds.append((start, stop))
+        start = stop
+    return bounds
 
 
 @dataclass
@@ -77,6 +104,9 @@ class ObjectStore:
         self._sealed = False
         self._temp_lock = threading.Lock()
         self._temp_next: int | None = None
+        #: MVCC write path.  ``mvcc.dirty`` stays False until the first
+        #: commit, so read paths below keep their pre-DML fast paths.
+        self.mvcc = TransactionManager(self)
 
     # ------------------------------------------------------------------
     # Loading phase
@@ -134,19 +164,28 @@ class ObjectStore:
     # ------------------------------------------------------------------
 
     def page_of(self, oid: Oid) -> int:
+        """Absolute page id of an object (segment slot or overflow page)."""
+        overflow = self.mvcc.overflow_page(oid)
+        if overflow is not None:
+            return overflow
         segment = self._segment_of(oid)
         return segment.page_of(self._position[oid])
 
     def fetch(self, oid: Oid) -> dict[str, Any]:
         """Read one object, charging a (possibly cached) page read."""
         self._require_sealed()
-        if oid not in self._data:
-            raise StorageError(f"dangling reference {oid!r}")
+        data = self.peek(oid)
         self.buffer.read_page(self.page_of(oid))
-        return self._data[oid]
+        return data
 
     def peek(self, oid: Oid) -> dict[str, Any]:
-        """Read object data without I/O accounting (index builds, checks)."""
+        """Read object data without I/O accounting (index builds, checks).
+
+        Latest-commit visibility once DML has run; callers that need a
+        *pinned* snapshot read through :meth:`view` instead.
+        """
+        if self.mvcc.dirty:
+            return self.mvcc.read(oid, self.mvcc.current_csn)
         if oid not in self._data:
             raise StorageError(f"dangling reference {oid!r}")
         return self._data[oid]
@@ -154,6 +193,12 @@ class ObjectStore:
     def scan(self, collection_name: str) -> Iterator[tuple[Oid, dict[str, Any]]]:
         """Sequentially scan a collection, charging one read per page."""
         self._require_sealed()
+        if self.mvcc.dirty:
+            snapshot = self.mvcc.current_csn
+            for oid in self.mvcc.members_at(collection_name, snapshot):
+                self.buffer.read_page(self.page_of(oid))
+                yield oid, self.mvcc.read(oid, snapshot)
+            return
         for oid in self.collection_oids(collection_name):
             self.buffer.read_page(self.page_of(oid))
             yield oid, self._data[oid]
@@ -169,21 +214,9 @@ class ObjectStore:
         partitions' page reads equals a serial scan's.  Small collections
         may yield fewer than ``degree`` non-empty partitions.
         """
-        oids = self.collection_oids(collection_name)
-        count = len(oids)
-        degree = max(1, degree)
-        chunk = -(-count // degree) if count else 0
-        bounds: list[tuple[int, int]] = []
-        start = 0
-        while start < count and len(bounds) < degree:
-            stop = min(count, start + chunk)
-            while stop < count and self.page_of(oids[stop]) == self.page_of(
-                oids[stop - 1]
-            ):
-                stop += 1
-            bounds.append((start, stop))
-            start = stop
-        return bounds
+        return page_aligned_bounds(
+            self.collection_oids(collection_name), self.page_of, degree
+        )
 
     def scan_partition(
         self, collection_name: str, partition: int, degree: int
@@ -196,26 +229,76 @@ class ObjectStore:
         order, so ordered exchange merges restore the global order.
         """
         self._require_sealed()
-        bounds = self.partition_bounds(collection_name, degree)
+        oids = self.collection_oids(collection_name)
+        bounds = page_aligned_bounds(oids, self.page_of, degree)
         if partition >= len(bounds):
             return
         start, stop = bounds[partition]
-        oids = self.collection_oids(collection_name)
+        snapshot = self.mvcc.current_csn
+        dirty = self.mvcc.dirty
         for oid in oids[start:stop]:
             self.buffer.read_page(self.page_of(oid))
-            yield oid, self._data[oid]
+            yield oid, self.mvcc.read(oid, snapshot) if dirty else self._data[oid]
 
     def collection_oids(self, collection_name: str) -> list[Oid]:
-        """Member OIDs of a loaded collection, in scan order."""
+        """Member OIDs of a loaded collection, in scan order.
+
+        Latest-commit membership once DML has run; base membership (and
+        the store's own list object) before.
+        """
+        if self.mvcc.dirty:
+            return self.mvcc.members_at(collection_name, self.mvcc.current_csn)
+        return self.base_collection_oids(collection_name)
+
+    def base_collection_oids(self, collection_name: str) -> list[Oid]:
+        """The sealed base member list, ignoring committed DML."""
         if collection_name not in self._collections:
             raise StorageError(f"collection {collection_name!r} not loaded")
         return self._collections[collection_name]
+
+    def base_data(self, oid: Oid) -> dict[str, Any] | None:
+        """The sealed base record of an object, or None if never loaded."""
+        return self._data.get(oid)
+
+    def collection_names(self) -> list[str]:
+        """Names of every loaded collection (extents included)."""
+        return list(self._collections)
 
     def collection_cardinality(self, collection_name: str) -> int:
         return len(self.collection_oids(collection_name))
 
     def has_collection(self, collection_name: str) -> bool:
         return collection_name in self._collections
+
+    # ------------------------------------------------------------------
+    # MVCC surface
+    # ------------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Open a transaction pinned at the current committed snapshot."""
+        self._require_sealed()
+        return self.mvcc.begin()
+
+    def view(
+        self, txn: Transaction | None = None, snapshot: int | None = None
+    ) -> "ObjectStore | SnapshotView":
+        """A read view pinned at a snapshot CSN.
+
+        Defaults to the transaction's snapshot (with its writes overlaid)
+        or, with no transaction, the current committed CSN.  Returns the
+        store itself while no commit has ever happened — the zero-cost
+        path that keeps read-only workloads byte-identical to the
+        pre-MVCC engine.
+        """
+        if snapshot is None:
+            snapshot = txn.snapshot if txn is not None else self.mvcc.current_csn
+        if txn is None and not self.mvcc.dirty:
+            return self
+        return SnapshotView(self, snapshot, txn)
+
+    def add_commit_listener(self, listener) -> None:
+        """Register a callable invoked with each :class:`CommitRecord`."""
+        self.mvcc.add_listener(listener)
 
     def segment(self, type_name: str) -> Segment:
         """A type's segment; raises StorageError when absent."""
@@ -274,4 +357,4 @@ class ObjectStore:
             raise StorageError("store must be sealed before reading")
 
 
-__all__ = ["ObjectStore", "Segment"]
+__all__ = ["ObjectStore", "Segment", "page_aligned_bounds"]

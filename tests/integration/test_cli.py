@@ -215,3 +215,81 @@ class TestResourceLimits:
         clean_rows = [l for l in clean.splitlines() if l.startswith("  ")]
         chaos_rows = [l for l in chaotic.splitlines() if l.startswith("  ")]
         assert sorted(clean_rows) == sorted(chaos_rows)
+
+
+class TestTransactionsAndServer:
+    """Serving-tier dot-commands: .begin/.commit/.rollback/.server/.sessions."""
+
+    def test_help_documents_serving_commands(self, shell):
+        output = run_lines(shell, ".help")
+        for command in (".begin", ".commit", ".rollback", ".server", ".sessions"):
+            assert command in output
+
+    def test_begin_commit_cycle(self, shell):
+        output = run_lines(
+            shell,
+            ".begin",
+            "UPDATE c IN Cities SET c.population = 7 WHERE c.name == 'city0'",
+            ".commit",
+            "SELECT c.population FROM c IN Cities WHERE c.name == 'city0'",
+        )
+        assert "begin (snapshot csn" in output
+        assert "buffered in open transaction" in output
+        assert "committed at csn" in output
+        assert "c.population=7" in output
+        assert shell.transaction is None
+
+    def test_rollback_discards(self, shell):
+        output = run_lines(
+            shell,
+            ".begin",
+            "UPDATE c IN Cities SET c.population = 7 WHERE c.name == 'city0'",
+            ".rollback",
+            "SELECT c.population FROM c IN Cities WHERE c.name == 'city0'",
+        )
+        assert "rolled back" in output
+        assert "c.population=7" not in output
+
+    def test_autocommit_dml_renders_csn(self, shell):
+        output = run_lines(
+            shell, "INSERT INTO Cities (name, population) VALUES ('cli', 1)"
+        )
+        assert "insert: 1 object(s) (committed at csn" in output
+
+    def test_nested_begin_and_stray_commit_report_errors(self, shell):
+        output = run_lines(
+            shell, ".begin", ".begin", ".rollback", ".commit", ".rollback"
+        )
+        assert "already open" in output
+        assert "rolled back" in output
+        assert output.count("error: no open transaction") == 2
+
+    def test_server_lifecycle_and_sessions(self, fresh_db):
+        # Drive _command directly: run() tears the server down at EOF,
+        # and this test needs it alive while a client connects.
+        from repro.server import ServerClient
+
+        out = io.StringIO()
+        shell = Shell(fresh_db, out=out)
+        shell._command(".sessions")
+        assert "server not running; use .server start" in out.getvalue()
+        shell._command(".server start")
+        assert "serving on 127.0.0.1:" in out.getvalue()
+        try:
+            host, port = shell.server.address
+            with ServerClient(host, port) as client:
+                client.hello()
+                shell._command(".sessions")
+                assert "1 session(s)" in out.getvalue()
+        finally:
+            shell._command(".server stop")
+        assert "server stopped" in out.getvalue()
+        assert shell.server is None
+        shell._command(".server")
+        assert "server not running" in out.getvalue()
+
+    def test_eof_rolls_back_and_stops_server(self, shell):
+        run_lines(shell, ".server start", ".begin")
+        # run() hit EOF, which must have cleaned up both.
+        assert shell.server is None
+        assert shell.transaction is None

@@ -1,10 +1,12 @@
 """Replay every minimized fuzz repro in ``tests/corpus/`` — forever.
 
-Each corpus file is a shrunk (world, query) pair that once exposed a
-real divergence between two execution configurations (see the ``note``
-inside each file).  This collector rebuilds the world from scratch and
-re-runs the full differential oracle on it, so a regression of any
-pinned bug fails loudly with the configuration pair that diverged.
+Each ``repro-*.json`` file is a shrunk (world, query) pair that once
+exposed a real divergence between two execution configurations (see the
+``note`` inside each file); ``repro-dml-*.json`` files are (world,
+write-batch) pairs for the DML-interleaved oracle.  This collector
+rebuilds each world from scratch and re-runs the matching differential
+oracle on it, so a regression of any pinned bug fails loudly with the
+configuration that diverged.
 """
 
 from pathlib import Path
@@ -12,14 +14,18 @@ from pathlib import Path
 import pytest
 
 from repro.fuzz import build_database, corpus_files, load_repro, run_case
+from repro.fuzz.dml import load_dml_repro, run_dml_case
 
 CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
-CORPUS = corpus_files(CORPUS_DIR)
+ALL_FILES = corpus_files(CORPUS_DIR)
+DML_CORPUS = [p for p in ALL_FILES if p.stem.startswith("repro-dml-")]
+CORPUS = [p for p in ALL_FILES if not p.stem.startswith("repro-dml-")]
 
 
 def test_corpus_present():
     """The shipped corpus must never silently vanish from collection."""
     assert len(CORPUS) >= 18
+    assert len(DML_CORPUS) >= 2
 
 
 @pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
@@ -32,3 +38,11 @@ def test_corpus_case_stays_fixed(path):
         str(m) for m in outcome.mismatches
     )
     assert outcome.pairs_run > 0
+
+
+@pytest.mark.parametrize("path", DML_CORPUS, ids=lambda p: p.stem)
+def test_dml_corpus_case_stays_fixed(path):
+    world, batch = load_dml_repro(path)
+    assert batch.ops, "pinned DML case lost its statements"
+    mismatches = run_dml_case(world, batch)
+    assert not mismatches, "\n".join(str(m) for m in mismatches)

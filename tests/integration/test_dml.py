@@ -1,0 +1,214 @@
+"""DML through the full pipeline: parser → optimizer → engine → MVCC.
+
+INSERT/UPDATE/DELETE statements run through ``Database.query`` exactly
+like reads — UPDATE/DELETE target selection is planned and cached by the
+same optimizer — and commit through the storage layer's snapshot
+machinery.  These tests pin the API-level contract: auto-commit CSNs,
+explicit transactions with read-your-own-writes, typed conflicts, and
+catalog data-version bookkeeping feeding the plan cache.
+"""
+
+import pytest
+
+from repro.api import Database
+from repro.engine.dml import DmlResult
+from repro.errors import (
+    QuerySyntaxError,
+    TransactionError,
+    WriteConflict,
+)
+
+SCALE = 0.02
+
+
+@pytest.fixture()
+def db() -> Database:
+    """Private mutable database (DML tests must never share state)."""
+    return Database.sample(scale=SCALE)
+
+
+def city_population(db, name, transaction=None):
+    """One city's population via the query surface."""
+    result = db.query(
+        f"SELECT x.population FROM x IN Cities WHERE x.name == '{name}'",
+        transaction=transaction,
+    )
+    assert len(result.rows) == 1
+    return result.rows[0]["x.population"]
+
+
+class TestAutoCommit:
+    def test_insert_is_immediately_visible(self, db):
+        before = len(db.query("SELECT x.name FROM x IN Cities").rows)
+        result = db.query(
+            "INSERT INTO Cities (name, population) VALUES ('dmlville', 42)"
+        )
+        assert isinstance(result, DmlResult)
+        assert result.operation == "insert"
+        assert result.affected == 1
+        assert result.csn is not None
+        rows = db.query(
+            "SELECT x.population FROM x IN Cities WHERE x.name == 'dmlville'"
+        ).rows
+        assert rows == [{"x.population": 42}]
+        assert len(db.query("SELECT x.name FROM x IN Cities").rows) == before + 1
+
+    def test_insert_into_named_set_joins_extent(self, db):
+        db.query(
+            "INSERT INTO Employees (name, age, salary) "
+            "VALUES ('extperson', 30, 1000)"
+        )
+        rows = db.query(
+            "SELECT x.name FROM x IN extent(Employee) "
+            "WHERE x.name == 'extperson'"
+        ).rows
+        assert rows == [{"x.name": "extperson"}]
+
+    def test_update_with_predicate(self, db):
+        result = db.query(
+            "UPDATE x IN Cities SET x.population = 7 "
+            "WHERE x.name == 'city0'"
+        )
+        assert result.operation == "update"
+        assert result.affected == 1
+        assert city_population(db, "city0") == 7
+
+    def test_update_through_reference_path(self, db):
+        """SET values may be paths evaluated per target object."""
+        result = db.query(
+            "UPDATE e IN Employees SET e.salary = e.department.floor"
+        )
+        assert result.affected == len(
+            db.query("SELECT e.name FROM e IN Employees").rows
+        )
+        rows = db.query(
+            "SELECT e.salary, e.department.floor FROM e IN Employees"
+        ).rows
+        assert all(r["e.salary"] == r["e.department.floor"] for r in rows)
+
+    def test_delete_removes_membership_and_data(self, db):
+        before = len(db.query("SELECT x.name FROM x IN Cities").rows)
+        result = db.query("DELETE x IN Cities WHERE x.name == 'city3'")
+        assert result.operation == "delete"
+        assert result.affected == 1
+        rows = db.query(
+            "SELECT x.name FROM x IN Cities WHERE x.name == 'city3'"
+        ).rows
+        assert rows == []
+        assert len(db.query("SELECT x.name FROM x IN Cities").rows) == before - 1
+
+    def test_each_commit_advances_csn(self, db):
+        first = db.query(
+            "INSERT INTO Cities (name, population) VALUES ('a1', 1)"
+        ).csn
+        second = db.query(
+            "INSERT INTO Cities (name, population) VALUES ('a2', 2)"
+        ).csn
+        assert second == first + 1
+
+    def test_malformed_dml_is_a_syntax_error(self, db):
+        with pytest.raises(QuerySyntaxError):
+            db.query("INSERT INTO Cities VALUES ('x')")
+
+
+class TestTransactions:
+    def test_read_your_own_writes_until_commit(self, db):
+        txn = db.begin()
+        db.query(
+            "INSERT INTO Cities (name, population) VALUES ('mine', 5)",
+            transaction=txn,
+        )
+        inside = db.query(
+            "SELECT x.name FROM x IN Cities WHERE x.name == 'mine'",
+            transaction=txn,
+        ).rows
+        outside = db.query(
+            "SELECT x.name FROM x IN Cities WHERE x.name == 'mine'"
+        ).rows
+        assert inside == [{"x.name": "mine"}]
+        assert outside == []
+        txn.commit()
+        after = db.query(
+            "SELECT x.name FROM x IN Cities WHERE x.name == 'mine'"
+        ).rows
+        assert after == [{"x.name": "mine"}]
+
+    def test_buffered_dml_reports_no_csn(self, db):
+        txn = db.begin()
+        result = db.query(
+            "UPDATE x IN Cities SET x.population = 1 WHERE x.name == 'city0'",
+            transaction=txn,
+        )
+        assert result.csn is None  # not committed yet
+        txn.rollback()
+
+    def test_rollback_discards_everything(self, db):
+        original = city_population(db, "city1")
+        txn = db.begin()
+        db.query(
+            "UPDATE x IN Cities SET x.population = 0 WHERE x.name == 'city1'",
+            transaction=txn,
+        )
+        db.query("DELETE x IN Cities WHERE x.name == 'city2'", transaction=txn)
+        txn.rollback()
+        assert city_population(db, "city1") == original
+        assert city_population(db, "city2") is not None
+
+    def test_first_committer_wins_is_typed(self, db):
+        t1 = db.begin()
+        t2 = db.begin()
+        db.query(
+            "UPDATE x IN Cities SET x.population = 1 WHERE x.name == 'city0'",
+            transaction=t1,
+        )
+        t1.commit()
+        with pytest.raises(WriteConflict):
+            db.query(
+                "UPDATE x IN Cities SET x.population = 2 "
+                "WHERE x.name == 'city0'",
+                transaction=t2,
+            )
+        assert t2.status == "rolled-back"
+        assert city_population(db, "city0") == 1
+
+    def test_finished_transaction_rejects_queries(self, db):
+        txn = db.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            db.query(
+                "INSERT INTO Cities (name, population) VALUES ('x', 1)",
+                transaction=txn,
+            )
+
+    def test_snapshot_pinned_reader_misses_later_commit(self, db):
+        reader = db.begin()
+        baseline = db.query(
+            "SELECT x.name FROM x IN Cities", transaction=reader
+        ).rows
+        db.query("INSERT INTO Cities (name, population) VALUES ('late', 9)")
+        pinned = db.query(
+            "SELECT x.name FROM x IN Cities", transaction=reader
+        ).rows
+        assert pinned == baseline
+        reader.rollback()
+        fresh = db.query("SELECT x.name FROM x IN Cities").rows
+        assert len(fresh) == len(baseline) + 1
+
+
+class TestCatalogBookkeeping:
+    def test_commit_bumps_data_version(self, db):
+        v0 = db.catalog.data_version("Cities")
+        db.query("INSERT INTO Cities (name, population) VALUES ('dv', 1)")
+        assert db.catalog.data_version("Cities") == v0 + 1
+        # Inserting into a named set advances the element extent too.
+        db.query(
+            "INSERT INTO Employees (name, age, salary) VALUES ('dv2', 1, 2)"
+        )
+        assert db.catalog.data_version("extent(Employee)") >= 1
+
+    def test_update_does_not_shift_cardinality(self, db):
+        db.query("UPDATE x IN Cities SET x.population = 0")
+        stats = db.catalog.stats("Cities")
+        assert stats.cardinality == len(
+            db.query("SELECT x.name FROM x IN Cities").rows
+        )

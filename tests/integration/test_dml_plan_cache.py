@@ -1,0 +1,110 @@
+"""Plan cache vs. DML: rebinding below the drift threshold, invalidation above.
+
+Committed DML bumps per-collection data versions in the catalog
+(``note_data_changed``).  Below ``DATA_DRIFT_THRESHOLD`` the cached plan
+is *safely rebound* — served again but executed against the live
+membership, so new rows appear in cached-plan results.  Past the
+threshold the catalog refreshes the collection's cardinality and bumps
+the stats version, which invalidates version-keyed cache entries the
+same way ``analyze`` does.  UPDATE/DELETE target selection flows through
+the same cache, so repeated DML statements reuse plans without ever
+writing against a stale membership.
+"""
+
+import pytest
+
+from repro.api import Database
+from repro.catalog.catalog import DATA_DRIFT_THRESHOLD
+
+SCALE = 0.02
+QUERY = "SELECT x.name FROM x IN Cities WHERE x.population > 100"
+
+
+@pytest.fixture()
+def db() -> Database:
+    """Private mutable database with plan caching on (the default)."""
+    database = Database.sample(scale=SCALE)
+    assert database.cache_plans
+    return database
+
+
+def cities(db) -> int:
+    """Live city count via an uncached scan."""
+    return len(db.query("SELECT x.name FROM x IN Cities", use_cache=False).rows)
+
+
+def test_small_drift_rebinds_cached_plan_to_live_data(db):
+    db.query(QUERY)
+    assert db.query(QUERY).cache.outcome == "hit"
+    db.query("INSERT INTO Cities (name, population) VALUES ('fresh', 500)")
+    result = db.query(QUERY)
+    # Still served from cache (one insert is ~0.5% drift) ...
+    assert result.cache.outcome == "hit"
+    # ... yet the plan executed against the post-commit membership.
+    assert any(row["x.name"] == "fresh" for row in result.rows)
+
+
+def test_drift_past_threshold_invalidates_cached_plan(db):
+    db.query(QUERY)
+    assert db.query(QUERY).cache.outcome == "hit"
+    baseline = db.catalog.stats("Cities").cardinality
+    inserts = int(baseline * DATA_DRIFT_THRESHOLD) + 2
+    for i in range(inserts):
+        db.query(
+            f"INSERT INTO Cities (name, population) VALUES ('bulk{i}', 500)"
+        )
+    invalidations = db.plan_cache.stats.invalidations
+    result = db.query(QUERY)
+    assert result.cache.outcome == "miss"
+    assert db.plan_cache.stats.invalidations == invalidations + 1
+    # The refresh pulled costed cardinality back within the drift bound
+    # of the live count (it snaps exact at the crossing commit, then
+    # drifts again below threshold for any inserts after it).
+    live = cities(db)
+    assert abs(db.catalog.stats("Cities").cardinality - live) <= (
+        DATA_DRIFT_THRESHOLD * live
+    )
+    assert sum(1 for r in result.rows if r["x.name"].startswith("bulk")) == inserts
+
+
+def test_deletes_drift_the_stats_down(db):
+    db.query(QUERY)
+    baseline = db.catalog.stats("Cities").cardinality
+    db.query("DELETE x IN Cities WHERE x.population > 0")
+    assert db.catalog.stats("Cities").cardinality < baseline
+    assert db.query(QUERY).cache.outcome == "miss"
+
+
+def test_repeated_update_reuses_target_plan_on_live_rows(db):
+    """DML target selection is cached and never writes stale memberships."""
+    update = "UPDATE x IN Cities SET x.population = 1 WHERE x.population > 0"
+    first = db.query(update)
+    hits = db.plan_cache.stats.hits
+    db.query("INSERT INTO Cities (name, population) VALUES ('late', 77)")
+    second = db.query(
+        "UPDATE x IN Cities SET x.population = 2 WHERE x.population > 0"
+    )
+    # Same target shape (auto-parameterized constants) → cache hit ...
+    assert db.plan_cache.stats.hits > hits
+    # ... that still sees the row inserted between the two statements.
+    assert second.affected == first.affected + 1
+    rows = db.query(
+        "SELECT x.population FROM x IN Cities WHERE x.name == 'late'"
+    ).rows
+    assert rows == [{"x.population": 2}]
+
+
+def test_data_version_tracks_commits_not_statements(db):
+    v0 = db.catalog.data_version("Cities")
+    txn = db.begin()
+    db.query(
+        "INSERT INTO Cities (name, population) VALUES ('t1', 1)",
+        transaction=txn,
+    )
+    db.query(
+        "INSERT INTO Cities (name, population) VALUES ('t2', 2)",
+        transaction=txn,
+    )
+    assert db.catalog.data_version("Cities") == v0  # nothing committed yet
+    txn.commit()
+    assert db.catalog.data_version("Cities") > v0

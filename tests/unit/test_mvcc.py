@@ -1,0 +1,203 @@
+"""Storage-level MVCC semantics: snapshots, conflicts, membership.
+
+These tests drive :mod:`repro.storage.mvcc` through the ObjectStore
+surface directly (no optimizer), pinning the invariants the serving
+tier rests on: snapshot stability, first-committer-wins, tombstones,
+membership versioning, overflow-page allocation for post-seal inserts,
+and the untouched-store fast path that keeps read-only behavior
+byte-identical to the pre-DML engine.
+"""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Schema, TypeDef, scalar
+from repro.errors import StorageError, TransactionError, WriteConflict
+from repro.storage.datagen import generate_store
+from repro.storage.mvcc import SnapshotView
+from repro.storage.store import ObjectStore
+
+
+def small_store() -> ObjectStore:
+    """A tiny sealed store: one type, extent plus named set."""
+    schema = Schema()
+    schema.add_type(
+        TypeDef(
+            "Item",
+            object_size=50,
+            attributes=(scalar("n", "int"), scalar("label", "str")),
+        ),
+        with_extent=True,
+    )
+    schema.add_named_set("Items", "Item")
+    catalog = Catalog(schema)
+    store = ObjectStore(catalog)
+    store.create_segment("Item")
+    oids = [
+        store.insert("Item", {"n": i, "label": f"item{i}"}) for i in range(8)
+    ]
+    store.register_collection("Items", oids[:5])
+    store.seal()
+    return store
+
+
+def test_store_is_its_own_view_until_first_commit():
+    store = small_store()
+    assert store.view() is store  # byte-identical fast path
+    txn = store.begin()
+    txn.rollback()
+    assert store.view() is store  # rolled-back writes leave it clean
+    with store.begin() as txn:
+        oid = next(iter(store.collection_oids("Items")))
+        txn.update(oid, {"n": 99, "label": "mut"})
+    assert isinstance(store.view(), SnapshotView)
+
+
+def test_snapshot_stability_across_commits():
+    store = small_store()
+    reader = store.view(snapshot=store.mvcc.current_csn)
+    before = {oid: store.peek(oid)["n"] for oid in store.collection_oids("Items")}
+    with store.begin() as txn:
+        for oid in list(before):
+            txn.update(oid, {"n": -1, "label": "x"})
+    # The pinned view still sees the old values; a fresh view sees new.
+    reader = store.view(snapshot=0)
+    for oid, n in before.items():
+        assert reader.peek(oid)["n"] == n
+    fresh = store.view()
+    assert all(fresh.peek(oid)["n"] == -1 for oid in before)
+
+
+def test_first_committer_wins():
+    store = small_store()
+    oid = store.collection_oids("Items")[0]
+    t1 = store.begin()
+    t2 = store.begin()
+    t1.update(oid, {"n": 1, "label": "t1"})
+    t1.commit()
+    with pytest.raises(WriteConflict) as info:
+        t2.update(oid, {"n": 2, "label": "t2"})
+        t2.commit()
+    assert info.value.oid == oid
+    assert t2.status == "rolled-back"
+    assert store.peek(oid)["label"] == "t1"
+
+
+def test_write_after_finish_is_typed_error():
+    store = small_store()
+    txn = store.begin()
+    txn.commit()
+    with pytest.raises(TransactionError):
+        txn.insert("Items", {"n": 0, "label": ""})
+
+
+def test_insert_into_named_set_joins_extent():
+    store = small_store()
+    with store.begin() as txn:
+        new = txn.insert("Items", {"n": 100, "label": "new"})
+    assert new in store.collection_oids("Items")
+    assert new in store.collection_oids("extent(Item)")
+    # Extent-only inserts do not join named sets.
+    with store.begin() as txn:
+        loner = txn.insert("extent(Item)", {"n": 101, "label": "loner"})
+    assert loner in store.collection_oids("extent(Item)")
+    assert loner not in store.collection_oids("Items")
+
+
+def test_delete_leaves_tombstone_and_membership():
+    store = small_store()
+    victim = store.collection_oids("Items")[2]
+    count = len(store.collection_oids("Items"))
+    snapshot = store.view(snapshot=store.mvcc.current_csn)
+    with store.begin() as txn:
+        txn.delete(victim)
+    assert victim not in store.collection_oids("Items")
+    assert len(store.collection_oids("Items")) == count - 1
+    with pytest.raises(StorageError):
+        store.peek(victim)
+    # The pinned snapshot still sees the victim.
+    snapshot = store.view(snapshot=0)
+    assert victim in snapshot.collection_oids("Items")
+    assert snapshot.peek(victim)["n"] is not None
+
+
+def test_read_your_own_writes_and_isolation():
+    store = small_store()
+    txn = store.begin()
+    new = txn.insert("Items", {"n": 7, "label": "mine"})
+    mine = store.view(txn=txn)
+    theirs = store.view()
+    assert new in mine.collection_oids("Items")
+    assert mine.peek(new)["label"] == "mine"
+    assert theirs is store  # nothing committed yet: still clean
+    assert new not in store.collection_oids("Items")
+    txn.rollback()
+    assert new not in store.collection_oids("Items")
+
+
+def test_overflow_pages_do_not_collide_with_base_segments():
+    store = small_store()
+    base_pages = {store.page_of(oid) for oid in store.collection_oids("extent(Item)")}
+    with store.begin() as txn:
+        fresh = [
+            txn.insert("Items", {"n": i, "label": "x"}) for i in range(10)
+        ]
+    fresh_pages = {store.page_of(oid) for oid in fresh}
+    assert not (base_pages & fresh_pages)
+
+
+def test_data_version_advances_per_collection():
+    store = small_store()
+    mvcc = store.mvcc
+    now = mvcc.current_csn
+    assert mvcc.data_version_at("Items", now) == 0
+    with store.begin() as txn:
+        txn.insert("Items", {"n": 1, "label": "a"})
+    v1 = mvcc.data_version_at("Items", mvcc.current_csn)
+    assert v1 == 1
+    with store.begin() as txn:
+        txn.insert("extent(Item)", {"n": 2, "label": "b"})
+    # Items untouched by the second commit; extent advanced twice.
+    assert mvcc.data_version_at("Items", mvcc.current_csn) == v1
+    assert mvcc.data_version_at("extent(Item)", mvcc.current_csn) == 2
+    # Earlier snapshots keep their earlier generation.
+    assert mvcc.data_version_at("Items", 0) == 0
+
+
+def test_commit_rolls_everything_or_nothing():
+    store = small_store()
+    items = store.collection_oids("Items")
+    t1 = store.begin()
+    t2 = store.begin()
+    t1.update(items[0], {"n": 1, "label": "w"})
+    t2.update(items[1], {"n": 2, "label": "x"})
+    t2.update(items[0], {"n": 3, "label": "y"})  # will conflict
+    t1.commit()
+    with pytest.raises(WriteConflict):
+        t2.commit()
+    # None of t2's writes are visible — not even the unconflicted one.
+    assert store.peek(items[1])["n"] == 1
+    assert store.peek(items[0])["label"] == "w"
+
+
+def test_snapshot_view_scan_matches_collection_oids():
+    store = small_store()
+    with store.begin() as txn:
+        txn.insert("Items", {"n": 50, "label": "scanned"})
+    view = store.view()
+    scanned = {oid for oid, _ in view.scan("Items")}
+    assert scanned == set(view.collection_oids("Items"))
+    bounds = view.partition_bounds("Items", 2)
+    via_partitions = set()
+    for index in range(len(bounds)):
+        via_partitions |= {
+            oid for oid, _ in view.scan_partition("Items", index, 2)
+        }
+    assert via_partitions == scanned
+
+
+def test_sample_store_fast_path_untouched():
+    """The generated sample world never allocates MVCC structures."""
+    store = generate_store()
+    assert not store.mvcc.dirty
+    assert store.view() is store
