@@ -513,12 +513,18 @@ class Database:
         auto-commits (the result carries the commit CSN), with one it
         buffers into that transaction.  UPDATE/DELETE target selection
         runs through this same pipeline (plan cache, indexes, governor
-        included).
+        included).  ``execute=False`` (plan-only inspection) is a
+        read-path feature: a DML statement under it raises
+        :class:`~repro.errors.TransactionError` rather than silently
+        applying and committing the writes.
 
         ``transaction`` also scopes reads: a SELECT inside a transaction
         sees the transaction's snapshot plus its own uncommitted writes;
         without one, each query pins the latest committed snapshot at
-        execution start.
+        execution start.  A committed or rolled-back transaction (for
+        example one doomed by an eager :class:`~repro.errors.WriteConflict`)
+        is rejected with :class:`~repro.errors.TransactionError` —
+        begin a new one.
 
         The query is auto-parameterized and the plan cache consulted
         transparently: repeats of the same query shape with different
@@ -543,9 +549,20 @@ class Database:
         """
         if parallelism is not None:
             config = (config or self.config).with_parallelism(parallelism)
+        if transaction is not None and transaction.status != "active":
+            raise TransactionError(
+                f"transaction is {transaction.status}; begin a new one"
+            )
         governor = self._governor_for(options, governor)
         statement = parse_statement(text)
         if isinstance(statement, (InsertAst, UpdateAst, DeleteAst)):
+            if not execute:
+                raise TransactionError(
+                    "execute=False is not supported for DML statements: "
+                    "applying the writes is the statement; use "
+                    "Database.optimize on the target query for plan-only "
+                    "inspection"
+                )
             if use_cache is None:
                 use_cache = self.cache_plans
             return self._run_dml(

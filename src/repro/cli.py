@@ -65,7 +65,7 @@ import sys
 from repro.api import Database
 from repro.engine.dml import DmlResult
 from repro.engine.tuples import Obj
-from repro.errors import ReproError
+from repro.errors import ReproError, WriteConflict
 from repro.obs.tracer import Tracer
 from repro.optimizer import OptimizerConfig
 from repro.optimizer.config import (
@@ -402,13 +402,30 @@ class Shell:
         return options or None
 
     def _query(self, text: str) -> None:
-        result = self.db.query(
-            text,
-            config=self._config(),
-            options=self._options(),
-            transaction=self.transaction,
-        )
+        try:
+            result = self.db.query(
+                text,
+                config=self._config(),
+                options=self._options(),
+                transaction=self.transaction,
+            )
+        except WriteConflict:
+            self.drop_doomed_transaction()
+            raise
         self._print_result(result)
+
+    def drop_doomed_transaction(self) -> None:
+        """Forget an open transaction a write-write conflict doomed.
+
+        An eager conflict (detected at write time, mid-statement) rolls
+        the transaction back inside the storage layer; keeping the dead
+        handle would make every later statement fail with
+        ``TransactionError``, so the session drops it — and says so —
+        as part of reporting the conflict.
+        """
+        if self.transaction is not None and self.transaction.status != "active":
+            self.transaction = None
+            self.echo("open transaction rolled back by write-write conflict")
 
     def _print_result(self, result) -> None:
         """Render one result: DML summary, or plan + rows + I/O summary."""

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -72,9 +73,13 @@ class PlanRun:
     The executor used to stash the governor context, tie-break variables,
     and tracer on ``self`` for the duration of a run — which made two
     concurrent sessions executing on the same database trample each
-    other's state.  All per-run state now travels in this object, so the
-    executor instance itself is read-mostly and safe to share across
-    server sessions.
+    other's state.  All per-run state now travels in this object; the
+    executor itself keeps only the latch-guarded index cache, fault
+    injection is installed per thread, and I/O accounting is delta-based
+    — so sharing one executor across server sessions is safe.  The one
+    caveat is precision, not safety: per-query I/O *metrics* are deltas
+    of shared clocks and include any traffic from queries that overlap
+    the run (and a concurrent ``cold`` run empties the shared pool).
 
     ``view`` is the read surface for the run: the raw store for
     latest-state reads on a never-written database, or a
@@ -103,6 +108,10 @@ class Executor:
     def __init__(self, store: ObjectStore) -> None:
         self.store = store
         self._indexes: dict[tuple[str, int], IndexRuntime] = {}
+        # Guards the generation cache: concurrent sessions may request
+        # the same (name, generation) at once, and build-once semantics
+        # (plus eviction that never races a lookup) need the lock.
+        self._index_lock = threading.Lock()
         # Event sink for exchange spans; assign an enabled Tracer (or
         # pass one to `execute`) to observe worker fan-out and merges.
         self.tracer: Tracer = NULL_TRACER
@@ -135,17 +144,21 @@ class Executor:
             definition.collection, snapshot
         )
         key = (name, generation)
-        cached = self._indexes.get(key)
-        if cached is None:
-            cached = IndexRuntime.build(view, definition)
-            self._indexes[key] = cached
-            stale = sorted(
-                gen
-                for (cached_name, gen) in self._indexes
-                if cached_name == name
-            )[:-INDEX_GENERATIONS_KEPT]
-            for gen in stale:
-                self._indexes.pop((name, gen), None)
+        with self._index_lock:
+            cached = self._indexes.get(key)
+            if cached is None:
+                # Built under the lock: build-once semantics.  Index
+                # construction reads via `peek` (no I/O charged), so
+                # holding the lock never blocks on the simulated disk.
+                cached = IndexRuntime.build(view, definition)
+                self._indexes[key] = cached
+                stale = sorted(
+                    gen
+                    for (cached_name, gen) in self._indexes
+                    if cached_name == name
+                )[:-INDEX_GENERATIONS_KEPT]
+                for gen in stale:
+                    self._indexes.pop((name, gen), None)
         return cached
 
     def invalidate_index(self, name: str) -> None:
@@ -155,8 +168,9 @@ class Executor:
         of the same name is rebuilt from scratch.  Unknown names are a
         no-op.
         """
-        for key in [k for k in self._indexes if k[0] == name]:
-            self._indexes.pop(key, None)
+        with self._index_lock:
+            for key in [k for k in self._indexes if k[0] == name]:
+                self._indexes.pop(key, None)
 
     # ------------------------------------------------------------------
 
@@ -189,11 +203,23 @@ class Executor:
         """
         if view is None:
             view = self.store.view()
-        # Build any needed indexes *before* resetting the clocks.
+        # Build any needed indexes *before* the accounting baseline.
         for node in plan.walk():
             if isinstance(node, IndexScanNode):
                 self.runtime_index(node.index.name, view)
-        self.store.reset_accounting(cold=cold)
+        buffer = self.store.buffer
+        if cold:
+            # Cold runs start from an empty pool.  The flush is shared
+            # state: under concurrent sessions it also chills any
+            # overlapping query — inherent to "cold" semantics.
+            buffer.flush()
+        # Accounting is delta-based against the shared clocks: snapshot
+        # here, subtract at the end.  One run therefore never zeroes
+        # another's counters mid-flight; with truly concurrent queries
+        # the deltas still include overlapping traffic, so per-query
+        # metrics are exact only when the run has the store to itself.
+        disk_before = self.store.disk.stats.snapshot()
+        buffer_before = buffer.stats_snapshot()
         collector = RunStatsCollector() if collect_stats else None
         run = PlanRun(
             view=view,
@@ -201,7 +227,9 @@ class Executor:
             ctx=ctx,
             tracer=tracer if tracer is not None else self.tracer,
         )
-        buffer = self.store.buffer
+        # The injector installation is per *thread* (and propagated to
+        # exchange workers pipeline-by-pipeline), so a governed session's
+        # faults never fire inside another session's concurrent query.
         previous_faults = buffer.faults
         if ctx is not None:
             ctx.start()
@@ -224,17 +252,27 @@ class Executor:
                     count=leaked,
                 )
         wall = time.perf_counter() - started
-        stats = self.store.buffer.stats
-        hit_rate = stats.hit_rate
+        disk_after = self.store.disk.stats.snapshot()
+        buffer_after = buffer.stats_snapshot()
+        hits = max(0, buffer_after.hits - buffer_before.hits)
+        misses = max(0, buffer_after.misses - buffer_before.misses)
+        requests = hits + misses
         return ExecutionResult(
             rows=rows,
-            simulated_io_seconds=self.store.simulated_seconds,
-            page_reads=self.store.disk.stats.page_reads,
-            buffer_hit_rate=hit_rate,
+            simulated_io_seconds=max(
+                0.0, disk_after.elapsed_ms - disk_before.elapsed_ms
+            )
+            / 1000.0,
+            page_reads=max(0, disk_after.page_reads - disk_before.page_reads),
+            buffer_hit_rate=hits / requests if requests else 0.0,
             wall_seconds=wall,
             operator_stats=collector,
-            spill_page_writes=stats.spill_writes,
-            spill_page_reads=stats.spill_reads,
+            spill_page_writes=max(
+                0, buffer_after.spill_writes - buffer_before.spill_writes
+            ),
+            spill_page_reads=max(
+                0, buffer_after.spill_reads - buffer_before.spill_reads
+            ),
         )
 
     def rows(
@@ -278,13 +316,18 @@ class Executor:
         child = plan.children[0]
         branch_collectors: list[RunStatsCollector] = []
         sources = []
+        injector = run.ctx.faults if run.ctx is not None else None
         for index in range(plan.degree):
             branch = RunStatsCollector() if collector is not None else None
             if branch is not None:
                 branch_collectors.append(branch)
-            sources.append(
-                self.rows(child, run, branch, partition=(index, plan.degree))
-            )
+            source = self.rows(child, run, branch, partition=(index, plan.degree))
+            if injector is not None:
+                # Fault installation is per thread; each partition
+                # pipeline re-installs the run's injector on whatever
+                # worker thread ends up consuming it.
+                source = _faulted_pipeline(self.store.buffer, injector, source)
+            sources.append(source)
         key = None
         if plan.ordered:
             order = child.delivered.order
@@ -479,6 +522,25 @@ class Executor:
                 self.rows(plan.children[1], run, collector, partition),
             )
         raise ExecutionError(f"no executor for plan node {plan.algorithm}")
+
+
+def _faulted_pipeline(buffer, injector, source: Iterator[Row]) -> Iterator[Row]:
+    """Consume ``source`` with ``injector`` installed on the consuming
+    thread.
+
+    The buffer pool's injector slot is thread-local; an exchange worker
+    consumes its partition pipeline on its own thread, where the
+    spawning run's installation is invisible.  The generator body runs
+    (and unwinds — :meth:`Exchange._produce` closes sources on the
+    worker) entirely on the consuming thread, so install and restore
+    land exactly where the reads happen.
+    """
+    previous = buffer.faults
+    buffer.faults = injector
+    try:
+        yield from source
+    finally:
+        buffer.faults = previous
 
 
 def iteration_vars(plan: PhysicalNode) -> tuple[str, ...]:

@@ -24,6 +24,7 @@ import time
 
 from repro.governor.admission import AdmissionController
 from repro.server.protocol import (
+    MAX_LINE_BYTES,
     ProtocolError,
     decode,
     encode,
@@ -186,11 +187,31 @@ class DatabaseServer:
     def _serve_connection(
         self, session: Session, connection: socket.socket
     ) -> None:
-        """One session's request loop: read line, execute, write line."""
+        """One session's request loop: read line, execute, write line.
+
+        Lines are read with a *bounded* ``readline``: a client streaming
+        bytes with no newline gets cut off (typed error, connection
+        closed) after ``MAX_LINE_BYTES`` — the limit must bound server
+        memory, not just be checked after an unbounded buffer fills.
+        """
         try:
             reader = connection.makefile("rb")
-            for raw in reader:
-                if self._stopping.is_set():
+            while not self._stopping.is_set():
+                raw = reader.readline(MAX_LINE_BYTES + 1)
+                if not raw:
+                    break  # EOF: client closed its end
+                if len(raw) > MAX_LINE_BYTES and not raw.endswith(b"\n"):
+                    # Oversized line still streaming in; there is no way
+                    # to resync mid-line, so reject and hang up.
+                    connection.sendall(
+                        encode(
+                            error_payload(
+                                ProtocolError(
+                                    f"request over {MAX_LINE_BYTES} bytes"
+                                )
+                            )
+                        )
+                    )
                     break
                 response = self._respond(session, raw)
                 connection.sendall(encode(response))

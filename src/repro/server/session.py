@@ -22,7 +22,7 @@ from typing import Any
 
 from repro.cli import Shell
 from repro.engine.dml import DmlResult
-from repro.errors import ReproError
+from repro.errors import ReproError, WriteConflict
 from repro.server.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -125,12 +125,19 @@ class Session:
         if not isinstance(text, str) or not text.strip():
             raise ProtocolError('"query" requires non-empty "text"')
         self.statements += 1
-        result = self.db.query(
-            text,
-            config=self.shell._config(),
-            options=self.shell._options(),
-            transaction=self.shell.transaction,
-        )
+        try:
+            result = self.db.query(
+                text,
+                config=self.shell._config(),
+                options=self.shell._options(),
+                transaction=self.shell.transaction,
+            )
+        except WriteConflict:
+            # An eager conflict already rolled the transaction back in
+            # the storage layer; drop the dead handle so the session's
+            # next statement runs auto-committed instead of failing.
+            self.shell.drop_doomed_transaction()
+            raise
         if isinstance(result, DmlResult):
             return {
                 "ok": True,

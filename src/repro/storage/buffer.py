@@ -69,18 +69,33 @@ class BufferPool:
     # I/O-latency-bound, so partitioned scans overlap their waits and
     # show real wall-clock speedups despite the GIL.
     latency_scale: float = 0.0
-    # Per-query fault injector (see repro.governor.faults); installed by
-    # the executor for the duration of one execution, None otherwise.
-    faults: "FaultInjector | None" = None
     _frames: OrderedDict[int, None] = field(default_factory=OrderedDict)
     # Per-thread stacks of objects with `hits`/`misses` attributes
     # (duck-typed so the storage layer needs no dependency on repro.obs).
     _io_scopes: threading.local = field(
         default_factory=threading.local, repr=False
     )
+    # Per-thread fault injector (see repro.governor.faults); installed
+    # by the executor for the duration of one execution, None otherwise.
+    # Thread-locality is what keeps concurrent server sessions isolated:
+    # one governed session's injector must never fire in another
+    # session's reads.  Exchange workers get the run's injector
+    # explicitly (the executor wraps each partition pipeline).
+    _fault_local: threading.local = field(
+        default_factory=threading.local, repr=False
+    )
     _latch: threading.RLock = field(
         default_factory=threading.RLock, repr=False
     )
+
+    @property
+    def faults(self) -> "FaultInjector | None":
+        """The calling thread's installed fault injector (None = off)."""
+        return getattr(self._fault_local, "injector", None)
+
+    @faults.setter
+    def faults(self, injector: "FaultInjector | None") -> None:
+        self._fault_local.injector = injector
 
     def _scope_stack(self) -> list:
         stack = getattr(self._io_scopes, "stack", None)
@@ -222,6 +237,14 @@ class BufferPool:
         """Zero the global hit/miss counters."""
         with self._latch:
             self.stats = BufferStats()
+
+    def stats_snapshot(self) -> BufferStats:
+        """A consistent copy of the counters (for before/after deltas)."""
+        with self._latch:
+            stats = self.stats
+            return BufferStats(
+                stats.hits, stats.misses, stats.spill_reads, stats.spill_writes
+            )
 
     @property
     def resident_pages(self) -> int:

@@ -159,15 +159,28 @@ class Transaction:
         try:
             csn = self._manager.commit(self)
         except WriteConflict:
-            self.status = "rolled-back"
+            self._discard()
             raise
         self.status = "committed"
         return csn
 
     def rollback(self) -> None:
-        """Discard the buffered writes (idempotent)."""
+        """Discard the buffered writes (idempotent).
+
+        The buffers are *emptied*, not merely abandoned: a rolled-back
+        transaction that is accidentally kept around (a session variable
+        pointing at a doomed transaction, say) must never leak its
+        discarded writes into a later overlay read.
+        """
         if self.status == "active":
-            self.status = "rolled-back"
+            self._discard()
+
+    def _discard(self) -> None:
+        self.status = "rolled-back"
+        self.updates.clear()
+        self.deletes.clear()
+        self.inserts.clear()
+        self._inserted.clear()
 
     def __enter__(self) -> "Transaction":
         return self
@@ -286,7 +299,10 @@ class TransactionManager:
             oid = Oid(type_name, serial)
             self._overflow_pages[oid] = page
             self._allocators[type_name] = (serial + 1, page, slots - 1)
-        self._store.disk.extend_span(page + 1)
+        # The disk span grows at *commit*, not here: a rolled-back
+        # insert must not permanently stretch the seek model.  (The
+        # seek-cost fraction clamps at 1.0, so a read-your-own-writes
+        # fetch of a not-yet-committed page is still well-defined.)
         return oid
 
     def _base_serial(self, type_name: str) -> int:
@@ -386,11 +402,15 @@ class TransactionManager:
                     self._current_members(name).discard(oid)
                     self._touch(name, csn)
                     record.deltas[name] = record.deltas.get(name, 0) - 1
+            last_page = -1
             for entry in txn.inserts:
                 if entry is None:
                     continue
                 target, oid, data = entry
                 self._versions.setdefault(oid, []).append((csn, data))
+                page = self._overflow_pages.get(oid)
+                if page is not None:
+                    last_page = max(last_page, page)
                 names = (target, *self.auto_collections(target, oid.type_name))
                 for name in names:
                     self._member_log.setdefault(name, []).append(
@@ -399,6 +419,8 @@ class TransactionManager:
                     self._current_members(name).add(oid)
                     self._touch(name, csn)
                     record.deltas[name] = record.deltas.get(name, 0) + 1
+            if last_page >= 0:
+                self._store.disk.extend_span(last_page + 1)
             # Publish last: a reader pinned at any s < csn has already
             # failed every `<= s` test above; bumping the CSN is the
             # single atomic act that makes the commit visible.

@@ -293,3 +293,28 @@ class TestTransactionsAndServer:
         # run() hit EOF, which must have cleaned up both.
         assert shell.server is None
         assert shell.transaction is None
+
+
+class TestWriteConflictHandling:
+    def test_conflict_drops_open_transaction(self, shell):
+        # Drive dispatch directly: run() would roll the transaction back
+        # itself at EOF, which is not the path under test.
+        import pytest
+
+        from repro.errors import WriteConflict
+
+        shell.out = io.StringIO()
+        shell.dispatch(".begin")
+        assert shell.transaction is not None
+        # Another writer commits to city0 after the shell's snapshot.
+        shell.db.query(
+            "UPDATE x IN Cities SET x.population = 1 WHERE x.name == 'city0'"
+        )
+        with pytest.raises(WriteConflict):
+            shell.dispatch(
+                "UPDATE x IN Cities SET x.population = 2 "
+                "WHERE x.name == 'city0'"
+            )
+        assert shell.transaction is None  # dead handle dropped
+        # The session keeps working, auto-committed.
+        shell.dispatch("SELECT x.name FROM x IN Cities WHERE x.name == 'city0'")

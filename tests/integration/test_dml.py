@@ -212,3 +212,45 @@ class TestCatalogBookkeeping:
         assert stats.cardinality == len(
             db.query("SELECT x.name FROM x IN Cities").rows
         )
+
+
+class TestReviewRegressions:
+    """Pins for bugs found in review of the serving-tier PR."""
+
+    def test_execute_false_dml_is_rejected_without_writing(self, db):
+        before = len(db.query("SELECT x.name FROM x IN Cities").rows)
+        csn_before = db.store.mvcc.current_csn
+        with pytest.raises(TransactionError):
+            db.query(
+                "INSERT INTO Cities (name, population) VALUES ('dryrun', 1)",
+                execute=False,
+            )
+        assert db.store.mvcc.current_csn == csn_before
+        assert len(db.query("SELECT x.name FROM x IN Cities").rows) == before
+
+    def test_doomed_transaction_cannot_serve_reads(self, db):
+        """An eager conflict rolls the txn back; later reads through the
+        dead handle raise instead of silently serving discarded writes."""
+        original = city_population(db, "city1")
+        t1, t2 = db.begin(), db.begin()
+        db.query(
+            "UPDATE x IN Cities SET x.population = 777 "
+            "WHERE x.name == 'city1'",
+            transaction=t2,
+        )
+        db.query(
+            "UPDATE x IN Cities SET x.population = 1 WHERE x.name == 'city0'",
+            transaction=t1,
+        )
+        t1.commit()
+        with pytest.raises(WriteConflict):
+            db.query(
+                "UPDATE x IN Cities SET x.population = 2 "
+                "WHERE x.name == 'city0'",
+                transaction=t2,
+            )
+        assert t2.status == "rolled-back"
+        with pytest.raises(TransactionError):
+            db.query("SELECT x.name FROM x IN Cities", transaction=t2)
+        # The buffered city1 write was discarded with the rollback.
+        assert city_population(db, "city1") == original

@@ -194,3 +194,43 @@ class TestAdmissionAndShutdown:
         with pytest.raises((ConnectionError, OSError)):
             client.query("SELECT x.name FROM x IN Cities")
             client.query("SELECT x.name FROM x IN Cities")
+
+
+class TestReviewRegressions:
+    """Pins for bugs found in review of the serving-tier PR."""
+
+    def test_oversized_line_is_cut_off_not_buffered(self, server):
+        """A newline-less byte stream must be bounded by MAX_LINE_BYTES,
+        not accumulated until the client deigns to send a newline."""
+        from repro.server.protocol import MAX_LINE_BYTES
+
+        with connect(server) as client:
+            client._sock.sendall(b"x" * (MAX_LINE_BYTES + 1))
+            raw = client._reader.readline()
+            assert b"ProtocolError" in raw
+            assert client._reader.readline() == b""  # server hung up
+
+    def test_write_conflict_drops_remote_transaction(self, server):
+        """An eager conflict dooms the session's transaction; the session
+        must drop the dead handle so the next statement runs clean."""
+        with connect(server) as winner, connect(server) as loser:
+            loser.begin()
+            # Pin the loser's snapshot before the winner commits.
+            loser.query("SELECT x.name FROM x IN Cities WHERE x.name == 'x'")
+            winner.query(
+                "UPDATE x IN Cities SET x.population = 1 "
+                "WHERE x.name == 'city0'"
+            )
+            with pytest.raises(WriteConflict):
+                loser.query(
+                    "UPDATE x IN Cities SET x.population = 2 "
+                    "WHERE x.name == 'city0'"
+                )
+            # Auto-committed (transaction dropped) and reading the
+            # winner's committed value — not the discarded write, not a
+            # TransactionError on a dead handle.
+            rows = loser.query(
+                "SELECT x.population FROM x IN Cities "
+                "WHERE x.name == 'city0'"
+            )["rows"]
+            assert rows == [{"x.population": 1}]

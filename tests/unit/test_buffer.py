@@ -140,3 +140,33 @@ class TestIOScopes:
         assert (inner.hits, inner.misses) == (1, 1)
         assert inner.page_reads == 1
         assert (pool.stats.hits, pool.stats.misses) == (2, 3)
+
+
+class TestThreadLocalFaults:
+    def test_fault_injector_does_not_cross_threads(self):
+        """One session's injector must never fire in another's reads."""
+        import threading
+
+        from repro.errors import StorageFaultError
+        from repro.governor.faults import FaultInjector, FaultPlan
+
+        pool = BufferPool(DiskSimulator(span_pages=100), capacity=4)
+        pool.faults = FaultInjector(
+            FaultPlan(seed=0, read_error_prob=1.0, max_retries=1)
+        )
+        observed: dict = {}
+
+        def other_session() -> None:
+            observed["faults"] = pool.faults
+            observed["cost"] = pool.read_page(5)  # must not fault
+
+        worker = threading.Thread(target=other_session)
+        worker.start()
+        worker.join()
+        assert observed["faults"] is None
+        assert observed["cost"] > 0.0
+        # The installing thread itself does see the injector fire.
+        with pytest.raises(StorageFaultError):
+            pool.read_page(6)
+        pool.faults = None
+        assert pool.read_page(7) > 0.0

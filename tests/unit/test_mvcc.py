@@ -201,3 +201,52 @@ def test_sample_store_fast_path_untouched():
     store = generate_store()
     assert not store.mvcc.dirty
     assert store.view() is store
+
+
+def test_rollback_empties_write_buffers():
+    store = small_store()
+    target = store.collection_oids("Items")[0]
+    txn = store.begin()
+    txn.insert("Items", {"n": 100, "label": "ghost"})
+    txn.update(target, {"n": -1, "label": "ghost"})
+    txn.rollback()
+    assert txn.writes == 0
+    # Even a view wrongly kept pointing at the dead transaction shows
+    # only committed state — discarded writes never leak into reads.
+    view = SnapshotView(store, store.mvcc.current_csn, txn)
+    assert view.peek(target)["n"] == 0
+    assert len(view.collection_oids("Items")) == 5
+
+
+def test_eager_conflict_discards_partial_writes():
+    """A write-write conflict mid-transaction dooms it *and* empties it.
+
+    The regression: rollback used to flip only the status, so a session
+    holding the doomed transaction kept reading the buffered writes of
+    the statement that conflicted partway through.
+    """
+    store = small_store()
+    oid_a, oid_b = store.collection_oids("Items")[:2]
+    loser = store.begin()
+    loser.update(oid_a, {"n": 111, "label": "partial"})
+    winner = store.begin()
+    winner.update(oid_b, {"n": 7, "label": "win"})
+    winner.commit()
+    with pytest.raises(WriteConflict):
+        loser.update(oid_b, {"n": 8, "label": "lose"})
+    assert loser.status == "rolled-back"
+    assert loser.writes == 0
+    view = SnapshotView(store, store.mvcc.current_csn, loser)
+    assert view.peek(oid_a)["n"] == 0  # the buffered 111 is gone
+
+
+def test_rolled_back_insert_does_not_grow_disk_span():
+    store = small_store()
+    span_before = store.disk.span_pages
+    txn = store.begin()
+    txn.insert("Items", {"n": 50, "label": "gone"})
+    txn.rollback()
+    assert store.disk.span_pages == span_before
+    with store.begin() as kept:
+        kept.insert("Items", {"n": 51, "label": "kept"})
+    assert store.disk.span_pages > span_before
