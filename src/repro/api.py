@@ -309,6 +309,12 @@ class Database:
         )
         with admit:
             txn = transaction if transaction is not None else self.store.begin()
+            # Statement atomicity inside an explicit transaction: capture
+            # the buffered-write state so a mid-statement failure (row 3
+            # of a 5-row UPDATE, say) restores it — the statement is
+            # all-or-nothing, the transaction survives.  Implicit
+            # transactions just roll back wholesale.
+            savepoint = txn.savepoint() if transaction is not None else None
             try:
                 if isinstance(statement, InsertAst):
                     plan = dml_algebra.plan_insert(statement, self.catalog)
@@ -334,6 +340,10 @@ class Database:
             except Exception:
                 if transaction is None:
                     txn.rollback()
+                else:
+                    # No-op if the failure already doomed the txn (eager
+                    # write-write conflict): doomed stays doomed.
+                    txn.rollback_to(savepoint)
                 raise
             csn = None
             if transaction is None:
@@ -458,6 +468,7 @@ class Database:
             collect_stats=True,
             tracer=tracer,
             ctx=governor,
+            backend=(config or self.config).backend,
         )
         return build_report(
             text,
@@ -474,6 +485,7 @@ class Database:
         result_vars: tuple[str, ...] = (),
         ctx: QueryContext | None = None,
         view=None,
+        backend: str | None = None,
     ) -> ExecutionResult:
         """Run a physical plan with fresh I/O accounting.
 
@@ -482,11 +494,15 @@ class Database:
         governed: deadline/cancel polls on every pipeline, memory-budget
         spill in sort and hash joins, fault injection on disk reads.
         ``view`` pins the run's MVCC snapshot (default: latest committed
-        state, pinned at start).
+        state, pinned at start).  ``backend`` picks the execution
+        strategy (default: the database config's).
         """
         if self.executor is None:
             raise CatalogError("this database has no populated store")
-        result = self.executor.execute(plan, cold=cold, ctx=ctx, view=view)
+        result = self.executor.execute(
+            plan, cold=cold, ctx=ctx, view=view,
+            backend=backend or self.config.backend,
+        )
         if result_vars:
             keep = set(result_vars)
             result.rows = [
@@ -505,6 +521,7 @@ class Database:
         options: Mapping[str, Any] | None = None,
         governor: QueryContext | None = None,
         transaction: Transaction | None = None,
+        backend: str | None = None,
     ) -> Union[QueryResult, DmlResult]:
         """Parse, simplify, optimize, and (by default) execute a statement.
 
@@ -537,6 +554,12 @@ class Database:
         serial).  The parallelism degree is part of the effective config,
         so cached serial and parallel plans never collide.
 
+        ``backend`` picks the execution strategy for the plan:
+        ``"interpreted"`` (default), ``"vectorized"`` (batch-at-a-time
+        columnar chunks), ``"compiled"`` (fused generated pipelines), or
+        ``"auto"`` (cost-gated per plan).  Results are byte-identical
+        across backends; only how the operators run changes.
+
         ``options`` sets per-query resource limits by ``$``-key:
         ``$timeout`` (whole-query deadline, ms — exceeding it raises
         :class:`~repro.errors.QueryTimeout`), ``$memory`` (operator
@@ -549,6 +572,11 @@ class Database:
         """
         if parallelism is not None:
             config = (config or self.config).with_parallelism(parallelism)
+        if backend is not None:
+            try:
+                config = (config or self.config).with_backend(backend)
+            except ValueError as exc:
+                raise ParameterBindingError(str(exc)) from None
         if transaction is not None and transaction.status != "active":
             raise TransactionError(
                 f"transaction is {transaction.status}; begin a new one"
@@ -814,7 +842,7 @@ class Database:
             try:
                 execution = self.execute_plan(
                     optimization.plan, result_vars=result_vars, ctx=governor,
-                    view=view,
+                    view=view, backend=(config or self.config).backend,
                 )
             except IndexCorruptionError as exc:
                 # Degradation ladder, step 2 (after the buffer pool's
@@ -860,7 +888,7 @@ class Database:
         )
         execution = self.execute_plan(
             optimization.plan, result_vars=result_vars, ctx=governor,
-            view=view,
+            view=view, backend=degraded_config.backend,
         )
         return optimization, execution
 

@@ -1,0 +1,81 @@
+"""Pluggable execution backends for the physical-plan executor.
+
+One logical plan, several execution strategies — the separation the
+Open OODB design argues for.  The optimizer produces a physical plan;
+*how* that plan's operators run (tuple-at-a-time interpretation,
+batch-at-a-time columnar chunks, or fused generated pipelines) is a
+per-query choice threaded through ``OptimizerConfig.backend``, exactly
+like ``parallelism``.
+
+``select_backend`` implements the cost-gated ``"auto"`` policy: fusion
+and vectorization pay per-query setup costs (codegen/compile, chunk
+assembly), so tiny inputs stay on the interpreter.
+"""
+
+from __future__ import annotations
+
+from repro.engine.backends.base import (
+    INTERPRETED,
+    ExecutionBackend,
+    InterpretedBackend,
+)
+from repro.engine.backends.compiled import CompiledBackend, fuse_chain
+from repro.engine.backends.vectorized import CHUNK_ROWS, VectorizedBackend
+
+#: Estimated input rows below which ``"auto"`` keeps the interpreter:
+#: one chunk's worth — under that, batching and codegen are pure setup.
+AUTO_MIN_ROWS = float(CHUNK_ROWS)
+
+
+def make_backends() -> dict[str, ExecutionBackend]:
+    """Fresh backend instances for one executor.
+
+    Per-executor (not module-global) so the compiled backend's pipeline
+    cache lives and dies with the executor that owns it, like the plan
+    cache does with its database.
+    """
+    return {
+        "interpreted": InterpretedBackend(),
+        "vectorized": VectorizedBackend(),
+        "compiled": CompiledBackend(),
+    }
+
+
+def select_backend(plan) -> str:
+    """The ``"auto"`` policy: pick a backend from the plan's shape.
+
+    Compiled wins when the plan contains a fusible scan→filter→project
+    chain over a scan estimated at ≥ :data:`AUTO_MIN_ROWS` rows;
+    otherwise vectorized when any base scan is that large; otherwise the
+    interpreter.  Estimates come from the cost model's cardinalities on
+    the physical nodes, so the choice is cost-gated, not global.
+    """
+    from repro.optimizer.plans import FileScanNode, PartitionedScanNode
+
+    has_large_scan = False
+    for node in plan.walk():
+        chain = fuse_chain(node)
+        if chain is not None and chain.scan.rows >= AUTO_MIN_ROWS:
+            return "compiled"
+        if (
+            isinstance(node, (FileScanNode, PartitionedScanNode))
+            and node.rows >= AUTO_MIN_ROWS
+        ):
+            has_large_scan = True
+    if has_large_scan:
+        return "vectorized"
+    return "interpreted"
+
+
+__all__ = [
+    "AUTO_MIN_ROWS",
+    "CHUNK_ROWS",
+    "CompiledBackend",
+    "ExecutionBackend",
+    "INTERPRETED",
+    "InterpretedBackend",
+    "VectorizedBackend",
+    "fuse_chain",
+    "make_backends",
+    "select_backend",
+]

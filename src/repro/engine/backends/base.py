@@ -1,0 +1,73 @@
+"""The execution-backend interface.
+
+A backend is a strategy for turning one physical plan node (and,
+transitively, the subtree under it) into a row stream.  The executor
+resolves the configured backend once per run and calls it at *every*
+``Executor.rows`` boundary; a backend that does not support a node
+returns control to the interpreted Volcano dispatch, whose child
+``rows`` calls re-enter the backend — so a backend applies itself to
+every supported subtree of the plan without any node being left behind.
+
+The contract every backend must honour:
+
+* **byte-identical rows** — the stream's rows, their order, their key
+  order, null semantics, and ordering ties must match the interpreted
+  iterators exactly (the differential fuzzer holds backends to this);
+* **governed** — when the run carries a
+  :class:`~repro.governor.context.QueryContext`, the backend polls it at
+  batch granularity *inside* its own loops, so ``$timeout`` and
+  cancellation fire even while a batch produces no output rows;
+* **accounted** — all page reads go through the run's view (``scan`` /
+  ``fetch``), so simulated I/O and fault injection behave as on the
+  Volcano path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:
+    from repro.engine.executor import Executor, PlanRun
+    from repro.engine.tuples import Row
+    from repro.optimizer.plans import PhysicalNode
+
+
+class ExecutionBackend:
+    """Strategy interface: lower one plan subtree to a row stream."""
+
+    name = "abstract"
+
+    def rows(
+        self,
+        executor: "Executor",
+        plan: "PhysicalNode",
+        run: "PlanRun",
+        collector,
+        partition=None,
+    ) -> "Iterator[Row]":
+        """The plan's output stream (pre-instrumentation).
+
+        ``executor.rows`` wraps whatever this returns with the governed
+        poll and (on instrumented runs) the root node's stats wrapper;
+        the backend is responsible for the accounting of any *internal*
+        nodes it executes without going back through ``executor.rows``.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class InterpretedBackend(ExecutionBackend):
+    """The existing Volcano tuple-at-a-time iterators (the reference)."""
+
+    name = "interpreted"
+
+    def rows(self, executor, plan, run, collector, partition=None):
+        return executor._dispatch(plan, run, collector, partition)
+
+
+#: Shared default instance (``PlanRun``'s backend when none is chosen).
+INTERPRETED = InterpretedBackend()
+
+__all__ = ["INTERPRETED", "ExecutionBackend", "InterpretedBackend"]

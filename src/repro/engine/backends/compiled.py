@@ -1,0 +1,401 @@
+"""Compiled backend: scan→filter→project chains fused into one function.
+
+The hottest plan shape in the engine is a pipeline of a file scan, some
+filters, and a projection — three or more generator frames and a dozen
+``eval_term`` dispatches per row.  This backend lowers a maximal such
+chain into a single generated Python generator function: predicates are
+inlined as plain comparisons (with the engine's SQL null and
+``TypeError`` semantics spelled out), the projection is a literal dict
+display, and the whole chain runs in one loop over the store scan.
+
+The generated source depends only on the chain's *structure* — constant
+values are passed in through a ``consts`` tuple read off the actual plan
+at call time — so one compiled pipeline serves every rebinding of an
+auto-parameterized plan.  Compiled code objects are cached by that
+structural fingerprint (bounded, latch-guarded), alongside the plan
+cache in spirit: fingerprint hit ⇒ no ``compile()`` run.
+
+Governance: the loop decrements a countdown per *scanned* row (not per
+emitted row) and polls the query context when it hits zero, so a
+timeout or cancellation fires mid-scan even when every row is filtered
+out.  Plans with no fusible chain — and chains using term shapes the
+code generator does not know — fall back to interpretation wholesale.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.algebra.predicates import (
+    CompOp,
+    Const,
+    FieldRef,
+    ObjectTerm,
+    RefAttr,
+    SelfOid,
+    VarRef,
+)
+from repro.engine.backends.base import ExecutionBackend
+from repro.engine.tuples import Obj, value_key
+from repro.optimizer.plans import (
+    AlgProjectNode,
+    FileScanNode,
+    FilterNode,
+    PartitionedScanNode,
+    PhysicalNode,
+)
+
+#: Compiled pipelines kept per executor (fingerprint-keyed, FIFO evict).
+PIPELINE_CACHE_SIZE = 128
+
+_OP_SYMBOL = {
+    CompOp.EQ: "==",
+    CompOp.NE: "!=",
+    CompOp.LT: "<",
+    CompOp.LE: "<=",
+    CompOp.GT: ">",
+    CompOp.GE: ">=",
+}
+
+
+@dataclass(frozen=True)
+class FusedChain:
+    """A fusible scan→filter*→project? chain, in execution order."""
+
+    scan: PhysicalNode  # FileScanNode | PartitionedScanNode
+    filters: tuple[PhysicalNode, ...]  # innermost (first applied) first
+    project: "AlgProjectNode | None"
+
+    @property
+    def nodes(self) -> tuple[PhysicalNode, ...]:
+        """All chain nodes in execution order (root last)."""
+        nodes: tuple[PhysicalNode, ...] = (self.scan,) + self.filters
+        if self.project is not None:
+            nodes += (self.project,)
+        return nodes
+
+    @property
+    def inner_nodes(self) -> tuple[PhysicalNode, ...]:
+        """Chain nodes below the root (the root is accounted by the
+        executor's own instrumentation wrapper)."""
+        return self.nodes[:-1]
+
+    def describe(self) -> str:
+        """Human-readable chain shape, e.g. ``FileScan→filter→project``."""
+        parts = [self.scan.algorithm]
+        parts.extend("filter" for _ in self.filters)
+        if self.project is not None:
+            parts.append("project")
+        return "→".join(parts)
+
+
+def _scan_term_ok(term, var: str, project: bool) -> bool:
+    """Whether the code generator can inline this term."""
+    if isinstance(term, Const):
+        return True
+    if isinstance(term, (FieldRef, RefAttr, SelfOid)):
+        return term.var == var
+    if project and isinstance(term, (VarRef, ObjectTerm)):
+        return term.var == var
+    return False
+
+
+def fuse_chain(plan: PhysicalNode) -> FusedChain | None:
+    """The maximal fusible chain rooted at ``plan``, or None.
+
+    Requires at least one filter or a projection on top of the scan (a
+    bare scan gains nothing from fusion), and every term in the chain
+    must reference only the scanned variable in a shape the generator
+    can inline — anything else makes the whole chain unfusible, and the
+    interpreter (with the backend re-entering below) takes over.
+    """
+    node = plan
+    project = None
+    if isinstance(node, AlgProjectNode):
+        project = node
+        node = node.children[0]
+    filters = []
+    while isinstance(node, FilterNode):
+        filters.append(node)
+        node = node.children[0]
+    if not isinstance(node, (FileScanNode, PartitionedScanNode)):
+        return None
+    if project is None and not filters:
+        return None
+    var = node.var
+    for filter_node in filters:
+        for comparison in filter_node.predicate.comparisons:
+            if not _scan_term_ok(comparison.left, var, project=False):
+                return None
+            if not _scan_term_ok(comparison.right, var, project=False):
+                return None
+    if project is not None:
+        for item in project.items:
+            if not _scan_term_ok(item.term, var, project=True):
+                return None
+    # filters collected outermost-first; execution order is innermost-first.
+    return FusedChain(node, tuple(reversed(filters)), project)
+
+
+# ----------------------------------------------------------------------
+# Code generation
+# ----------------------------------------------------------------------
+
+
+def _term_sig(term) -> tuple:
+    """Structural identity of a term (constants are slots, not values)."""
+    if isinstance(term, Const):
+        return ("c",)
+    if isinstance(term, FieldRef):
+        return ("f", term.attr)
+    if isinstance(term, RefAttr):
+        return ("r", term.attr)
+    if isinstance(term, SelfOid):
+        return ("s",)
+    if isinstance(term, VarRef):
+        return ("v",)
+    return ("o",)  # ObjectTerm
+
+
+def chain_fingerprint(chain: FusedChain, instrumented: bool) -> tuple:
+    """Cache key: everything that shapes the generated source."""
+    comparisons = tuple(
+        (_term_sig(c.left), c.op.name, _term_sig(c.right))
+        for node in chain.filters
+        for c in node.predicate.comparisons
+    )
+    project = None
+    if chain.project is not None:
+        project = (
+            tuple(
+                (item.name, _term_sig(item.term))
+                for item in chain.project.items
+            ),
+            chain.project.distinct,
+        )
+    return (chain.scan.var, comparisons, project, instrumented)
+
+
+def collect_consts(chain: FusedChain) -> tuple:
+    """Constant values in code-generation order, read off the live plan.
+
+    Re-bound cached plans carry different constants in the same
+    structure; the compiled pipeline reads them from here, so one code
+    object serves every binding.
+    """
+    consts = []
+    for node in chain.filters:
+        for comparison in node.predicate.comparisons:
+            for term in (comparison.left, comparison.right):
+                if isinstance(term, Const):
+                    consts.append(term.value)
+    if chain.project is not None:
+        for item in chain.project.items:
+            if isinstance(item.term, Const):
+                consts.append(item.term.value)
+    return tuple(consts)
+
+
+class _SourceWriter:
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+
+    def emit(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def generate_source(chain: FusedChain, instrumented: bool) -> str:
+    """The fused pipeline's Python source (deterministic per fingerprint).
+
+    Signature of the generated generator function::
+
+        def _fused_pipeline(scan, consts, check, interval, counters):
+
+    ``scan`` yields ``(oid, data)`` pairs; ``consts`` holds the plan's
+    constant values in :func:`collect_consts` order; ``check``/
+    ``interval`` implement the governor poll per scanned row; and
+    ``counters`` (instrumented variant only) collects per-node row
+    counts for EXPLAIN ANALYZE.
+    """
+    var = chain.scan.var
+    writer = _SourceWriter()
+    const_slot = 0
+    temp = 0
+
+    def term_expr(term) -> str:
+        nonlocal const_slot
+        if isinstance(term, Const):
+            expr = f"consts[{const_slot}]"
+            const_slot += 1
+            return expr
+        if isinstance(term, (FieldRef, RefAttr)):
+            return f"_data.get({term.attr!r})"
+        if isinstance(term, SelfOid):
+            return "_oid"
+        # VarRef / ObjectTerm over the scan variable: the freshly
+        # scanned object itself (always resident here).
+        return "Obj(_oid, _data)"
+
+    writer.emit(0, "def _fused_pipeline(scan, consts, check, interval, counters):")
+    writer.emit(1, "countdown = interval")
+    if chain.project is not None and chain.project.distinct:
+        writer.emit(1, "seen = set()")
+    writer.emit(1, "for _oid, _data in scan:")
+    writer.emit(2, "countdown -= 1")
+    writer.emit(2, "if countdown <= 0:")
+    writer.emit(3, "check()")
+    writer.emit(3, "countdown = interval")
+    counter_index = 0
+    if instrumented:
+        writer.emit(2, f"counters[{counter_index}] += 1")
+    counter_index += 1
+    for position, node in enumerate(chain.filters):
+        for comparison in node.predicate.comparisons:
+            left = f"_l{temp}"
+            right = f"_r{temp}"
+            temp += 1
+            writer.emit(2, f"{left} = {term_expr(comparison.left)}")
+            writer.emit(2, f"{right} = {term_expr(comparison.right)}")
+            writer.emit(2, f"if {left} is None or {right} is None:")
+            writer.emit(3, "continue")
+            writer.emit(2, "try:")
+            symbol = _OP_SYMBOL[comparison.op]
+            writer.emit(3, f"if not ({left} {symbol} {right}):")
+            writer.emit(4, "continue")
+            writer.emit(2, "except TypeError:")
+            writer.emit(3, "continue")
+        is_root = chain.project is None and position == len(chain.filters) - 1
+        if instrumented and not is_root:
+            writer.emit(2, f"counters[{counter_index}] += 1")
+        counter_index += 1
+    if chain.project is None:
+        writer.emit(2, f"yield {{{var!r}: Obj(_oid, _data)}}")
+        return writer.source()
+    names = []
+    for item in chain.project.items:
+        names.append(f"{item.name!r}: {term_expr(item.term)}")
+    writer.emit(2, "_row = {" + ", ".join(names) + "}")
+    if chain.project.distinct:
+        keys = ", ".join(
+            f"value_key(_row[{item.name!r}])" for item in chain.project.items
+        )
+        trailing = "," if len(chain.project.items) == 1 else ""
+        writer.emit(2, f"_key = ({keys}{trailing})")
+        writer.emit(2, "if _key in seen:")
+        writer.emit(3, "continue")
+        writer.emit(2, "seen.add(_key)")
+    writer.emit(2, "yield _row")
+    return writer.source()
+
+
+def _compile(source: str, fingerprint: tuple):
+    env = {"Obj": Obj, "value_key": value_key}
+    code = compile(source, f"<fused-pipeline {hash(fingerprint) & 0xFFFFFF:06x}>", "exec")
+    exec(code, env)  # noqa: S102 - trusted, generated from plan structure
+    return env["_fused_pipeline"]
+
+
+def _never_check() -> None:
+    """Governor no-op for ungoverned runs."""
+
+
+class CompiledBackend(ExecutionBackend):
+    """Fused-pipeline codegen with interpreted fallback."""
+
+    name = "compiled"
+
+    def __init__(self) -> None:
+        # Fingerprint -> (function, source).  Guarded: the executor is
+        # shared across server sessions, so compilation must be
+        # build-once and eviction must never race a lookup.
+        self._cache: dict[tuple, tuple] = {}
+        self._lock = threading.Lock()
+
+    def pipeline_for(self, chain: FusedChain, instrumented: bool):
+        """(generator function, source, cache_hit) for a chain's shape."""
+        fingerprint = chain_fingerprint(chain, instrumented)
+        with self._lock:
+            entry = self._cache.get(fingerprint)
+            if entry is not None:
+                return entry[0], entry[1], True
+        source = generate_source(chain, instrumented)
+        fn = _compile(source, fingerprint)
+        with self._lock:
+            while len(self._cache) >= PIPELINE_CACHE_SIZE:
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[fingerprint] = (fn, source)
+        return fn, source, False
+
+    def rows(self, executor, plan, run, collector, partition=None):
+        chain = fuse_chain(plan)
+        if chain is None:
+            return executor._dispatch(plan, run, collector, partition)
+        instrumented = collector is not None
+        fn, _source, cached = self.pipeline_for(chain, instrumented)
+        scan_node = chain.scan
+        view = run.view
+        if isinstance(scan_node, PartitionedScanNode) and partition is not None:
+            index, degree = partition
+            scan = view.scan_partition(scan_node.collection, index, degree)
+        else:
+            scan = view.scan(scan_node.collection)
+        consts = collect_consts(chain)
+        ctx = run.ctx
+        if ctx is not None:
+            check = ctx.check
+            interval = ctx.check_interval
+        else:
+            check = _never_check
+            interval = 1 << 62
+        if run.tracer.enabled:
+            run.tracer.event(
+                "backend",
+                "fused-pipeline",
+                chain=chain.describe(),
+                collection=scan_node.collection,
+                cached=cached,
+                instrumented=instrumented,
+            )
+        if not instrumented:
+            return fn(scan, consts, check, interval, None)
+        counters = [0] * len(chain.nodes)
+        return self._counted(
+            fn(scan, consts, check, interval, counters),
+            counters,
+            chain,
+            collector,
+        )
+
+    @staticmethod
+    def _counted(
+        pipeline: Iterator, counters: list[int], chain: FusedChain, collector
+    ) -> Iterator:
+        """Flush per-node row counts into the collector on unwind.
+
+        The chain root's rows (and all the chain's I/O, which the fused
+        loop issues under the root's scope) are accounted by the
+        executor's standard instrumented wrapper; only the inner nodes'
+        counts come from the pipeline's counters.
+        """
+        try:
+            yield from pipeline
+        finally:
+            for node, count in zip(chain.inner_nodes, counters):
+                stats = collector.stats_for(node)
+                stats.rows_out += count
+
+
+__all__ = [
+    "CompiledBackend",
+    "FusedChain",
+    "PIPELINE_CACHE_SIZE",
+    "chain_fingerprint",
+    "collect_consts",
+    "fuse_chain",
+    "generate_source",
+]

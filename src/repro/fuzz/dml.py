@@ -41,6 +41,8 @@ DML_CONFIGS = (
     "parallel-2",
     "no-index-collapse",
     "no-hash-join",
+    "backend-vectorized",
+    "backend-compiled",
 )
 
 #: Ops per generated batch (before shrinking).
@@ -440,6 +442,17 @@ def run_dml_case(world: WorldSpec, batch: DmlBatchSpec) -> list[DmlMismatch]:
                 replay(
                     db, world, batch,
                     config=db.config.without(HYBRID_HASH_JOIN, MERGE_JOIN),
+                ),
+            )
+        elif kind.startswith("backend-"):
+            # Post-statement reads and DML target selection both run on
+            # the named backend; the committed history must not care.
+            backend = kind.split("-", 1)[1]
+            compare(
+                kind,
+                replay(
+                    db, world, batch,
+                    config=db.config.with_backend(backend),
                 ),
             )
     return mismatches

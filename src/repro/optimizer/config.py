@@ -90,6 +90,11 @@ EXCHANGE_ENFORCER = "exchange-enforcer"
 # but off by default so that default plans match the paper's.
 DEFAULT_DISABLED = frozenset({WARM_START_ASSEMBLY})
 
+#: Valid values for :attr:`OptimizerConfig.backend`.  ``"auto"`` resolves
+#: per plan in the executor (cost-gated; see
+#: :func:`repro.engine.backends.select_backend`).
+BACKEND_NAMES = ("interpreted", "vectorized", "compiled", "auto")
+
 
 @dataclass(frozen=True)
 class OptimizerConfig:
@@ -115,6 +120,12 @@ class OptimizerConfig:
     # partitioned plans where the cost model says they pay off.  1 (the
     # default) makes the search byte-for-byte identical to the serial one.
     parallelism: int = 1
+    # Execution backend for plans produced under this config (one of
+    # BACKEND_NAMES).  Purely an execution-strategy choice: the plan,
+    # its cost, and its result rows are identical across backends.
+    # Participates in the config's repr, so plan-cache keys separate
+    # per backend automatically.
+    backend: str = "interpreted"
 
     def is_enabled(self, rule_name: str) -> bool:
         return rule_name not in self.disabled_rules
@@ -152,6 +163,15 @@ class OptimizerConfig:
         """A config offering N-worker parallel plans to the search."""
         return replace(self, parallelism=max(1, parallelism))
 
+    def with_backend(self, backend: str) -> "OptimizerConfig":
+        """A config whose plans execute on the named backend."""
+        if backend not in BACKEND_NAMES:
+            names = ", ".join(BACKEND_NAMES)
+            raise ValueError(
+                f"unknown execution backend {backend!r} (expected one of: {names})"
+            )
+        return replace(self, backend=backend)
+
     def with_memory_budget(self, memory_bytes: int) -> "OptimizerConfig":
         """A config whose cost model plans against a per-query memory
         budget: sorts and hash joins whose inputs exceed it are costed
@@ -168,6 +188,7 @@ __all__ = [
     "ALL_TRANSFORMATIONS",
     "ASSEMBLY",
     "ASSEMBLY_ENFORCER",
+    "BACKEND_NAMES",
     "COLLAPSE_TO_INDEX_SCAN",
     "DEFAULT_DISABLED",
     "EXCHANGE_ENFORCER",

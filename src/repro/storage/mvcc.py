@@ -140,6 +140,45 @@ class Transaction:
             self.rollback()
             raise
 
+    # -- statement atomicity ---------------------------------------------
+
+    def savepoint(self) -> tuple:
+        """A deep snapshot of the buffered-write state.
+
+        Taken before each DML statement runs inside an explicit
+        transaction, so a mid-statement failure can restore the buffers
+        via :meth:`rollback_to` — the statement applies all-or-nothing
+        while the surrounding transaction stays usable.
+        """
+        return (
+            {oid: dict(data) for oid, data in self.updates.items()},
+            set(self.deletes),
+            [
+                entry if entry is None else (entry[0], entry[1], dict(entry[2]))
+                for entry in self.inserts
+            ],
+            dict(self._inserted),
+        )
+
+    def rollback_to(self, savepoint: tuple) -> None:
+        """Restore the buffers captured by :meth:`savepoint`.
+
+        A no-op on a non-active transaction: an eager write-write
+        conflict dooms the whole transaction (see :meth:`update`), and a
+        doomed transaction must stay doomed — restoring buffers into it
+        would resurrect writes that can never legally commit.
+        """
+        if self.status != "active":
+            return
+        updates, deletes, inserts, inserted = savepoint
+        self.updates = {oid: dict(data) for oid, data in updates.items()}
+        self.deletes = set(deletes)
+        self.inserts = [
+            entry if entry is None else (entry[0], entry[1], dict(entry[2]))
+            for entry in inserts
+        ]
+        self._inserted = dict(inserted)
+
     # -- lifecycle -------------------------------------------------------
 
     @property

@@ -1,0 +1,220 @@
+"""Integration tests for the execution-backend interface.
+
+Contract: a backend changes *how* a plan runs, never what it returns —
+``interpreted``, ``vectorized``, and ``compiled`` produce byte-identical
+rows on the paper's queries (serial and under ``parallelism>1``), the
+governor's timeout/cancel polls fire mid-batch and mid-fused-pipeline,
+and fault injection unwinds cleanly on every backend.
+"""
+
+import pytest
+
+from repro.api import Database
+from repro.engine.backends import AUTO_MIN_ROWS, select_backend
+from repro.errors import (
+    ExecutionError,
+    GovernorError,
+    ParameterBindingError,
+    QueryCancelled,
+)
+from repro.governor.context import QueryContext
+from repro.governor.faults import FaultPlan
+from repro.obs.tracer import Tracer
+from tests.conftest import SCALE
+
+QUERY_1 = (
+    "SELECT Newobject(e.name(), e.department().name(), e.job().name()) "
+    "FROM Employee e IN Employees "
+    'WHERE e.department().plant().location() == "Dallas"'
+)
+QUERY_2 = 'SELECT * FROM City c IN Cities WHERE c.mayor.name == "Joe"'
+QUERY_3 = (
+    "SELECT c.mayor.age, c.name FROM City c IN Cities "
+    'WHERE c.mayor.name == "Joe"'
+)
+QUERY_4 = (
+    "SELECT * FROM Task t IN Tasks WHERE t.time == 100 AND EXISTS ("
+    'SELECT m FROM Employee m IN t.team_members WHERE m.name == "Fred")'
+)
+PAPER_QUERIES = [QUERY_1, QUERY_2, QUERY_3, QUERY_4]
+
+Q_CHAIN = "SELECT e.name FROM Employee e IN Employees WHERE e.salary > 10000"
+Q_REJECT_ALL = "SELECT * FROM Employee e IN Employees WHERE e.salary < 0"
+Q_ORDERED = (
+    "SELECT e.name, e.salary FROM Employee e IN Employees "
+    "WHERE e.salary > 10000 ORDER BY e.salary"
+)
+
+
+@pytest.fixture(scope="module")
+def db() -> Database:
+    return Database.sample(scale=SCALE)
+
+
+class TestByteIdentical:
+    @pytest.mark.parametrize("query", PAPER_QUERIES)
+    @pytest.mark.parametrize("backend", ["vectorized", "compiled", "auto"])
+    def test_paper_queries(self, db, query, backend):
+        reference = db.query(query, use_cache=False).rows
+        got = db.query(query, use_cache=False, backend=backend).rows
+        assert got == reference
+
+    @pytest.mark.parametrize("backend", ["vectorized", "compiled"])
+    @pytest.mark.parametrize("degree", [2, 3])
+    def test_parallel_ordered(self, db, backend, degree):
+        reference = db.query(Q_ORDERED, use_cache=False).rows
+        got = db.query(
+            Q_ORDERED, use_cache=False, backend=backend, parallelism=degree
+        ).rows
+        assert got == reference
+
+    def test_distinct_order_desc(self, db):
+        text = "SELECT DISTINCT c.name FROM c IN Cities ORDER BY c.name DESC"
+        reference = db.query(text, use_cache=False).rows
+        for backend in ("vectorized", "compiled"):
+            assert db.query(text, use_cache=False, backend=backend).rows == reference
+
+
+class TestSelection:
+    def test_unknown_backend_rejected_at_api(self, db):
+        with pytest.raises(ParameterBindingError, match="unknown execution backend"):
+            db.query(Q_CHAIN, backend="jit")
+
+    def test_unknown_backend_rejected_at_executor(self, db):
+        plan = db.optimize(Q_CHAIN).plan
+        with pytest.raises(ExecutionError, match="unknown execution backend"):
+            db.executor.execute(plan, backend="jit")
+
+    def test_auto_picks_compiled_for_large_fused_chain(self, db):
+        plan = db.optimize(Q_CHAIN).plan
+        assert select_backend(plan) == "compiled"
+
+    def test_auto_keeps_tiny_inputs_interpreted(self, db):
+        plan = db.optimize("SELECT * FROM Capital c IN Capitals").plan
+        scans = [n.rows for n in plan.walk() if not n.children]
+        if all(rows < AUTO_MIN_ROWS for rows in scans):
+            assert select_backend(plan) == "interpreted"
+
+    def test_selection_traced(self, db):
+        tracer = Tracer()
+        plan = db.optimize(Q_CHAIN).plan
+        db.executor.execute(plan, tracer=tracer, backend="auto")
+        events = [e for e in tracer.events if e.category == "backend"]
+        assert any(
+            e.name == "select"
+            and e.get("requested") == "auto"
+            and e.get("chosen") == "compiled"
+            for e in events
+        )
+
+    def test_cli_backend_command(self, db):
+        import io
+
+        from repro.cli import Shell
+
+        out = io.StringIO()
+        shell = Shell(db, out=out)
+        shell.dispatch(".backend")
+        shell.dispatch(".backend vectorized")
+        shell.dispatch(".backend bogus")
+        text = out.getvalue()
+        assert "backend: interpreted" in text
+        assert "backend set to vectorized" in text
+        assert "unknown backend 'bogus'" in text
+        assert shell._config().backend == "vectorized"
+
+
+class TestExplainAnalyze:
+    @pytest.mark.parametrize("backend", ["vectorized", "compiled"])
+    def test_operator_stats_populated(self, db, backend):
+        config = db.config.with_backend(backend)
+        report = db.explain_analyze(Q_CHAIN, config=config)
+        rendered = report.render()
+        assert "File Scan" in rendered or "FileScan" in rendered
+        # The scan's actual row count must be attributed even when the
+        # operator ran inside a chunk pipeline / fused loop.  The name
+        # filter is selective, so scan input far exceeds result rows.
+        selective = 'SELECT e.name FROM Employee e IN Employees WHERE e.name == "Fred"'
+        plan = db.optimize(selective).plan
+        result = db.executor.execute(plan, collect_stats=True, backend=backend)
+        stats = result.operator_stats
+        rows_by_node = [
+            stats.get(node).rows_out
+            for node in plan.walk()
+            if stats.get(node) is not None
+        ]
+        assert sum(rows_by_node) > len(result.rows)  # inner nodes counted
+        scan = next(node for node in plan.walk() if not node.children)
+        assert stats.get(scan) is not None
+        assert stats.get(scan).rows_out > len(result.rows)  # full scan input
+
+    def test_fused_pipeline_span_traced(self, db):
+        tracer = Tracer()
+        plan = db.optimize(Q_CHAIN).plan
+        db.executor.execute(plan, tracer=tracer, backend="compiled")
+        fused = [
+            e
+            for e in tracer.events
+            if e.category == "backend" and e.name == "fused-pipeline"
+        ]
+        assert fused and fused[0].get("chain") == "FileScan→filter→project"
+
+
+class _TrippingContext(QueryContext):
+    """A context whose poll trips after a fixed number of checks."""
+
+    def __init__(self, fail_after: int) -> None:
+        super().__init__()
+        self.calls = 0
+        self.fail_after = fail_after
+
+    def check(self) -> None:  # noqa: D102 - overrides QueryContext.check
+        self.calls += 1
+        if self.calls > self.fail_after:
+            raise QueryCancelled("tripped mid-batch")
+
+
+class TestGovernorCoverage:
+    """Cancellation fires *inside* batch loops, not just at row handoff.
+
+    The query rejects every row, so a backend that only polled around
+    emitted rows would run to completion; the poll must happen per
+    scanned chunk (vectorized) / per scanned row countdown (compiled).
+    """
+
+    @pytest.mark.parametrize("backend", ["vectorized", "compiled"])
+    def test_cancel_mid_batch_with_no_output_rows(self, backend):
+        db = Database.sample(scale=0.1)
+        plan = db.optimize(Q_REJECT_ALL).plan
+        ctx = _TrippingContext(fail_after=3)
+        with pytest.raises(QueryCancelled):
+            db.executor.execute(plan, ctx=ctx, backend=backend)
+        assert ctx.calls > 3  # the poll really fired inside the loop
+
+    @pytest.mark.parametrize("backend", ["vectorized", "compiled"])
+    def test_timeout_option_fires(self, db, backend):
+        with pytest.raises(GovernorError):
+            db.query(
+                Q_CHAIN,
+                use_cache=False,
+                backend=backend,
+                options={"$timeout": 0.0001},
+            )
+
+    @pytest.mark.parametrize("backend", ["vectorized", "compiled"])
+    def test_fault_injection_unwinds_cleanly(self, backend):
+        db = Database.sample(scale=SCALE)
+        reference = db.query(Q_CHAIN, use_cache=False).rows
+        for seed in range(5):
+            ctx = QueryContext(fault_plan=FaultPlan.chaos(seed, 0.05))
+            try:
+                got = db.query(
+                    Q_CHAIN, use_cache=False, governor=ctx, backend=backend
+                ).rows
+            except GovernorError:
+                pass  # typed failure is within the governor contract
+            else:
+                assert got == reference
+            # Injector teardown and I/O-scope unwind happened either way.
+            assert db.store.buffer.faults is None
+            assert db.store.buffer.clear_io_scopes() == 0

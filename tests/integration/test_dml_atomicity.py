@@ -1,0 +1,139 @@
+"""Regression tests for DML statement atomicity in explicit transactions.
+
+The bug: a mid-statement failure — row 3 of a 5-row UPDATE, say — left
+the rows already visited buffered in the enclosing transaction, so a
+later ``commit()`` published a torn statement.  The fix snapshots the
+transaction's buffered-write state before each DML statement and
+restores it on failure: the *statement* is all-or-nothing while the
+*transaction* (and its earlier statements) survives.  A transaction
+doomed by an eager write-write conflict stays doomed — the restore must
+never resurrect it.
+"""
+
+import pytest
+
+from repro.api import Database
+from repro.errors import TransactionError, WriteConflict
+
+SCALE = 0.02
+
+# No sample employee earns 0, so it works as a tamper sentinel.
+UPDATE_ALL = "UPDATE e IN Employees SET e.salary = 0"
+COUNT_SENTINEL = "SELECT e.name FROM e IN Employees WHERE e.salary == 0"
+
+
+@pytest.fixture()
+def db() -> Database:
+    """Private mutable database (DML tests must never share state)."""
+    return Database.sample(scale=SCALE)
+
+
+def fail_on_nth_call(txn, method_name: str, n: int) -> dict:
+    """Wrap a buffered-write method to raise on its ``n``-th invocation.
+
+    Simulates a failure in the middle of applying one statement's rows
+    (the engine calls ``txn.update``/``txn.delete`` once per target row).
+    """
+    real = getattr(txn, method_name)
+    calls = {"count": 0}
+
+    def wrapper(*args, **kwargs):
+        calls["count"] += 1
+        if calls["count"] == n:
+            raise RuntimeError("synthetic mid-statement failure")
+        return real(*args, **kwargs)
+
+    setattr(txn, method_name, wrapper)
+    return calls
+
+
+class TestStatementAtomicity:
+    def test_failed_update_buffers_nothing(self, db):
+        txn = db.begin()
+        calls = fail_on_nth_call(txn, "update", 3)
+        with pytest.raises(RuntimeError, match="mid-statement"):
+            db.query(UPDATE_ALL, transaction=txn)
+        assert calls["count"] == 3  # rows 1 and 2 were buffered, then row 3 failed
+        # The two already-buffered rows must have been rolled back: the
+        # statement is all-or-nothing even inside an explicit txn.
+        assert db.query(COUNT_SENTINEL, transaction=txn).rows == []
+        txn.commit()
+        assert db.query(COUNT_SENTINEL).rows == []
+
+    def test_failed_delete_buffers_nothing(self, db):
+        before = len(db.query("SELECT x.name FROM x IN Cities").rows)
+        assert before >= 5
+        txn = db.begin()
+        fail_on_nth_call(txn, "delete", 3)
+        with pytest.raises(RuntimeError, match="mid-statement"):
+            db.query("DELETE x IN Cities", transaction=txn)
+        inside = len(
+            db.query("SELECT x.name FROM x IN Cities", transaction=txn).rows
+        )
+        assert inside == before
+        txn.commit()
+        assert len(db.query("SELECT x.name FROM x IN Cities").rows) == before
+
+    def test_earlier_statements_survive_a_failed_one(self, db):
+        txn = db.begin()
+        db.query(
+            "INSERT INTO Cities (name, population) VALUES ('keepme', 11)",
+            transaction=txn,
+        )
+        fail_on_nth_call(txn, "update", 3)
+        with pytest.raises(RuntimeError, match="mid-statement"):
+            db.query(UPDATE_ALL, transaction=txn)
+        # Statement 1's insert is intact; statement 2 vanished entirely.
+        inside = db.query(
+            "SELECT x.population FROM x IN Cities WHERE x.name == 'keepme'",
+            transaction=txn,
+        ).rows
+        assert inside == [{"x.population": 11}]
+        assert db.query(COUNT_SENTINEL, transaction=txn).rows == []
+        txn.commit()
+        after = db.query(
+            "SELECT x.population FROM x IN Cities WHERE x.name == 'keepme'"
+        ).rows
+        assert after == [{"x.population": 11}]
+        assert db.query(COUNT_SENTINEL).rows == []
+
+    def test_transaction_usable_after_failed_statement(self, db):
+        txn = db.begin()
+        fail_on_nth_call(txn, "update", 3)
+        with pytest.raises(RuntimeError, match="mid-statement"):
+            db.query(UPDATE_ALL, transaction=txn)
+        result = db.query(
+            "UPDATE x IN Cities SET x.population = 777 "
+            "WHERE x.name == 'city0'",
+            transaction=txn,
+        )
+        assert result.affected == 1
+        txn.commit()
+        rows = db.query(
+            "SELECT x.population FROM x IN Cities WHERE x.name == 'city0'"
+        ).rows
+        assert rows == [{"x.population": 777}]
+
+    def test_doomed_transaction_stays_doomed(self, db):
+        txn = db.begin()
+        # A commit after txn's snapshot makes txn's write to the same
+        # object an eager write-write conflict, dooming the whole txn.
+        db.query(
+            "UPDATE x IN Cities SET x.population = 9 WHERE x.name == 'city0'"
+        )
+        with pytest.raises(WriteConflict):
+            db.query(
+                "UPDATE x IN Cities SET x.population = 1 "
+                "WHERE x.name == 'city0'",
+                transaction=txn,
+            )
+        # The statement-atomicity restore must not resurrect the txn.
+        assert txn.status != "active"
+        with pytest.raises(TransactionError):
+            db.query(
+                "INSERT INTO Cities (name, population) VALUES ('ghost', 1)",
+                transaction=txn,
+            )
+        assert db.query(
+            "SELECT x.population FROM x IN Cities WHERE x.name == 'city0'"
+        ).rows == [{"x.population": 9}]

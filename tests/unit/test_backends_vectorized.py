@@ -1,0 +1,161 @@
+"""Unit tests for the vectorized backend's columnar chunk operators.
+
+The contract under test: chunk-wise evaluation matches the row-at-a-time
+interpreter exactly — SQL null semantics (None compares false, TypeError
+compares false), conjunct short-circuiting, DISTINCT first-occurrence
+keeping across chunk boundaries, and chunk-granular governor polls.
+"""
+
+import pytest
+
+from repro.algebra.predicates import (
+    CompOp,
+    Comparison,
+    Conjunction,
+    Const,
+    FieldRef,
+)
+from repro.engine.backends.vectorized import (
+    CHUNK_ROWS,
+    Chunk,
+    _apply_comparison,
+    _filter_chunk,
+    _flatten,
+    _governed_chunks,
+    _rechunk,
+    _term_column,
+)
+from repro.engine.tuples import Obj, eval_comparison
+from repro.errors import ExecutionError, QueryCancelled
+from repro.governor.context import QueryContext
+from repro.storage.objects import Oid
+
+
+def _obj(i, **data):
+    return Obj(Oid("T", i), data)
+
+
+def _chunk_of(var, objs):
+    return Chunk({var: list(objs)}, len(objs))
+
+
+class TestChunk:
+    def test_row_and_gather(self):
+        chunk = Chunk({"a": [1, 2, 3], "b": ["x", "y", "z"]}, 3)
+        assert chunk.row(1) == {"a": 2, "b": "y"}
+        picked = chunk.gather([2, 0])
+        assert picked.length == 2
+        assert picked.row(0) == {"a": 3, "b": "z"}
+        assert picked.row(1) == {"a": 1, "b": "x"}
+
+    def test_rechunk_flatten_round_trip(self):
+        rows = [{"a": i, "b": -i} for i in range(CHUNK_ROWS * 2 + 5)]
+        chunks = list(_rechunk(iter(rows)))
+        assert [c.length for c in chunks] == [CHUNK_ROWS, CHUNK_ROWS, 5]
+        assert list(_flatten(iter(chunks))) == rows
+
+
+class TestNullSemantics:
+    """None on either side compares false; TypeError compares false."""
+
+    def test_null_attribute_compares_false(self):
+        objs = [_obj(0, v=1), _obj(1, v=None), _obj(2, v=3)]
+        chunk = _chunk_of("x", objs)
+        comp = Comparison(FieldRef("x", "v"), CompOp.GE, Const(0))
+        kept = _apply_comparison(comp, chunk, [0, 1, 2])
+        assert kept == [0, 2]
+
+    def test_null_constant_compares_false(self):
+        chunk = _chunk_of("x", [_obj(0, v=1)])
+        comp = Comparison(FieldRef("x", "v"), CompOp.EQ, Const(None))
+        assert _apply_comparison(comp, chunk, [0]) == []
+
+    def test_type_error_compares_false(self):
+        objs = [_obj(0, v=5), _obj(1, v="five"), _obj(2, v=7)]
+        chunk = _chunk_of("x", objs)
+        comp = Comparison(FieldRef("x", "v"), CompOp.LT, Const(6))
+        assert _apply_comparison(comp, chunk, [0, 1, 2]) == [0]
+
+    def test_matches_row_at_a_time_oracle(self):
+        values = [1, None, "s", 0, 6, True]
+        objs = [_obj(i, v=v) for i, v in enumerate(values)]
+        chunk = _chunk_of("x", objs)
+        for op in CompOp:
+            comp = Comparison(FieldRef("x", "v"), op, Const(3))
+            kept = _apply_comparison(comp, chunk, list(range(len(objs))))
+            oracle = [
+                i
+                for i, o in enumerate(objs)
+                if eval_comparison(comp, {"x": o})
+            ]
+            assert kept == oracle, op
+
+
+class TestFilterChunk:
+    def test_conjunct_short_circuit(self):
+        # Row 1's 'v' is not an object binding for the second conjunct's
+        # purposes — but the first conjunct rejects it, so the second is
+        # never evaluated there (exactly the interpreter's behaviour).
+        objs = [_obj(0, keep=1, v=2), _obj(1, keep=0, v="boom")]
+        chunk = _chunk_of("x", objs)
+        predicate = Conjunction.of(
+            Comparison(FieldRef("x", "keep"), CompOp.EQ, Const(1)),
+            Comparison(FieldRef("x", "v"), CompOp.LT, Const(9)),
+        )
+        out = _filter_chunk(chunk, predicate)
+        assert out is not None and out.length == 1
+        assert out.row(0)["x"].data["keep"] == 1
+
+    def test_all_kept_returns_same_chunk(self):
+        chunk = _chunk_of("x", [_obj(0, v=1), _obj(1, v=2)])
+        predicate = Conjunction.of(
+            Comparison(FieldRef("x", "v"), CompOp.GE, Const(0))
+        )
+        assert _filter_chunk(chunk, predicate) is chunk
+
+    def test_none_kept_returns_none(self):
+        chunk = _chunk_of("x", [_obj(0, v=1)])
+        predicate = Conjunction.of(
+            Comparison(FieldRef("x", "v"), CompOp.GT, Const(99))
+        )
+        assert _filter_chunk(chunk, predicate) is None
+
+
+class TestTermColumn:
+    def test_non_object_binding_raises_interpreter_message(self):
+        chunk = Chunk({"x": [42]}, 1)
+        with pytest.raises(ExecutionError, match="not an object binding"):
+            _term_column(FieldRef("x", "v"), chunk, [0])
+
+    def test_lazy_evaluation_only_at_surviving_indices(self):
+        # The bad value at position 1 is never touched when indices skip it.
+        chunk = Chunk({"x": [_obj(0, v=1), 42]}, 2)
+        assert _term_column(FieldRef("x", "v"), chunk, [0]) == [1]
+
+
+class TestGovernedChunks:
+    def test_polls_before_first_and_per_chunk(self):
+        calls = []
+
+        class Ctx:
+            def check(self):
+                calls.append(1)
+
+        chunks = [Chunk({"a": [1]}, 1), Chunk({"a": [2]}, 1)]
+        list(_governed_chunks(iter(chunks), Ctx()))
+        assert len(calls) == 3  # up-front + one per chunk
+
+    def test_cancel_fires_between_chunks(self):
+        ctx = QueryContext()
+        ctx.start()
+
+        def chunks():
+            yield Chunk({"a": [1]}, 1)
+            ctx.cancel()
+            yield Chunk({"a": [2]}, 1)
+
+        stream = _governed_chunks(chunks(), ctx)
+        assert next(stream).length == 1
+        with pytest.raises(QueryCancelled):
+            next(stream)
+            next(stream)
