@@ -65,6 +65,28 @@ def collect() -> dict[str, dict]:
             "higher_is_better": False,
         }
 
+    # Search-time gate: a five-collection slice of the scalability
+    # bench's join chain.  Wall time catches rewrite/search slowdowns;
+    # the memo group count is deterministic and catches search-space
+    # blowups (a disabled rewrite stage, a new unfused operator) with
+    # zero timer noise.
+    from bench_search_scalability import chain_query
+
+    chain_sql = chain_query(5)
+    seconds = _best_wall(
+        lambda: common.optimize(catalog, chain_sql), OPTIMIZE_REPEATS
+    )
+    metrics["optimize_chain5_ms"] = {
+        "value": round(seconds * 1000, 3),
+        "unit": "ms",
+        "higher_is_better": False,
+    }
+    metrics["memo_groups_chain5"] = {
+        "value": common.optimize(catalog, chain_sql).groups,
+        "unit": "groups",
+        "higher_is_better": False,
+    }
+
     db = common.exec_database(scale=0.1)
     result = db.query(common.QUERY_2, use_cache=False)
     metrics["exec_q2_sim_io_ms"] = {

@@ -38,6 +38,11 @@ def run_scaling(catalog):
         started = time.perf_counter()
         result = common.optimize(catalog, sql)
         elapsed = time.perf_counter() - started
+        started = time.perf_counter()
+        unrewritten = common.optimize(
+            catalog, sql, OptimizerConfig().with_rewrites(False)
+        )
+        raw_elapsed = time.perf_counter() - started
         capped = common.optimize(
             catalog, sql, OptimizerConfig().with_heuristics(candidate_cap=2)
         )
@@ -48,6 +53,8 @@ def run_scaling(catalog):
                 result.groups,
                 result.stats.mexprs_generated,
                 result.cost.total,
+                raw_elapsed,
+                unrewritten.groups,
                 capped.stats.total_effort / max(1, result.stats.total_effort),
                 capped.cost.total / result.cost.total,
             )
@@ -63,10 +70,22 @@ def build_report(rows) -> str:
             str(groups),
             str(mexprs),
             f"{cost:.1f}",
+            f"{raw_elapsed * 1000:.0f}",
+            str(raw_groups),
             f"{100 * effort_ratio:.0f}%",
             f"{quality:.2f}x",
         ]
-        for width, elapsed, groups, mexprs, cost, effort_ratio, quality in rows
+        for (
+            width,
+            elapsed,
+            groups,
+            mexprs,
+            cost,
+            raw_elapsed,
+            raw_groups,
+            effort_ratio,
+            quality,
+        ) in rows
     ]
     return common.format_table(
         [
@@ -75,11 +94,14 @@ def build_report(rows) -> str:
             "groups",
             "expressions",
             "est cost [s]",
+            "no-rewrite [ms]",
+            "no-rw groups",
             "cap-2 effort",
             "cap-2 quality",
         ],
         table,
-        "Exhaustive-search scalability over join-chain width.",
+        "Exhaustive-search scalability over join-chain width "
+        "(pre-memo rewrites on vs off).",
     )
 
 

@@ -12,8 +12,11 @@ both, the candidate fails if it is more than ``--threshold`` (default
 smaller for higher-is-better ones.  A metric carrying a ``floor`` is
 gated by that absolute minimum instead of the relative delta (used for
 the parallel speedup, which tracks host core count more than code).
-Metrics missing from either side are reported but never fail the gate,
-so adding or retiring a benchmark does not break unrelated PRs.
+A metric present in the baseline but missing from the candidate FAILS
+the gate: a silently dropped benchmark would otherwise disable its own
+regression check.  Metrics only the candidate has are reported but not
+gated, so adding a benchmark does not break unrelated PRs (retiring one
+requires updating the committed baseline in the same change).
 """
 
 from __future__ import annotations
@@ -45,7 +48,12 @@ def compare(baseline: dict, candidate: dict, threshold: float) -> list[str]:
         base = base_metrics[name]
         cand = cand_metrics.get(name)
         if cand is None:
-            print(f"  {name:{width}}  SKIP (missing from candidate)")
+            print(f"  {name:{width}}  FAIL  (missing from candidate)")
+            failures.append(
+                f"{name}: baseline metric missing from candidate run — "
+                "a dropped bench must be retired from the baseline, not "
+                "skipped"
+            )
             continue
         base_value, cand_value = base["value"], cand["value"]
         unit = base.get("unit", "")
@@ -86,7 +94,7 @@ def main(argv: list[str] | None = None) -> int:
     if failures:
         print(
             f"\nperf regression gate FAILED ({len(failures)} metric(s) "
-            f"worse than baseline by > {args.threshold:.0%}):",
+            f"worse than baseline by > {args.threshold:.0%} or missing):",
             file=sys.stderr,
         )
         for failure in failures:

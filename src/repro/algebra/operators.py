@@ -111,6 +111,59 @@ class Mat(LogicalOp):
 
 
 @dataclass(frozen=True)
+class MatLink:
+    """One link of a fused Mat chain: resolve ``source`` into ``out``."""
+
+    source: RefSource
+    out: str
+
+    def __str__(self) -> str:
+        if str(self.source) == self.out:
+            return str(self.source)
+        return f"{self.source}: {self.out}"
+
+
+@dataclass(frozen=True)
+class MatChain(LogicalOp):
+    """A fused run of adjacent Mat operators (a pure traversal).
+
+    Produced only by the pre-memo rewrite stage, for runs whose output
+    variables nothing above references: the chain is then a closed
+    traversal whose links need individual *implementation* choices
+    (assembly, pointer join, or a join against the target's extent) but
+    no logical re-derivation.  Keeping the run as one composite operator
+    is what stops the memo from re-expanding it through Mat-to-Join and
+    join reassociation — the fusion's entire point.
+
+    Each link's semantics are exactly Mat's: rows whose reference is
+    null are dropped (inner-join behavior on dangling references).
+    Links are dependency-ordered: a link's source variable is bound
+    either by the child or by an earlier link.
+    """
+
+    child: LogicalOp
+    links: tuple[MatLink, ...]
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:  # type: ignore[override]
+        return (self.child,)
+
+    def signature(self) -> tuple:
+        """Identity is the ordered link list: same traversal, same group."""
+        return ("MatChain",) + tuple(
+            (link.source.var, link.source.attr, link.out) for link in self.links
+        )
+
+    def with_children(self, children: tuple[LogicalOp, ...]) -> "MatChain":
+        (child,) = children
+        return MatChain(child, self.links)
+
+    def describe(self) -> str:
+        body = ", ".join(str(link) for link in self.links)
+        return f"MatChain [{body}]"
+
+
+@dataclass(frozen=True)
 class Unnest(LogicalOp):
     """Flatten a set-valued attribute into one output tuple per element.
 
@@ -404,6 +457,8 @@ __all__ = [
     "Join",
     "LogicalOp",
     "Mat",
+    "MatChain",
+    "MatLink",
     "Project",
     "ProjectItem",
     "RefSource",

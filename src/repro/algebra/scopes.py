@@ -24,6 +24,7 @@ from repro.algebra.operators import (
     Join,
     LogicalOp,
     Mat,
+    MatChain,
     Project,
     Select,
     SetOp,
@@ -193,6 +194,35 @@ def derive_scope(
                 raise AlgebraError(f"Mat {src}: not a single-valued reference")
             target = attr.target_type  # type: ignore[assignment]
         return scope.extend(VarBinding(op.out, target, BindingKind.OBJECT))
+
+    if isinstance(op, MatChain):
+        (scope,) = child_scopes
+        if not op.links:
+            raise AlgebraError("MatChain needs at least one link")
+        for link in op.links:
+            src = link.source
+            if src.attr is None:
+                binding = scope.binding(src.var)
+                if binding.kind is not BindingKind.REF:
+                    raise AlgebraError(
+                        f"MatChain link {src}: bare source must be a reference "
+                        "binding"
+                    )
+                target = binding.type_name
+            else:
+                binding = scope.binding(src.var)
+                if binding.kind is not BindingKind.OBJECT:
+                    raise AlgebraError(
+                        f"MatChain link {src}: source variable is not an object"
+                    )
+                attr = catalog.attribute(binding.type_name, src.attr)
+                if attr.kind is not AttrKind.REF:
+                    raise AlgebraError(
+                        f"MatChain link {src}: not a single-valued reference"
+                    )
+                target = attr.target_type  # type: ignore[assignment]
+            scope = scope.extend(VarBinding(link.out, target, BindingKind.OBJECT))
+        return scope
 
     if isinstance(op, Unnest):
         (scope,) = child_scopes

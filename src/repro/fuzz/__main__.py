@@ -82,6 +82,12 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="transient-fault probability for --chaos (default 0.05)",
     )
+    parser.add_argument(
+        "--no-rewrites",
+        action="store_true",
+        help="run the whole sweep with the pre-memo rewrite stage "
+        "disabled on the reference database (rewrite-ablation config)",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -147,6 +153,7 @@ def main(argv: list[str] | None = None) -> int:
         degrees=tuple(args.parallelism),
         shrink=not args.no_shrink,
         corpus_dir=args.corpus if args.write_corpus else None,
+        no_rewrites=args.no_rewrites,
         log=log,
     )
     elapsed = time.perf_counter() - started

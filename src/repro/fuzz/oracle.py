@@ -4,7 +4,8 @@ Each case runs the query through:
 
 * the default Volcano search (the *reference*);
 * rule-restricted searches (no index collapse, no hash/merge join, no
-  Mat-to-Join) — different plan shapes, same logical query;
+  Mat-to-Join, pre-memo rewrites off) — different plan shapes, same
+  logical query;
 * the naive and greedy baseline optimizers (where they apply);
 * ``parallelism=N`` exchange plans for several N;
 * the plan-cache path — miss, hit, and re-optimization after a catalog
@@ -155,6 +156,10 @@ def run_case(
         "no-index-collapse": db.config.without(COLLAPSE_TO_INDEX_SCAN),
         "no-hash-join": db.config.without(HYBRID_HASH_JOIN, MERGE_JOIN),
         "no-mat-to-join": db.config.without(MAT_TO_JOIN),
+        # Pre-memo rewrite stage on (reference) vs off: any unsound
+        # rewrite — a bad fusion, a wrong pushdown — shows up as a row
+        # divergence here.
+        "no-rewrites": db.config.with_rewrites(False),
     }
     for kind, config in variants.items():
         attempt(

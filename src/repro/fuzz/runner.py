@@ -37,9 +37,12 @@ def case_fails(
     world: WorldSpec,
     query: QuerySpec,
     degrees: tuple[int, ...] = PARALLEL_DEGREES,
+    no_rewrites: bool = False,
 ) -> bool:
     """Fresh-database oracle check, as the shrinker's predicate."""
     db = build_database(world)
+    if no_rewrites:
+        db.config = db.config.with_rewrites(False)
     return bool(run_case(db, query, degrees=degrees).mismatches)
 
 
@@ -50,6 +53,7 @@ def fuzz(
     degrees: tuple[int, ...] = PARALLEL_DEGREES,
     shrink: bool = True,
     corpus_dir: str | Path | None = None,
+    no_rewrites: bool = False,
     log=None,
 ) -> FuzzStats:
     """Run ``iterations`` differential cases; returns aggregated stats.
@@ -57,6 +61,10 @@ def fuzz(
     Each case is derived deterministically from ``seed`` and its index,
     so any failure is replayable with the same arguments.  With
     ``corpus_dir`` set, every (shrunk) failing case is saved there.
+    ``no_rewrites`` flips the reference database to the rewrite-ablation
+    config, so every oracle pair exercises the engine with the pre-memo
+    rewrite stage disabled (the default sweep already compares
+    rewrites-on against rewrites-off per case).
     """
     stats = FuzzStats()
     world: WorldSpec | None = None
@@ -66,6 +74,8 @@ def fuzz(
             world_rng = random.Random(f"{seed}:world:{i // max(1, queries_per_world)}")
             world = random_world(world_rng)
             db = build_database(world)
+            if no_rewrites:
+                db.config = db.config.with_rewrites(False)
         query_rng = random.Random(f"{seed}:query:{i}")
         query = random_query(query_rng, world)
         outcome = run_case(db, query, degrees=degrees)
@@ -83,7 +93,9 @@ def fuzz(
                 shrunk_world, shrunk_query = shrink_case(
                     world,
                     query,
-                    lambda w, q: case_fails(w, q, degrees=degrees),
+                    lambda w, q: case_fails(
+                        w, q, degrees=degrees, no_rewrites=no_rewrites
+                    ),
                 )
                 if log is not None:
                     log(f"shrunk to: {shrunk_query.render()}")

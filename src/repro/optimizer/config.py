@@ -29,6 +29,7 @@ MAT_PAST_JOIN = "mat-past-join"
 MAT_TO_JOIN = "mat-to-join"
 JOIN_TO_MAT = "join-to-mat"
 SETOP_COMMUTATIVITY = "setop-commutativity"
+SELECT_PAST_MAT_CHAIN = "select-past-mat-chain"
 
 ALL_TRANSFORMATIONS = (
     SELECT_MERGE,
@@ -44,6 +45,7 @@ ALL_TRANSFORMATIONS = (
     MAT_TO_JOIN,
     JOIN_TO_MAT,
     SETOP_COMMUTATIVITY,
+    SELECT_PAST_MAT_CHAIN,
 )
 
 # --- implementation rule names -------------------------------------------
@@ -62,6 +64,7 @@ ALG_PROJECT = "alg-project"
 HASH_GROUP_BY = "hash-group-by"
 HASH_SET_OP = "hash-set-op"
 PARALLEL_SCAN = "parallel-scan"
+MAT_CHAIN = "mat-chain"
 
 ALL_IMPLEMENTATIONS = (
     FILE_SCAN,
@@ -79,6 +82,27 @@ ALL_IMPLEMENTATIONS = (
     HASH_GROUP_BY,
     HASH_SET_OP,
     PARALLEL_SCAN,
+    MAT_CHAIN,
+)
+
+# --- pre-memo rewrite rule names -------------------------------------------
+# These run in rewrite.py *before* the memo is built; each can be ablated
+# individually via ``config.without(...)`` and the whole stage via
+# ``config.with_rewrites(False)``.
+REWRITE_SELECT_MERGE = "rewrite-select-merge"
+REWRITE_PUSHDOWN = "rewrite-pushdown"
+REWRITE_COLLECTION_JOIN = "rewrite-collection-join"
+REWRITE_REDUNDANT_MAT = "rewrite-redundant-mat"
+REWRITE_MAT_CHAIN = "rewrite-mat-chain"
+REWRITE_JOIN_CANON = "rewrite-join-canon"
+
+ALL_REWRITES = (
+    REWRITE_SELECT_MERGE,
+    REWRITE_PUSHDOWN,
+    REWRITE_COLLECTION_JOIN,
+    REWRITE_REDUNDANT_MAT,
+    REWRITE_MAT_CHAIN,
+    REWRITE_JOIN_CANON,
 )
 
 # --- enforcer names --------------------------------------------------------
@@ -126,6 +150,11 @@ class OptimizerConfig:
     # Participates in the config's repr, so plan-cache keys separate
     # per backend automatically.
     backend: str = "interpreted"
+    # Run the pre-memo cost-based rewrite stage (rewrite.py): tree
+    # canonicalization, predicate pushdown, Mat-chain fusion and friends,
+    # applied before the memo sees the query.  Off = the raw simplifier
+    # output goes straight into the search (the ablation baseline).
+    rewrites: bool = True
 
     def is_enabled(self, rule_name: str) -> bool:
         return rule_name not in self.disabled_rules
@@ -172,6 +201,10 @@ class OptimizerConfig:
             )
         return replace(self, backend=backend)
 
+    def with_rewrites(self, enabled: bool = True) -> "OptimizerConfig":
+        """Toggle the pre-memo rewrite stage (the fusion ablation knob)."""
+        return replace(self, rewrites=enabled)
+
     def with_memory_budget(self, memory_bytes: int) -> "OptimizerConfig":
         """A config whose cost model plans against a per-query memory
         budget: sorts and hash joins whose inputs exceed it are costed
@@ -185,6 +218,7 @@ __all__ = [
     "ALG_PROJECT",
     "ALG_UNNEST",
     "ALL_IMPLEMENTATIONS",
+    "ALL_REWRITES",
     "ALL_TRANSFORMATIONS",
     "ASSEMBLY",
     "ASSEMBLY_ENFORCER",
@@ -203,6 +237,7 @@ __all__ = [
     "JOIN_ASSOCIATIVITY",
     "JOIN_COMMUTATIVITY",
     "JOIN_TO_MAT",
+    "MAT_CHAIN",
     "MAT_COMMUTATIVITY",
     "MAT_PAST_JOIN",
     "MAT_PAST_SELECT",
@@ -211,9 +246,16 @@ __all__ = [
     "OptimizerConfig",
     "PARALLEL_SCAN",
     "POINTER_JOIN",
+    "REWRITE_COLLECTION_JOIN",
+    "REWRITE_JOIN_CANON",
+    "REWRITE_MAT_CHAIN",
+    "REWRITE_PUSHDOWN",
+    "REWRITE_REDUNDANT_MAT",
+    "REWRITE_SELECT_MERGE",
     "SELECT_MERGE",
     "SELECT_PAST_JOIN",
     "SELECT_PAST_MAT",
+    "SELECT_PAST_MAT_CHAIN",
     "SELECT_PAST_UNNEST",
     "SETOP_COMMUTATIVITY",
     "UNNEST_PAST_SELECT",

@@ -21,6 +21,7 @@ from repro.algebra.operators import (
     Get,
     Join,
     Mat,
+    MatChain,
     Project,
     RefSource,
     Select,
@@ -28,8 +29,14 @@ from repro.algebra.operators import (
     Unnest,
 )
 from repro.algebra.predicates import (
+    CompOp,
+    Comparison,
+    Conjunction,
     Const,
     FieldRef,
+    RefAttr,
+    SelfOid,
+    VarRef,
 )
 from repro.optimizer import config as rule_names
 from repro.optimizer.context import OptimizeContext
@@ -191,6 +198,16 @@ def _mat_chains(gid: int, ctx: OptimizeContext, depth: int = 0):
                     continue
                 extended = dict(links)
                 extended[mexpr.op.out] = mexpr.op.source
+                yield extended, get_op, get_gid
+        elif isinstance(mexpr.op, MatChain):
+            for links, get_op, get_gid in _mat_chains(
+                mexpr.children[0], ctx, depth + 1
+            ):
+                if any(link.out in links for link in mexpr.op.links):
+                    continue
+                extended = dict(links)
+                for link in mexpr.op.links:
+                    extended[link.out] = link.source
                 yield extended, get_op, get_gid
 
 
@@ -921,6 +938,192 @@ class WarmStartAssemblyImpl(ImplementationRule):
         yield Candidate(((child_gid, child_req),), cost, build)
 
 
+class MatChainImpl(ImplementationRule):
+    """MatChain -> a stack of per-link materializations, chosen per link.
+
+    The fused chain is a pure traversal (the rewrite stage only fuses runs
+    whose outputs nothing above references), so its links are independent
+    1:1 steps and the optimal lowering is simply the per-link argmin over
+    the same strategies a lone Mat would get: assembly, pointer join,
+    warm-start assembly, or a hash join against the target's extent (the
+    plan Mat-to-Join would have reached).  Every strategy preserves the
+    chain input's row order and drops null/dangling references exactly
+    like Mat, so fusion costs the search nothing but the join-order
+    interleavings it exists to eliminate.
+
+    Each per-link strategy honours the rule toggle of its standalone
+    counterpart, so rule-ablation configs constrain fused and unfused
+    plans identically.
+    """
+
+    name = rule_names.MAT_CHAIN
+
+    def candidates(self, mexpr, group, required, ctx):
+        if not isinstance(mexpr.op, MatChain):
+            return
+        op = mexpr.op
+        outs = {link.out for link in op.links}
+        if required.order is not None and required.order.var in outs:
+            return  # no lowering orders the stream by a chain output
+        child_gid = mexpr.children[0]
+        child_scope = ctx.memo.group(child_gid).props.scope
+        child_req = required
+        for link in op.links:
+            child_req = child_req.remove(link.out)
+        for link in op.links:
+            if link.source.attr is not None and link.source.var not in outs:
+                child_req = child_req.add(link.source.var)
+        if not (child_req.in_memory <= child_scope.object_names):
+            return
+        refs = ctx.memo.group(child_gid).props.cardinality
+        window = ctx.config.cost.assembly_window
+        dop = required.dop
+
+        # Per-link argmin.  ``types`` tracks each variable's object type as
+        # links come into scope; ``width`` the tuple width entering a link
+        # (the pointer join's blocking reference table holds whole tuples).
+        types = {
+            b.name: b.type_name
+            for b in child_scope.bindings
+        }
+        width = ctx.scope_width(child_scope)
+        steps: list[tuple] = []  # (kind, link, extra, step_cost)
+        total = Cost.zero()
+        for link in op.links:
+            src = link.source
+            if src.attr is None:
+                target_type = types.get(src.var) or child_scope.binding(
+                    src.var
+                ).type_name
+            else:
+                holder = types[src.var]
+                attr = ctx.catalog.attribute(holder, src.attr)
+                target_type = attr.target_type or ""
+            target_pages = ctx.type_pages(target_type)
+            options: list[tuple[str, tuple, Cost]] = []
+            if ctx.config.is_enabled(rule_names.ASSEMBLY):
+                cost = ctx.cost_model.assembly(refs, target_pages, window)
+                if dop > 1:
+                    cost = cost.scaled(1.0 / dop)
+                options.append(("assembly", (), cost))
+            if (
+                ctx.config.is_enabled(rule_names.POINTER_JOIN)
+                and target_pages is not None
+                and refs * width <= ctx.config.cost.work_mem_bytes
+            ):
+                cost = ctx.cost_model.pointer_join(refs, target_pages)
+                if dop > 1:
+                    cost = cost.scaled(1.0 / dop)
+                options.append(("pointer-join", (), cost))
+            extent = ctx.catalog.extent_of(target_type)
+            if (
+                ctx.config.is_enabled(rule_names.WARM_START_ASSEMBLY)
+                and extent is not None
+                and target_pages is not None
+                and target_pages <= ctx.config.cost.buffer_pages
+            ):
+                cost = ctx.cost_model.warm_start_assembly(refs, target_pages)
+                if dop > 1:
+                    cost = cost.scaled(1.0 / dop)
+                options.append(("warm-start", (extent.name,), cost))
+            if (
+                ctx.config.is_enabled(rule_names.HYBRID_HASH_JOIN)
+                and dop == 1
+                and extent is not None
+                and ctx.catalog.has_stats(extent.name)
+            ):
+                extent_rows = float(ctx.catalog.cardinality(extent.name))
+                extent_pages = ctx.collection_pages(extent.name)
+                build_bytes = extent_rows * (
+                    ctx.catalog.type_of(target_type).object_size + 16.0
+                )
+                scan_cost = ctx.cost_model.file_scan(extent_pages, extent_rows)
+                join_cost = ctx.cost_model.hybrid_hash_join(
+                    extent_rows, refs, build_bytes
+                )
+                options.append(
+                    (
+                        "hash-join",
+                        (extent.name, extent_rows, scan_cost, join_cost),
+                        scan_cost + join_cost,
+                    )
+                )
+            if not options:
+                return  # a link with no admissible strategy kills the chain
+            kind, extra, cost = min(options, key=lambda o: o[2].total)
+            steps.append((kind, link, extra, cost))
+            total = total + cost
+            types[link.out] = target_type
+            width += ctx.catalog.type_of(target_type).object_size
+        note = "+".join(step[0] for step in steps)
+
+        def build(children: tuple[PhysicalNode, ...]) -> PhysicalNode:
+            (node,) = children
+            for kind, link, extra, cost in steps:
+                if kind == "assembly":
+                    node = AssemblyNode(
+                        link.source,
+                        link.out,
+                        window,
+                        children=(node,),
+                        delivered=node.delivered.add(link.out),
+                        rows=refs,
+                        local_cost=cost,
+                    )
+                elif kind == "pointer-join":
+                    node = PointerJoinNode(
+                        link.source,
+                        link.out,
+                        children=(node,),
+                        delivered=node.delivered.add(link.out),
+                        rows=refs,
+                        local_cost=cost,
+                    )
+                elif kind == "warm-start":
+                    (extent_name,) = extra
+                    node = WarmStartAssemblyNode(
+                        link.source,
+                        link.out,
+                        extent_name,
+                        children=(node,),
+                        delivered=node.delivered.add(link.out),
+                        rows=refs,
+                        local_cost=cost,
+                    )
+                else:
+                    extent_name, extent_rows, scan_cost, join_cost = extra
+                    scan = FileScanNode(
+                        extent_name,
+                        link.out,
+                        children=(),
+                        delivered=PhysProps.of(
+                            link.out, order=SortKey(link.out, None)
+                        ),
+                        rows=extent_rows,
+                        local_cost=scan_cost,
+                    )
+                    if link.source.attr is None:
+                        ref_term = VarRef(link.source.var)
+                    else:
+                        ref_term = RefAttr(link.source.var, link.source.attr)
+                    pred = Conjunction.of(
+                        Comparison(ref_term, CompOp.EQ, SelfOid(link.out))
+                    )
+                    node = HashJoinNode(
+                        pred,
+                        children=(scan, node),
+                        delivered=PhysProps(
+                            node.delivered.in_memory | {link.out},
+                            node.delivered.order,
+                        ),
+                        rows=refs,
+                        local_cost=join_cost,
+                    )
+            return node
+
+        yield Candidate(((child_gid, child_req),), total, build, note=note)
+
+
 ALL_RULES: tuple[ImplementationRule, ...] = (
     FileScanImpl(),
     ParallelScanImpl(),
@@ -937,6 +1140,7 @@ ALL_RULES: tuple[ImplementationRule, ...] = (
     AssemblyImpl(),
     PointerJoinImpl(),
     WarmStartAssemblyImpl(),
+    MatChainImpl(),
 )
 
 

@@ -18,7 +18,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.algebra.operators import Get, LogicalOp, Mat, RefSource, Unnest
+from repro.algebra.operators import (
+    Get,
+    LogicalOp,
+    Mat,
+    MatChain,
+    RefSource,
+    Unnest,
+)
 from repro.algebra.scopes import Scope, BindingKind
 from repro.catalog.catalog import Catalog
 from repro.errors import OptimizerError
@@ -82,6 +89,24 @@ def build_query_vars(tree: LogicalOp, catalog: Catalog) -> QueryVars:
                     attr.target_type or "",
                 )
             sources[op.out] = src
+        elif isinstance(op, MatChain):
+            for link in op.links:
+                src = link.source
+                parent = origins.get(src.var)
+                if parent is None:
+                    raise OptimizerError(
+                        f"MatChain source {src.var!r} has no origin"
+                    )
+                if src.attr is None:
+                    origins[link.out] = parent
+                else:
+                    attr = catalog.attribute(parent.type_name, src.attr)
+                    origins[link.out] = VarOrigin(
+                        parent.collection,
+                        parent.path + (src.attr,),
+                        attr.target_type or "",
+                    )
+                sources[link.out] = src
         elif isinstance(op, Unnest):
             parent = origins.get(op.var)
             if parent is None:

@@ -31,6 +31,7 @@ from repro.algebra.operators import (  # isort: skip
     GroupBy,
     Join,
     Mat,
+    MatChain,
     Project,
     Select,
     SetOp,
@@ -209,7 +210,10 @@ class Memo:
                     f"no statistics for collection {op.collection!r}"
                 )
             return float(self.catalog.cardinality(op.collection))
-        if isinstance(op, Mat):
+        if isinstance(op, (Mat, MatChain)):
+            # Every link is 1:1 (references resolve to at most one object),
+            # matching the single-Mat estimate so fusion never changes a
+            # group's cardinality.
             return child_props[0].cardinality
         if isinstance(op, Unnest):
             fanout = self.selectivity.unnest_fanout(op.var, op.attr)

@@ -17,6 +17,7 @@ from repro.optimizer.logical_props import build_query_vars
 from repro.optimizer.memo import Memo
 from repro.optimizer.physical_props import PhysProps, SortKey
 from repro.optimizer.plans import PhysicalNode, SortNode
+from repro.optimizer.rewrite import RewriteEvent, rewrite_tree
 from repro.optimizer.search import (
     SearchBudgetExhausted,
     SearchEngine,
@@ -42,6 +43,10 @@ class OptimizationResult:
     # Structured tracer events (rule firings, memo merges, prunes,
     # enforcer applications); empty unless a tracer was passed in.
     trace_events: tuple[TraceEvent, ...] = ()
+    # Pre-memo rewrite firings (empty when the stage is disabled or
+    # nothing applied); EXPLAIN shows them so a changed plan shape can be
+    # traced back to the rewrite that caused it.
+    rewrites: tuple[RewriteEvent, ...] = ()
 
     def explain(self, costs: bool = False) -> str:
         """Header (time, cost, search size) plus the rendered plan."""
@@ -50,7 +55,10 @@ class OptimizationResult:
             f"estimated cost {self.cost.total:.3f} s, "
             f"{self.groups} groups, {self.stats.mexprs_generated} expressions --"
         )
-        return header + "\n" + self.plan.pretty(costs=costs)
+        lines = [header]
+        for event in self.rewrites:
+            lines.append(f"-- rewrite: {event} --")
+        return "\n".join(lines) + "\n" + self.plan.pretty(costs=costs)
 
 
 def default_required_props(
@@ -118,6 +126,20 @@ class Optimizer:
         """
         tracer = tracer if tracer is not None else NULL_TRACER
         started = time.perf_counter()
+        original = logical
+        rewrites: tuple[RewriteEvent, ...] = ()
+        if self.config.rewrites:
+            order_key = SortKey(order[0], order[1], order[2]) if order else None
+            with tracer.span("phase", "rewrite"):
+                logical, rewrites = rewrite_tree(
+                    logical,
+                    self.catalog,
+                    self.config,
+                    result_vars=result_vars,
+                    order=order_key,
+                    required=required,
+                    tracer=tracer,
+                )
         query_vars = build_query_vars(logical, self.catalog)
         selectivity = SelectivityModel(self.catalog, query_vars)
         memo = Memo(self.catalog, selectivity, tracer=tracer)
@@ -150,8 +172,10 @@ class Optimizer:
             try:
                 plan = engine.best_plan(root_gid, required)
             except SearchBudgetExhausted:
+                # The greedy baseline fallback decomposes the logical tree
+                # itself; hand it the pre-rewrite form it understands.
                 plan = self._anytime_fallback(
-                    engine, ctx, root_gid, required, logical, result_vars
+                    engine, ctx, root_gid, required, original, result_vars
                 )
         elapsed = time.perf_counter() - started
         return OptimizationResult(
@@ -164,6 +188,7 @@ class Optimizer:
             required=required,
             search_trace=tuple(engine.trace),
             trace_events=tuple(tracer.events),
+            rewrites=rewrites,
         )
 
     def _anytime_fallback(

@@ -1,0 +1,679 @@
+"""Pre-memo cost-based rewrite stage.
+
+The memo makes every transformation pay rent forever: each Mat, each
+cartesian join input, each Select placement multiplies the group count the
+search must explore to fixpoint.  Following the cost-based-rewrite line of
+work, this stage runs a handful of cheap, almost-always-right rewrites on
+the logical tree *before* the memo is built, so exploration starts from
+fewer, better-shaped groups:
+
+``rewrite-select-merge``
+    collapse adjacent Selects into one conjunction (canonicalization);
+``rewrite-pushdown``
+    sink single-input conjuncts to the lowest operator that can evaluate
+    them.  Conjuncts spanning two join inputs deliberately stay in Selects
+    *above* the join tree: merging them into join predicates would trip
+    the join-associativity rule's cartesian-avoidance guard and freeze the
+    join order the paper's optimizer explores;
+``rewrite-collection-join``
+    turn an explicit OID join against a full extent (``v.a == w.self``
+    with ``w`` otherwise unreferenced) into a Mat traversal — the Odra
+    papers' join fusion.  Mat-to-Join can always re-derive the join form,
+    so no plan is lost;
+``rewrite-redundant-mat``
+    drop a Mat whose identical reference was already materialized below it
+    and whose output nothing uses (sound because the earlier Mat already
+    applied the same dangling-reference drop);
+``rewrite-join-canon``
+    order the inputs of cartesian join clusters by estimated cardinality,
+    smallest first, so even budget-degraded greedy descents start from a
+    sensible shape;
+``rewrite-mat-chain``
+    fuse maximal runs of adjacent Mats whose outputs nothing above
+    references into one :class:`MatChain` composite.  A fused run is a
+    pure traversal: no transformation re-expands it, which is what
+    actually shrinks the search space (converting joins to Mats alone
+    does nothing — Mat-to-Join just converts them back).  The MatChain
+    implementation rule still chooses assembly / pointer join / hash join
+    per link, so only join-order interleavings are given up.
+
+Every rule can be ablated individually (``config.without(rule)``) and the
+whole stage with ``config.with_rewrites(False)``; each firing emits a
+``rewrite`` tracer event so EXPLAIN can show what happened.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.algebra.operators import (
+    AntiJoin,
+    Get,
+    GroupBy,
+    Join,
+    LogicalOp,
+    Mat,
+    MatChain,
+    MatLink,
+    Project,
+    RefSource,
+    Select,
+    SetOp,
+    SetOpKind,
+    Unnest,
+)
+from repro.algebra.predicates import (
+    CompOp,
+    Comparison,
+    Conjunction,
+    RefAttr,
+    SelfOid,
+    VarRef,
+)
+from repro.algebra.scopes import derive_scope_tree
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import CollectionKind
+from repro.errors import AlgebraError, OptimizerError
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.optimizer import config as rule_names
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.logical_props import build_query_vars
+from repro.optimizer.physical_props import PhysProps, SortKey
+from repro.optimizer.selectivity import SelectivityModel
+
+
+@dataclass(frozen=True)
+class RewriteEvent:
+    """One rewrite firing, for the tracer and EXPLAIN."""
+
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.rule}: {self.detail}"
+
+
+# ----------------------------------------------------------------------
+# Tree analysis helpers
+# ----------------------------------------------------------------------
+
+
+def _bound_vars(op: LogicalOp) -> frozenset[str]:
+    """The scope names an operator's output carries (no catalog needed)."""
+    if isinstance(op, Get):
+        return frozenset({op.var})
+    if isinstance(op, Mat):
+        return _bound_vars(op.child) | {op.out}
+    if isinstance(op, MatChain):
+        return _bound_vars(op.child) | {link.out for link in op.links}
+    if isinstance(op, Unnest):
+        return _bound_vars(op.child) | {op.out}
+    if isinstance(op, Select):
+        return _bound_vars(op.child)
+    if isinstance(op, Join):
+        return _bound_vars(op.left) | _bound_vars(op.right)
+    if isinstance(op, AntiJoin):
+        return _bound_vars(op.left)
+    if isinstance(op, SetOp):
+        return _bound_vars(op.left)
+    # Project / GroupBy: scope ends.
+    return frozenset()
+
+
+def _node_uses(op: LogicalOp) -> list[str]:
+    """The variables one operator *reads*, with multiplicity (one entry
+    per comparison / projection item); the operator's own definitions are
+    excluded."""
+    used: list[str] = []
+    if isinstance(op, Mat):
+        used.append(op.source.var)
+    elif isinstance(op, MatChain):
+        used.extend(link.source.var for link in op.links)
+    elif isinstance(op, Unnest):
+        used.append(op.var)
+    elif isinstance(op, (Select, Join, AntiJoin)):
+        for comp in op.predicate.comparisons:
+            used.extend(comp.vars)
+    elif isinstance(op, Project):
+        for item in op.items:
+            if hasattr(item.term, "var"):
+                used.append(item.term.var)
+        if op.order_by is not None:
+            used.append(op.order_by[0])
+    elif isinstance(op, GroupBy):
+        for key in op.keys:
+            if hasattr(key.term, "var"):
+                used.append(key.term.var)
+        for agg in op.aggregates:
+            if agg.term is not None and hasattr(agg.term, "var"):
+                used.append(agg.term.var)
+    return used
+
+
+def _use_counts(tree: LogicalOp) -> Counter:
+    """How many reads each variable gets, over the whole tree."""
+    counts: Counter = Counter()
+
+    def walk(op: LogicalOp) -> None:
+        counts.update(_node_uses(op))
+        for child in op.children:
+            walk(child)
+
+    walk(tree)
+    return counts
+
+
+def _wrap(pred_comps: list[Comparison], tree: LogicalOp) -> LogicalOp:
+    if not pred_comps:
+        return tree
+    return Select(tree, Conjunction.from_iterable(pred_comps))
+
+
+# ----------------------------------------------------------------------
+# Rule: select-merge (canonicalization)
+# ----------------------------------------------------------------------
+
+
+def _merge_selects(tree: LogicalOp, events: list[RewriteEvent]) -> LogicalOp:
+    children = tuple(_merge_selects(c, events) for c in tree.children)
+    tree = tree.with_children(children)
+    if isinstance(tree, Select) and isinstance(tree.child, Select):
+        merged = tree.predicate.conjoin(tree.child.predicate)
+        events.append(
+            RewriteEvent(rule_names.REWRITE_SELECT_MERGE, f"merged into {merged}")
+        )
+        return Select(tree.child.child, merged)
+    return tree
+
+
+# ----------------------------------------------------------------------
+# Rule: predicate pushdown
+# ----------------------------------------------------------------------
+
+
+def _pushdown(tree: LogicalOp, events: list[RewriteEvent]) -> LogicalOp:
+    def push(op: LogicalOp, pending: list[Comparison]) -> LogicalOp:
+        if isinstance(op, Select):
+            return push(op.child, pending + list(op.predicate.comparisons))
+
+        if isinstance(op, Join):
+            left_vars = _bound_vars(op.left)
+            right_vars = _bound_vars(op.right)
+            to_left: list[Comparison] = []
+            to_right: list[Comparison] = []
+            stay: list[Comparison] = []
+            for comp in pending:
+                if comp.vars and comp.vars <= left_vars:
+                    to_left.append(comp)
+                elif comp.vars and comp.vars <= right_vars:
+                    to_right.append(comp)
+                else:
+                    # Spanning (or constant-only) conjuncts stay above the
+                    # join: merging them into the join predicate would trip
+                    # the associativity rule's cartesian guard.
+                    stay.append(comp)
+            for comp in to_left + to_right:
+                events.append(
+                    RewriteEvent(
+                        rule_names.REWRITE_PUSHDOWN, f"{comp} below Join"
+                    )
+                )
+            new = Join(push(op.left, to_left), push(op.right, to_right), op.predicate)
+            return _wrap(stay, new)
+
+        if isinstance(op, AntiJoin):
+            left_vars = _bound_vars(op.left)
+            to_left = [c for c in pending if c.vars and c.vars <= left_vars]
+            stay = [c for c in pending if c not in to_left]
+            for comp in to_left:
+                events.append(
+                    RewriteEvent(
+                        rule_names.REWRITE_PUSHDOWN, f"{comp} below AntiJoin"
+                    )
+                )
+            new = AntiJoin(push(op.left, to_left), _pushdown(op.right, events), op.predicate)
+            return _wrap(stay, new)
+
+        if isinstance(op, (Mat, MatChain, Unnest)):
+            below_vars = _bound_vars(op.children[0])
+            below = [c for c in pending if c.vars and c.vars <= below_vars]
+            stay = [c for c in pending if c not in below]
+            for comp in below:
+                events.append(
+                    RewriteEvent(
+                        rule_names.REWRITE_PUSHDOWN,
+                        f"{comp} below {type(op).__name__}",
+                    )
+                )
+            new = op.with_children((push(op.children[0], below),))
+            return _wrap(stay, new)
+
+        # Project / GroupBy / SetOp / Get: conjuncts go no lower.
+        children = tuple(push(c, []) for c in op.children)
+        return _wrap(pending, op.with_children(children))
+
+    return push(tree, [])
+
+
+# ----------------------------------------------------------------------
+# Rule: collection join -> Mat
+# ----------------------------------------------------------------------
+
+
+def _remove_extent_get(
+    op: LogicalOp, var: str
+) -> LogicalOp | None:
+    """The tree with the Get leaf binding ``var`` spliced out of its join
+    structure, or None when the leaf is not removable."""
+    if isinstance(op, Join):
+        for side, other in ((op.left, op.right), (op.right, op.left)):
+            if isinstance(side, Get) and side.var == var:
+                if op.predicate.is_true:
+                    return other
+                if var in op.predicate.vars:
+                    return None
+                return Select(other, op.predicate)
+        left = _remove_extent_get(op.left, var)
+        if left is not None:
+            return Join(left, op.right, op.predicate)
+        right = _remove_extent_get(op.right, var)
+        if right is not None:
+            return Join(op.left, right, op.predicate)
+        return None
+    if isinstance(op, Select):
+        inner = _remove_extent_get(op.child, var)
+        if inner is not None:
+            return Select(inner, op.predicate)
+        return None
+    return None
+
+
+def _place_mat(op: LogicalOp, source: RefSource, out: str) -> LogicalOp | None:
+    """Insert ``Mat source: out`` directly above where ``source.var`` is
+    bound (descending through scope-preserving operators), or None."""
+    var = source.var
+    if isinstance(op, Get):
+        return Mat(op, source, out) if op.var == var else None
+    if isinstance(op, (Select, Mat, MatChain, Unnest)):
+        child = op.children[0]
+        if var in _bound_vars(child):
+            placed = _place_mat(child, source, out)
+            if placed is None:
+                return None
+            return op.with_children((placed,))
+        if var in _bound_vars(op):
+            return Mat(op, source, out)
+        return None
+    if isinstance(op, Join):
+        if var in _bound_vars(op.left):
+            placed = _place_mat(op.left, source, out)
+            return None if placed is None else Join(placed, op.right, op.predicate)
+        if var in _bound_vars(op.right):
+            placed = _place_mat(op.right, source, out)
+            return None if placed is None else Join(op.left, placed, op.predicate)
+        return None
+    # AntiJoin / SetOp / anything else: place above, never inside.
+    if var in _bound_vars(op):
+        return Mat(op, source, out)
+    return None
+
+
+def _collection_joins(
+    tree: LogicalOp,
+    catalog: Catalog,
+    externals: frozenset[str],
+    events: list[RewriteEvent],
+) -> LogicalOp:
+    """Convert ``v.a == w.self`` extent joins into Mat traversals."""
+
+    def try_convert(op: LogicalOp) -> LogicalOp | None:
+        """One conversion somewhere in the tree, or None when none fires."""
+        if isinstance(op, Select):
+            uses = _use_counts(tree)
+            for comp in op.predicate.comparisons:
+                for self_term, ref_term in (
+                    (comp.right, comp.left),
+                    (comp.left, comp.right),
+                ):
+                    if comp.op is not CompOp.EQ:
+                        continue
+                    if not isinstance(self_term, SelfOid):
+                        continue
+                    if not isinstance(ref_term, (RefAttr, VarRef)):
+                        continue
+                    w = self_term.var
+                    if w in externals or uses[w] != 1:
+                        continue  # something else needs w in scope
+                    get = _find_extent_get(op.child, w, catalog)
+                    if get is None:
+                        continue
+                    removed = _remove_extent_get(op.child, w)
+                    if removed is None:
+                        continue
+                    source = (
+                        RefSource(ref_term.var, ref_term.attr)
+                        if isinstance(ref_term, RefAttr)
+                        else RefSource(ref_term.var, None)
+                    )
+                    placed = _place_mat(removed, source, w)
+                    if placed is None:
+                        continue
+                    residual = op.predicate.without(comp)
+                    events.append(
+                        RewriteEvent(
+                            rule_names.REWRITE_COLLECTION_JOIN,
+                            f"{comp} -> Mat {source}: {w}",
+                        )
+                    )
+                    if residual.is_true:
+                        return placed
+                    return Select(placed, residual)
+        for i, child in enumerate(op.children):
+            converted = try_convert(child)
+            if converted is not None:
+                children = list(op.children)
+                children[i] = converted
+                return op.with_children(tuple(children))
+        return None
+
+    while True:
+        converted = try_convert(tree)
+        if converted is None:
+            return tree
+        tree = converted
+
+
+def _find_extent_get(op: LogicalOp, var: str, catalog: Catalog) -> Get | None:
+    """The Get leaf binding ``var``, when it scans a full extent with
+    statistics (the precondition for Mat-to-Join to restore the join)."""
+    if isinstance(op, Get):
+        if op.var != var:
+            return None
+        coll = catalog.collection(op.collection)
+        if coll.kind is not CollectionKind.EXTENT:
+            return None
+        if not catalog.has_stats(op.collection):
+            return None
+        return op
+    for child in op.children:
+        if var in _bound_vars(child):
+            return _find_extent_get(child, var, catalog)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Rule: redundant-Mat elimination
+# ----------------------------------------------------------------------
+
+
+def _mat_sources(op: LogicalOp) -> frozenset[RefSource]:
+    sources: set[RefSource] = set()
+
+    def walk(node: LogicalOp) -> None:
+        if isinstance(node, Mat):
+            sources.add(node.source)
+        if isinstance(node, MatChain):
+            sources.update(link.source for link in node.links)
+        for child in node.children:
+            walk(child)
+
+    walk(op)
+    return frozenset(sources)
+
+
+def _drop_redundant_mats(
+    tree: LogicalOp,
+    externals: frozenset[str],
+    events: list[RewriteEvent],
+) -> LogicalOp:
+    uses = _use_counts(tree)
+
+    def walk(op: LogicalOp) -> LogicalOp:
+        op = op.with_children(tuple(walk(c) for c in op.children))
+        if (
+            isinstance(op, Mat)
+            and uses[op.out] == 0
+            and op.out not in externals
+            and op.source in _mat_sources(op.child)
+        ):
+            # The same reference was already materialized below, so the
+            # dangling-reference drop already happened; this Mat only
+            # binds a name nothing reads.
+            events.append(
+                RewriteEvent(
+                    rule_names.REWRITE_REDUNDANT_MAT,
+                    f"dropped duplicate Mat {op.source}: {op.out}",
+                )
+            )
+            return op.child
+        return op
+
+    return walk(tree)
+
+
+# ----------------------------------------------------------------------
+# Rule: join-input canonicalization
+# ----------------------------------------------------------------------
+
+
+def _estimate(op: LogicalOp, sel: SelectivityModel, catalog: Catalog) -> float:
+    """Quick cardinality estimate mirroring the memo's derivation."""
+    if isinstance(op, Get):
+        if catalog.has_stats(op.collection):
+            return float(catalog.cardinality(op.collection))
+        return 1000.0
+    if isinstance(op, Select):
+        return _estimate(op.child, sel, catalog) * sel.predicate(op.predicate)
+    if isinstance(op, (Mat, MatChain)):
+        return _estimate(op.children[0], sel, catalog)
+    if isinstance(op, Unnest):
+        return _estimate(op.child, sel, catalog) * sel.unnest_fanout(
+            op.var, op.attr
+        )
+    if isinstance(op, Join):
+        return (
+            _estimate(op.left, sel, catalog)
+            * _estimate(op.right, sel, catalog)
+            * sel.predicate(op.predicate)
+        )
+    if isinstance(op, AntiJoin):
+        left = _estimate(op.left, sel, catalog)
+        right = _estimate(op.right, sel, catalog)
+        matches = left * right * sel.predicate(op.predicate)
+        return max(left - min(matches, left), 0.05 * left)
+    if isinstance(op, SetOp):
+        left = _estimate(op.left, sel, catalog)
+        right = _estimate(op.right, sel, catalog)
+        if op.kind is SetOpKind.UNION:
+            return left + right
+        if op.kind is SetOpKind.INTERSECT:
+            return min(left, right)
+        return left
+    if isinstance(op, GroupBy):
+        groups = sel.grouping_cardinality(
+            op.keys, _estimate(op.child, sel, catalog)
+        )
+        return groups * (0.5 ** len(op.having))
+    if isinstance(op, Project):
+        return _estimate(op.children[0], sel, catalog)
+    if op.children:
+        return _estimate(op.children[0], sel, catalog)
+    return 1000.0
+
+
+def _has_cartesian(tree: LogicalOp) -> bool:
+    """True when any true-predicate Join exists (canon's only target),
+    so the common no-cartesian case skips building a selectivity model."""
+    if isinstance(tree, Join) and tree.predicate.is_true:
+        return True
+    return any(_has_cartesian(child) for child in tree.children)
+
+
+def _canonicalize_joins(
+    tree: LogicalOp,
+    sel: SelectivityModel,
+    catalog: Catalog,
+    events: list[RewriteEvent],
+) -> LogicalOp:
+    """Order cartesian join clusters smallest-estimated-input first."""
+
+    def flatten(op: LogicalOp) -> list[LogicalOp]:
+        if isinstance(op, Join) and op.predicate.is_true:
+            return flatten(op.left) + flatten(op.right)
+        return [walk(op)]
+
+    def walk(op: LogicalOp) -> LogicalOp:
+        if isinstance(op, Join) and op.predicate.is_true:
+            inputs = flatten(op.left) + flatten(op.right)
+            keyed = sorted(
+                enumerate(inputs),
+                key=lambda pair: (_estimate(pair[1], sel, catalog), pair[0]),
+            )
+            ordered = [item for _, item in keyed]
+            if ordered != inputs:
+                events.append(
+                    RewriteEvent(
+                        rule_names.REWRITE_JOIN_CANON,
+                        f"reordered {len(inputs)} cartesian inputs by size",
+                    )
+                )
+            result = ordered[0]
+            for item in ordered[1:]:
+                result = Join(result, item, Conjunction.true())
+            return result
+        return op.with_children(tuple(walk(c) for c in op.children))
+
+    return walk(tree)
+
+
+# ----------------------------------------------------------------------
+# Rule: Mat-chain fusion
+# ----------------------------------------------------------------------
+
+
+def _fuse_mat_chains(
+    tree: LogicalOp,
+    externals: frozenset[str],
+    events: list[RewriteEvent],
+) -> LogicalOp:
+    uses = _use_counts(tree)
+
+    def fuse(op: LogicalOp) -> LogicalOp:
+        if not isinstance(op, Mat):
+            return op.with_children(tuple(fuse(c) for c in op.children))
+        # Collect the maximal adjacent run, top-down.
+        run: list[Mat] = []
+        cursor: LogicalOp = op
+        while isinstance(cursor, Mat):
+            run.append(cursor)
+            cursor = cursor.child
+        base = fuse(cursor)
+        run_source_counts = Counter(m.source.var for m in run)
+
+        def passes(m: Mat) -> bool:
+            if m.out in externals:
+                return False
+            external_uses = uses[m.out] - run_source_counts.get(m.out, 0)
+            return external_uses == 0
+
+        node = base
+        links: list[MatLink] = []
+
+        def flush() -> None:
+            nonlocal node
+            if links:
+                node = MatChain(node, tuple(links))
+                events.append(
+                    RewriteEvent(
+                        rule_names.REWRITE_MAT_CHAIN,
+                        "fused ["
+                        + ", ".join(str(link) for link in links)
+                        + "]",
+                    )
+                )
+                links.clear()
+
+        for m in reversed(run):  # bottom-up
+            if passes(m):
+                links.append(MatLink(m.source, m.out))
+            else:
+                flush()
+                node = Mat(node, m.source, m.out)
+        flush()
+        return node
+
+    return fuse(tree)
+
+
+# ----------------------------------------------------------------------
+# The stage
+# ----------------------------------------------------------------------
+
+
+def rewrite_tree(
+    tree: LogicalOp,
+    catalog: Catalog,
+    config: OptimizerConfig,
+    *,
+    result_vars: tuple[str, ...] = (),
+    order: SortKey | None = None,
+    required: PhysProps | None = None,
+    tracer: Tracer = NULL_TRACER,
+) -> tuple[LogicalOp, tuple[RewriteEvent, ...]]:
+    """Run the enabled rewrite rules; returns (tree, fired events).
+
+    ``result_vars`` / ``order`` / ``required`` name the variables the
+    caller will still need after optimization — they are treated as
+    referenced, which gates every rewrite that would remove or hide a
+    binding.  The rewritten tree is re-validated against the scope rules;
+    a validation failure falls back to the original tree (traced), so a
+    rewrite bug can cost performance but never correctness.
+    """
+    external_set: set[str] = set(result_vars)
+    if order is not None:
+        external_set.add(order.var)
+    if required is not None:
+        external_set |= set(required.in_memory)
+        if required.order is not None:
+            external_set.add(required.order.var)
+    externals = frozenset(external_set)
+
+    events: list[RewriteEvent] = []
+    original = tree
+    try:
+        if config.is_enabled(rule_names.REWRITE_SELECT_MERGE):
+            tree = _merge_selects(tree, events)
+        if config.is_enabled(rule_names.REWRITE_PUSHDOWN):
+            tree = _pushdown(tree, events)
+        if config.is_enabled(rule_names.REWRITE_COLLECTION_JOIN):
+            tree = _collection_joins(tree, catalog, externals, events)
+        if config.is_enabled(rule_names.REWRITE_REDUNDANT_MAT):
+            tree = _drop_redundant_mats(tree, externals, events)
+        if config.is_enabled(rule_names.REWRITE_JOIN_CANON) and _has_cartesian(
+            tree
+        ):
+            sel = SelectivityModel(catalog, build_query_vars(original, catalog))
+            tree = _canonicalize_joins(tree, sel, catalog, events)
+        if config.is_enabled(rule_names.REWRITE_MAT_CHAIN):
+            tree = _fuse_mat_chains(tree, externals, events)
+    except (AlgebraError, OptimizerError) as exc:
+        if tracer.enabled:
+            tracer.event("rewrite", "failed", error=str(exc))
+        return original, ()
+
+    if tree is not original and events:
+        try:
+            derive_scope_tree(tree, catalog)
+        except AlgebraError as exc:
+            if tracer.enabled:
+                tracer.event("rewrite", "invalid", error=str(exc))
+            return original, ()
+
+    if tracer.enabled:
+        for event in events:
+            tracer.event("rewrite", event.rule, detail=event.detail)
+    return tree, tuple(events)
+
+
+__all__ = ["RewriteEvent", "rewrite_tree"]

@@ -23,6 +23,7 @@ from repro.algebra.operators import (
     Get,
     Join,
     Mat,
+    MatChain,
     RefSource,
     Select,
     SetOp,
@@ -121,6 +122,40 @@ class SelectPastMat(TransformationRule):
                 continue
             pushed: Tree = (
                 _mk_mat(inner.op.source, inner.op.out),
+                (_select(below, inner.children[0]),),
+            )
+            if above.is_true:
+                yield pushed
+            else:
+                yield (_mk_select(above), (pushed,))
+
+
+class SelectPastMatChain(TransformationRule):
+    """Push selection conjuncts beneath a fused Mat chain.
+
+    Select(p, MatChain(links, X)) ->
+    Select(p_above, MatChain(links, Select(p_below, X)))
+    where p_below is the conjuncts referencing none of the chain outputs.
+    The fusion gate means such conjuncts should not exist in rewritten
+    trees, but fuzz configs that disable individual rewrite rules can
+    still produce the shape.
+    """
+
+    name = rule_names.SELECT_PAST_MAT_CHAIN
+
+    def apply(self, mexpr: MExpr, memo: Memo) -> Iterator[Tree]:
+        if not isinstance(mexpr.op, Select):
+            return
+        predicate = mexpr.op.predicate
+        for inner in memo.group(mexpr.children[0]).mexprs:
+            if not isinstance(inner.op, MatChain):
+                continue
+            below_scope = memo.group(inner.children[0]).props.scope.names
+            below, above = predicate.split_by_vars(below_scope)
+            if below.is_true:
+                continue
+            pushed: Tree = (
+                MatChain(_PLACEHOLDER, inner.op.links),
                 (_select(below, inner.children[0]),),
             )
             if above.is_true:
@@ -463,6 +498,7 @@ class SetOpCommutativity(TransformationRule):
 ALL_RULES: tuple[TransformationRule, ...] = (
     SelectMerge(),
     SelectPastMat(),
+    SelectPastMatChain(),
     MatPastSelect(),
     SelectPastUnnest(),
     UnnestPastSelect(),

@@ -1,0 +1,294 @@
+"""Unit tests for the pre-memo rewrite stage, rule by rule.
+
+Each rule gets a fires case and a does-not-fire case: the rewrite stage
+must be aggressive exactly within its preconditions and inert outside
+them (soundness across real data is the fuzzer's job; plan-quality
+invariants on the paper queries live in the integration suite).
+"""
+
+from repro.algebra.operators import (
+    Get,
+    Join,
+    Mat,
+    MatChain,
+    Project,
+    ProjectItem,
+    RefSource,
+    Select,
+)
+from repro.algebra.predicates import (
+    CompOp,
+    Comparison,
+    Conjunction,
+    Const,
+    FieldRef,
+    RefAttr,
+    SelfOid,
+)
+from repro.catalog.sample_db import build_catalog
+from repro.optimizer import config as C
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.rewrite import (
+    _canonicalize_joins,
+    _collection_joins,
+    _drop_redundant_mats,
+    _fuse_mat_chains,
+    _merge_selects,
+    _pushdown,
+    rewrite_tree,
+)
+from repro.optimizer.logical_props import build_query_vars
+from repro.optimizer.selectivity import SelectivityModel
+
+
+CATALOG = build_catalog()
+
+
+def _eq(left, right):
+    return Conjunction.of(Comparison(left, CompOp.EQ, right))
+
+
+def _sel_model(tree):
+    return SelectivityModel(CATALOG, build_query_vars(tree, CATALOG))
+
+
+EMPLOYEES = Get("Employees", "e")
+DEPARTMENTS = Get("extent(Department)", "d")
+TASKS = Get("Tasks", "t")
+E_NAME = _eq(FieldRef("e", "name"), Const("x"))
+T_TIME = _eq(FieldRef("t", "time"), Const(100))
+E_DEPT_IS_D = _eq(RefAttr("e", "department"), SelfOid("d"))
+
+
+class TestSelectMerge:
+    def test_fires_on_stacked_selects(self):
+        events = []
+        tree = _merge_selects(
+            Select(Select(EMPLOYEES, E_NAME), T_TIME), events
+        )
+        assert isinstance(tree, Select)
+        assert isinstance(tree.child, Get)
+        assert len(tree.predicate.comparisons) == 2
+        assert len(events) == 1
+
+    def test_single_select_untouched(self):
+        events = []
+        original = Select(EMPLOYEES, E_NAME)
+        assert _merge_selects(original, events) == original
+        assert events == []
+
+
+class TestPushdown:
+    def test_single_side_conjunct_sinks_below_join(self):
+        events = []
+        tree = _pushdown(
+            Select(Join(EMPLOYEES, TASKS, Conjunction.true()), E_NAME),
+            events,
+        )
+        assert isinstance(tree, Join)
+        assert isinstance(tree.left, Select)
+        assert tree.left.predicate == E_NAME
+        assert len(events) == 1
+
+    def test_spanning_conjunct_stays_above_join(self):
+        spanning = _eq(FieldRef("e", "name"), FieldRef("t", "time"))
+        events = []
+        tree = _pushdown(
+            Select(Join(EMPLOYEES, TASKS, Conjunction.true()), spanning),
+            events,
+        )
+        # Merging it into the join predicate would trip the
+        # associativity rule's cartesian guard, so it must stay in a
+        # Select above the join.
+        assert isinstance(tree, Select)
+        assert tree.predicate == spanning
+        assert isinstance(tree.child, Join)
+        assert tree.child.predicate.is_true
+        assert events == []
+
+
+class TestCollectionJoin:
+    def _join_tree(self):
+        return Select(
+            Join(EMPLOYEES, DEPARTMENTS, Conjunction.true()), E_DEPT_IS_D
+        )
+
+    def test_fires_on_unreferenced_extent(self):
+        events = []
+        tree = _collection_joins(self._join_tree(), CATALOG, frozenset(), events)
+        assert isinstance(tree, Mat)
+        assert tree.source == RefSource("e", "department")
+        assert tree.out == "d"
+        assert isinstance(tree.child, Get)
+        assert len(events) == 1
+
+    def test_blocked_when_var_is_external(self):
+        events = []
+        tree = _collection_joins(
+            self._join_tree(), CATALOG, frozenset({"d"}), events
+        )
+        assert isinstance(tree, Select)
+        assert events == []
+
+    def test_blocked_when_var_used_elsewhere(self):
+        d_name = _eq(FieldRef("d", "name"), Const("Sales"))
+        tree = Select(
+            Join(EMPLOYEES, DEPARTMENTS, Conjunction.true()),
+            E_DEPT_IS_D.conjoin(d_name),
+        )
+        events = []
+        converted = _collection_joins(tree, CATALOG, frozenset(), events)
+        assert isinstance(converted, Select)
+        assert events == []
+
+    def test_blocked_on_named_set(self):
+        # Tasks is a NAMED_SET, not an extent: Mat-to-Join could not
+        # restore the join, so the conversion must not fire.
+        tree = Select(
+            Join(EMPLOYEES, TASKS, Conjunction.true()),
+            _eq(RefAttr("e", "department"), SelfOid("t")),
+        )
+        events = []
+        converted = _collection_joins(tree, CATALOG, frozenset(), events)
+        assert isinstance(converted, Select)
+        assert events == []
+
+
+class TestRedundantMat:
+    def test_fires_on_duplicate_unused_source(self):
+        inner = Mat(EMPLOYEES, RefSource("e", "department"), "d")
+        duplicate = Mat(inner, RefSource("e", "department"), "d2")
+        events = []
+        tree = _drop_redundant_mats(duplicate, frozenset({"d"}), events)
+        assert tree == inner
+        assert len(events) == 1
+
+    def test_blocked_when_out_is_used(self):
+        inner = Mat(EMPLOYEES, RefSource("e", "department"), "d")
+        duplicate = Mat(inner, RefSource("e", "department"), "d2")
+        used = Select(duplicate, _eq(FieldRef("d2", "name"), Const("Sales")))
+        events = []
+        tree = _drop_redundant_mats(used, frozenset({"d"}), events)
+        assert tree == used
+        assert events == []
+
+    def test_blocked_on_first_occurrence(self):
+        only = Mat(EMPLOYEES, RefSource("e", "department"), "d")
+        events = []
+        assert _drop_redundant_mats(only, frozenset(), events) == only
+        assert events == []
+
+
+class TestJoinCanon:
+    def test_reorders_cartesian_inputs_by_estimate(self):
+        tree = Join(EMPLOYEES, DEPARTMENTS, Conjunction.true())
+        events = []
+        canon = _canonicalize_joins(tree, _sel_model(tree), CATALOG, events)
+        # extent(Department) (1 000 rows) before Employees (50 000).
+        assert canon.left == DEPARTMENTS
+        assert canon.right == EMPLOYEES
+        assert len(events) == 1
+
+    def test_predicated_join_untouched(self):
+        tree = Join(EMPLOYEES, DEPARTMENTS, E_DEPT_IS_D)
+        events = []
+        canon = _canonicalize_joins(tree, _sel_model(tree), CATALOG, events)
+        assert canon == tree
+        assert events == []
+
+
+class TestMatChainFusion:
+    def _chain(self):
+        dept = Mat(EMPLOYEES, RefSource("e", "department"), "d")
+        return Mat(dept, RefSource("e", "job"), "j")
+
+    def test_fuses_unreferenced_run(self):
+        events = []
+        tree = _fuse_mat_chains(self._chain(), frozenset(), events)
+        assert isinstance(tree, MatChain)
+        assert [link.out for link in tree.links] == ["d", "j"]
+        assert isinstance(tree.child, Get)
+        assert len(events) == 1
+
+    def test_external_out_stays_unfused(self):
+        events = []
+        tree = _fuse_mat_chains(self._chain(), frozenset({"j"}), events)
+        # j is needed above: its Mat survives; the d link still fuses
+        # into a (single-link) chain below it.
+        assert isinstance(tree, Mat)
+        assert tree.out == "j"
+        assert isinstance(tree.child, MatChain)
+        assert [link.out for link in tree.child.links] == ["d"]
+
+    def test_referenced_out_stays_unfused(self):
+        used = Select(self._chain(), _eq(FieldRef("d", "name"), Const("S")))
+        events = []
+        tree = _fuse_mat_chains(used, frozenset(), events)
+        # d is read by the Select: its Mat survives unfused below the
+        # (single-link) chain that absorbs the unreferenced j.
+        chain = tree.child
+        assert isinstance(chain, MatChain)
+        assert [link.out for link in chain.links] == ["j"]
+        assert isinstance(chain.child, Mat)
+        assert chain.child.out == "d"
+
+    def test_chain_source_links_fuse_together(self):
+        # d feeds the second hop (d.company): consumed inside the run,
+        # so both links still fuse into one chain.
+        dept = Mat(EMPLOYEES, RefSource("e", "department"), "d")
+        hop = Mat(dept, RefSource("d", None), "d2")
+        events = []
+        tree = _fuse_mat_chains(hop, frozenset(), events)
+        assert isinstance(tree, MatChain)
+        assert [link.out for link in tree.links] == ["d", "d2"]
+
+
+class TestRewriteTreeStage:
+    def test_disabled_stage_returns_original(self):
+        tree = Select(Select(EMPLOYEES, E_NAME), T_TIME)
+        config = OptimizerConfig().without(
+            C.REWRITE_SELECT_MERGE,
+            C.REWRITE_PUSHDOWN,
+            C.REWRITE_COLLECTION_JOIN,
+            C.REWRITE_REDUNDANT_MAT,
+            C.REWRITE_JOIN_CANON,
+            C.REWRITE_MAT_CHAIN,
+        )
+        out, events = rewrite_tree(tree, CATALOG, config)
+        assert out == tree
+        assert events == ()
+
+    def test_end_to_end_collection_join_fusion(self):
+        jobs = Get("extent(Job)", "j")
+        tree = Project(
+            Select(
+                Join(
+                    Join(EMPLOYEES, DEPARTMENTS, Conjunction.true()),
+                    jobs,
+                    Conjunction.true(),
+                ),
+                E_DEPT_IS_D.conjoin(_eq(RefAttr("e", "job"), SelfOid("j"))),
+            ),
+            (ProjectItem("name", FieldRef("e", "name")),),
+        )
+        out, events = rewrite_tree(
+            tree, CATALOG, OptimizerConfig(), result_vars=()
+        )
+        assert isinstance(out, Project)
+        chain = out.children[0]
+        assert isinstance(chain, MatChain)
+        assert sorted(link.out for link in chain.links) == ["d", "j"]
+        assert isinstance(chain.child, Get)
+        rules = {event.rule for event in events}
+        assert C.REWRITE_COLLECTION_JOIN in rules
+        assert C.REWRITE_MAT_CHAIN in rules
+
+    def test_externals_protect_result_vars(self):
+        tree = Select(
+            Join(EMPLOYEES, DEPARTMENTS, Conjunction.true()), E_DEPT_IS_D
+        )
+        out, _ = rewrite_tree(
+            tree, CATALOG, OptimizerConfig(), result_vars=("e", "d")
+        )
+        # d is user-visible: the collection join must keep the Get.
+        assert "extent(Department)" in repr(out)
