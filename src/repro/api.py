@@ -34,6 +34,11 @@ from repro.catalog.catalog import Catalog, IndexDef
 from repro.catalog.sample_db import SampleSizes, build_catalog
 from repro.engine.executor import ExecutionResult, Executor
 from repro.engine.tuples import Row
+from repro.feedback import (
+    AdaptiveReplanSignal,
+    CardinalityMonitor,
+    FeedbackStore,
+)
 from repro.errors import (
     CatalogError,
     IndexCorruptionError,
@@ -101,6 +106,10 @@ class Database:
         # `cache_plans = False` (or `query(..., use_cache=False)`) opts out.
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.cache_plans = True
+        # Observed-cardinality feedback store (src/repro/feedback/).
+        # Always present; consulted and fed only when the effective
+        # config's ``feedback`` knob is on.
+        self.feedback = FeedbackStore()
         # Optional admission controller: when set, `query` (and prepared
         # executions) wait for a slot and raise AdmissionRejected after
         # the controller's bounded wait.  None = unlimited concurrency.
@@ -410,7 +419,7 @@ class Database:
         config = config or self.config
         if governor is not None and governor.memory_bytes is not None:
             config = config.with_memory_budget(governor.memory_bytes)
-        optimizer = Optimizer(self.catalog, config)
+        optimizer = self._optimizer(config)
         return optimizer.optimize(
             tree,
             result_vars=result_vars,
@@ -418,6 +427,10 @@ class Database:
             tracer=tracer if tracer is not None else self.tracer,
             query_ctx=governor,
         )
+
+    def _optimizer(self, config: OptimizerConfig | None) -> Optimizer:
+        """An Optimizer wired to this database's feedback store."""
+        return Optimizer(self.catalog, config or self.config, feedback=self.feedback)
 
     def explain(
         self,
@@ -486,6 +499,7 @@ class Database:
         ctx: QueryContext | None = None,
         view=None,
         backend: str | None = None,
+        monitor: CardinalityMonitor | None = None,
     ) -> ExecutionResult:
         """Run a physical plan with fresh I/O accounting.
 
@@ -495,13 +509,16 @@ class Database:
         spill in sort and hash joins, fault injection on disk reads.
         ``view`` pins the run's MVCC snapshot (default: latest committed
         state, pinned at start).  ``backend`` picks the execution
-        strategy (default: the database config's).
+        strategy (default: the database config's).  ``monitor`` threads
+        per-operator row streams through a cardinality monitor (feedback
+        ingestion and the adaptive-replan trigger).
         """
         if self.executor is None:
             raise CatalogError("this database has no populated store")
         result = self.executor.execute(
             plan, cold=cold, ctx=ctx, view=view,
             backend=backend or self.config.backend,
+            monitor=monitor,
         )
         if result_vars:
             keep = set(result_vars)
@@ -684,12 +701,15 @@ class Database:
         config: OptimizerConfig,
         dynamic: bool,
     ) -> str:
-        # The optimizer configuration changes which plans are legal, so it
-        # is part of the fingerprint (frozen dataclass: repr is stable).
-        # Dynamic entries live under their own key: a static entry for the
-        # same text must not shadow the scenario compilation.
+        # The optimizer configuration changes which plans are legal, so
+        # every plan-affecting knob is part of the fingerprint —
+        # ``cache_key()`` renders them canonically (sorted rule sets), so
+        # equal configs always share a key and different backends /
+        # rewrite / parallelism / feedback settings never do.  Dynamic
+        # entries live under their own key: a static entry for the same
+        # text must not shadow the scenario compilation.
         suffix = "\x00dynamic" if dynamic else ""
-        return f"{parameterized.text_key}\x00{config!r}{suffix}"
+        return f"{parameterized.text_key}\x00{config.cache_key()}{suffix}"
 
     def _run_parameterized(
         self,
@@ -740,7 +760,7 @@ class Database:
         if not use_cache or not parameterized.cacheable:
             bound = bind_template(parameterized, values, tagged=False)
             simplified = simplify_full(bound, self.catalog)
-            optimization = Optimizer(self.catalog, config).optimize(
+            optimization = self._optimizer(config).optimize(
                 simplified.tree,
                 result_vars=simplified.result_vars,
                 order=simplified.order,
@@ -754,7 +774,10 @@ class Database:
             )
 
         key = self._cache_key(parameterized, config, dynamic)
-        entry, outcome = self.plan_cache.lookup(key, self.catalog)
+        feedback_version = self.feedback.version if config.feedback else None
+        entry, outcome = self.plan_cache.lookup(
+            key, self.catalog, feedback_version=feedback_version
+        )
         if entry is not None:
             by_index = {
                 slot.index: values[slot.name] for slot in parameterized.slots
@@ -776,7 +799,7 @@ class Database:
         started = time.perf_counter()
         bound = bind_template(parameterized, values, tagged=True)
         simplified = simplify_full(bound, self.catalog)
-        optimization = Optimizer(self.catalog, config).optimize(
+        optimization = self._optimizer(config).optimize(
             simplified.tree,
             result_vars=simplified.result_vars,
             order=simplified.order,
@@ -815,6 +838,12 @@ class Database:
                 stats_version=self.catalog.stats_version,
                 optimization_seconds=elapsed,
                 param_count=len(parameterized.slots),
+                # Captured *after* optimizing: the search itself may have
+                # dropped stale observations (bumping the store version),
+                # and the plan reflects the post-drop state.
+                feedback_version=(
+                    self.feedback.version if config.feedback else -1
+                ),
             )
         )
         info = CacheInfo("miss", key, self.catalog.version)
@@ -833,8 +862,24 @@ class Database:
         governor: QueryContext | None = None,
         view=None,
     ) -> QueryResult:
+        cfg = config or self.config
         execution = None
         rows: list[Row] = []
+        monitor = None
+        if execute and self.executor is not None and cfg.feedback:
+            # Feedback monitoring is snapshot-scoped: observations from a
+            # transaction's private view (its own uncommitted writes)
+            # must not leak into costing for everyone else, so runs
+            # inside a transaction go unmonitored.  Ungoverned-view runs
+            # pin the latest committed snapshot *here* so an adaptive
+            # replan re-executes against the very same data.
+            in_txn = view is not None and getattr(view, "txn", None) is not None
+            if not in_txn and self.store is not None:
+                if view is None:
+                    view = self.store.view()
+                monitor = CardinalityMonitor(
+                    optimization.plan, replan_ratio=cfg.feedback_replan_ratio
+                )
         if execute and self.executor is not None:
             # SELECT *: the user sees the range variables; helper scope
             # variables a particular plan happened to materialize are
@@ -842,7 +887,19 @@ class Database:
             try:
                 execution = self.execute_plan(
                     optimization.plan, result_vars=result_vars, ctx=governor,
-                    view=view, backend=(config or self.config).backend,
+                    view=view, backend=cfg.backend, monitor=monitor,
+                )
+                if monitor is not None:
+                    self.feedback.ingest(monitor, self.catalog)
+            except AdaptiveReplanSignal as signal:
+                # Mid-query re-optimization: an operator blew past its
+                # estimate.  The rows counted so far (flushed as partial
+                # observations) are exactly the knowledge the replan
+                # needs, so ingest first, then replan on the same
+                # snapshot.
+                self.feedback.ingest(monitor, self.catalog)
+                optimization, execution = self._adaptive_replan(
+                    signal, optimization, result_vars, cfg, governor, view
                 )
             except IndexCorruptionError as exc:
                 # Degradation ladder, step 2 (after the buffer pool's
@@ -858,6 +915,54 @@ class Database:
             rows, optimization.plan, optimization, execution, info,
             governor=governor,
         )
+
+    def _adaptive_replan(
+        self,
+        signal: AdaptiveReplanSignal,
+        optimization: OptimizationResult,
+        result_vars: tuple[str, ...],
+        config: OptimizerConfig,
+        governor: QueryContext | None,
+        view=None,
+    ) -> tuple[OptimizationResult, ExecutionResult]:
+        """Re-optimize with the just-ingested observations and re-run.
+
+        Follows the ``_degrade_to_scan`` template: same logical tree,
+        same required properties, same governor (clocks keep ticking),
+        same MVCC snapshot — so the result bytes are exactly what the
+        cancelled run would have produced, only the plan changes.  The
+        re-run is *not* monitored for replanning again (one replan per
+        query), but still feeds its final counts back.
+        """
+        self.feedback.stats.replans += 1
+        if governor is not None:
+            governor.mark_degraded(
+                "cardinality_misestimate",
+                operator=signal.description,
+                estimated=signal.estimated,
+                observed=signal.observed,
+            )
+        elif self.tracer.enabled:
+            self.tracer.event(
+                "degraded",
+                "cardinality_misestimate",
+                operator=signal.description,
+                estimated=signal.estimated,
+                observed=signal.observed,
+            )
+        optimization = self._optimizer(config).optimize(
+            optimization.logical,
+            required=optimization.required,
+            tracer=self.tracer,
+            query_ctx=governor,
+        )
+        monitor = CardinalityMonitor(optimization.plan, replan_ratio=None)
+        execution = self.execute_plan(
+            optimization.plan, result_vars=result_vars, ctx=governor,
+            view=view, backend=config.backend, monitor=monitor,
+        )
+        self.feedback.ingest(monitor, self.catalog)
+        return optimization, execution
 
     def _degrade_to_scan(
         self,
@@ -880,7 +985,7 @@ class Database:
         degraded_config = (config or self.config).without(
             COLLAPSE_TO_INDEX_SCAN
         )
-        optimization = Optimizer(self.catalog, degraded_config).optimize(
+        optimization = self._optimizer(degraded_config).optimize(
             optimization.logical,
             required=optimization.required,
             tracer=self.tracer,

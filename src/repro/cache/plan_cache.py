@@ -102,6 +102,11 @@ class CacheEntry:
     optimization_seconds: float
     param_count: int
     hits: int = field(default=0)
+    # FeedbackStore.version the plan was optimized against, or -1 when
+    # feedback was off for the optimizing config.  A mismatch at lookup
+    # invalidates the entry: execution has taught the store something
+    # since this plan was chosen, so it must be re-optimized.
+    feedback_version: int = field(default=-1)
 
 
 class PlanCache:
@@ -124,17 +129,31 @@ class PlanCache:
         with self._lock:
             return len(self._entries)
 
-    def lookup(self, key: str, catalog: Catalog) -> tuple[CacheEntry | None, str]:
+    def lookup(
+        self,
+        key: str,
+        catalog: Catalog,
+        feedback_version: int | None = None,
+    ) -> tuple[CacheEntry | None, str]:
         """Find a live entry for ``key`` under the current catalog.
 
         Returns ``(entry, outcome)`` where outcome is ``"hit"``,
         ``"reselect"``, or ``"miss"``.  A version-stale entry is removed
         (counted as an invalidation) unless its dynamic plan can be
-        re-selected for the surviving index set.
+        re-selected for the surviving index set.  With
+        ``feedback_version`` given (feedback on), an entry optimized
+        against a different feedback-store version is likewise
+        invalidated — the store has learned since the plan was chosen.
         """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
+                self.stats.misses += 1
+                return None, "miss"
+            wanted_feedback = -1 if feedback_version is None else feedback_version
+            if entry.feedback_version != wanted_feedback:
+                del self._entries[key]
+                self.stats.invalidations += 1
                 self.stats.misses += 1
                 return None, "miss"
             if entry.catalog_version == catalog.version:

@@ -22,6 +22,10 @@ Dot-commands:
 ``.dynamic QUERY``   compile per-index-scenario plans (ObjectStore-style)
 ``.cache``           plan-cache entries and counters
 ``.cache clear``     drop every cached plan ( .cache on / off toggles use )
+``.feedback``        observed-cardinality feedback store: entries and
+                     counters ( .feedback on / off toggles the loop for
+                     subsequent queries; .feedback clear drops the
+                     observations )
 ``.prepare NAME QUERY``   prepare a query with $params for reuse
 ``.exec NAME p=v ...``    execute a prepared query with bound values
 ``.rules``           list togglable rule names
@@ -99,6 +103,8 @@ class Shell:
         self.prepared: dict[str, object] = {}
         self.parallelism = 1
         self.backend = "interpreted"
+        # Cardinality feedback for subsequent queries (.feedback on/off).
+        self.feedback_on = False
         # Session resource limits (None = unlimited), applied to every
         # subsequent query via the governor's $-options.
         self.timeout_ms: float | None = None
@@ -164,6 +170,7 @@ class Shell:
             .without(*self.disabled)
             .with_parallelism(self.parallelism)
             .with_backend(self.backend)
+            .with_feedback(self.feedback_on)
         )
 
     def _command(self, line: str) -> None:
@@ -224,6 +231,18 @@ class Shell:
                 self.echo("plan cache enabled")
             else:
                 self.echo(self.db.plan_cache.describe())
+        elif command == ".feedback":
+            if args == ["clear"]:
+                self.db.feedback.clear()
+                self.echo("feedback store cleared")
+            elif args == ["off"]:
+                self.feedback_on = False
+                self.echo("feedback disabled")
+            elif args == ["on"]:
+                self.feedback_on = True
+                self.echo("feedback enabled")
+            else:
+                self.echo(self.db.feedback.describe())
         elif command == ".prepare" and len(args) >= 2:
             name = args[0]
             text = line[len(".prepare") :].strip()[len(name) :].strip()

@@ -98,6 +98,11 @@ class PlanRun:
     #: default; non-default backends fall back to interpretation
     #: per-subtree for operators they do not support.
     backend: ExecutionBackend = field(default_factory=lambda: INTERPRETED)
+    #: Optional :class:`repro.feedback.monitor.CardinalityMonitor`:
+    #: every operator's stream is threaded through it, counting rows per
+    #: subplan fingerprint (feedback ingestion) and raising the
+    #: adaptive-replan signal on a blown estimate.
+    monitor: object | None = None
 
 
 class Executor:
@@ -194,6 +199,7 @@ class Executor:
         ctx: QueryContext | None = None,
         view: "ObjectStore | SnapshotView | None" = None,
         backend: str = "interpreted",
+        monitor=None,
     ) -> ExecutionResult:
         """Run a plan to completion with fresh I/O accounting.
 
@@ -251,6 +257,7 @@ class Executor:
             ctx=ctx,
             tracer=tracer if tracer is not None else self.tracer,
             backend=engine,
+            monitor=monitor,
         )
         if requested != "interpreted" and run.tracer.enabled:
             run.tracer.event(
@@ -323,6 +330,8 @@ class Executor:
         source = run.backend.rows(self, plan, run, collector, partition)
         if run.ctx is not None:
             source = governed(source, run.ctx)
+        if run.monitor is not None:
+            source = run.monitor.wrap(plan, source)
         if collector is None:
             return source
         return iterators.instrumented(

@@ -1,0 +1,155 @@
+"""Execution-side cardinality counting and the adaptive-replan trigger.
+
+A :class:`CardinalityMonitor` is created per governed execution (when
+``config.feedback`` is on).  The executor threads every operator's row
+stream through :meth:`CardinalityMonitor.wrap`; the monitor counts rows
+against the node's precomputed fingerprint and, when a watched operator
+produces more than ``max(estimate × replan_ratio, REPLAN_MIN_ROWS)``
+rows, raises :class:`AdaptiveReplanSignal` to cancel the run so the
+database can replan with the rows-so-far already ingested as feedback.
+
+Counts are flushed in ``finally`` so partially-consumed streams (LIMIT,
+the replan signal itself unwinding the iterator stack, a hash build
+aborted mid-way) still contribute their lower-bound observation.
+Parallel backends open one stream per partition for the same node; the
+monitor sums them and marks the observation complete only once every
+opened stream has finished.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.feedback.fingerprint import Fingerprint, fingerprint_plan
+from repro.optimizer.plans import PhysicalNode
+
+#: An operator must produce at least this many rows before a blown
+#: estimate triggers a replan — tiny overruns are never worth the
+#: re-optimization round-trip.
+REPLAN_MIN_ROWS = 64
+
+
+class AdaptiveReplanSignal(Exception):
+    """Observed cardinality blew past the estimate: cancel and replan.
+
+    Deliberately *not* a ``ReproError``: this must never escape
+    ``Database._finish`` to a caller, so the fuzzer treats a leak as a
+    crash rather than a tolerated error.
+    """
+
+    def __init__(self, description: str, estimated: float, observed: int) -> None:
+        super().__init__(
+            f"{description}: estimated ~{estimated:.0f} rows, "
+            f"observed {observed} and counting"
+        )
+        self.description = description
+        self.estimated = estimated
+        self.observed = observed
+
+
+@dataclass
+class _NodeCount:
+    key: Fingerprint
+    collections: frozenset[str]
+    estimated: float
+    threshold: float | None
+    description: str
+    rows: int = 0
+    opened: int = 0
+    done: int = 0
+    triggered: bool = False
+    cancelled: bool = False  # some stream was closed before exhaustion
+
+
+class CardinalityMonitor:
+    """Counts per-operator rows against the plan's fingerprints."""
+
+    def __init__(self, plan: PhysicalNode, replan_ratio: float | None = None) -> None:
+        self._counts: dict[int, _NodeCount] = {}
+        for node, (key, collections) in _walk(plan, fingerprint_plan(plan)):
+            if key is None:
+                continue
+            threshold = None
+            if replan_ratio is not None:
+                threshold = max(float(node.rows) * replan_ratio, float(REPLAN_MIN_ROWS))
+            self._counts[id(node)] = _NodeCount(
+                key=key,
+                collections=collections,
+                estimated=float(node.rows),
+                threshold=threshold,
+                description=node.describe(),
+            )
+
+    def wrap(self, node: PhysicalNode, rows: Iterable) -> Iterable:
+        """Thread a node's row stream through the counter (identity when
+        the node has no stable fingerprint)."""
+        count = self._counts.get(id(node))
+        if count is None:
+            return rows
+        return self._counted(count, rows)
+
+    def _counted(self, count: _NodeCount, rows: Iterable) -> Iterator:
+        count.opened += 1
+        n = 0
+        exhausted = False
+        try:
+            for row in rows:
+                n += 1
+                if (
+                    count.threshold is not None
+                    and not count.triggered
+                    and count.rows + n >= count.threshold
+                ):
+                    count.triggered = True
+                    raise AdaptiveReplanSignal(
+                        count.description, count.estimated, count.rows + n
+                    )
+                yield row
+            exhausted = True
+        finally:
+            # Flushed even on GeneratorExit / the replan signal itself,
+            # so cancelled streams still leave a lower-bound count — but
+            # only streams that ran dry may count toward completeness (a
+            # consumer closing early, e.g. a hash build abandoned by the
+            # replan unwinding, saw a prefix, not the cardinality).
+            count.rows += n
+            count.done += 1
+            if not exhausted:
+                count.cancelled = True
+
+    @property
+    def replanned(self) -> bool:
+        return any(c.triggered for c in self._counts.values())
+
+    def observations(self) -> Iterator[tuple[Fingerprint, frozenset[str], int, bool]]:
+        """``(fingerprint, collections, rows, complete)`` per counted node.
+
+        An observation is complete when every stream opened for the node
+        ran to exhaustion; with zero streams opened the node never
+        executed and reports nothing.
+        """
+        seen: set[Fingerprint] = set()
+        for count in self._counts.values():
+            if count.opened == 0 or count.key in seen:
+                continue
+            seen.add(count.key)
+            complete = (
+                count.done == count.opened
+                and not count.triggered
+                and not count.cancelled
+            )
+            yield count.key, count.collections, count.rows, complete
+
+
+def _walk(
+    plan: PhysicalNode, infos: dict[int, tuple[Fingerprint | None, frozenset[str]]]
+) -> Iterator[tuple[PhysicalNode, tuple[Fingerprint | None, frozenset[str]]]]:
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        yield node, infos[id(node)]
+        stack.extend(node.children)
+
+
+__all__ = ["AdaptiveReplanSignal", "CardinalityMonitor", "REPLAN_MIN_ROWS"]

@@ -88,6 +88,13 @@ def main(argv: list[str] | None = None) -> int:
         help="run the whole sweep with the pre-memo rewrite stage "
         "disabled on the reference database (rewrite-ablation config)",
     )
+    parser.add_argument(
+        "--feedback",
+        action="store_true",
+        help="run the whole sweep with cardinality feedback enabled on "
+        "the reference database (fed estimates and mid-query adaptive "
+        "replans in every pair)",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -154,6 +161,7 @@ def main(argv: list[str] | None = None) -> int:
         shrink=not args.no_shrink,
         corpus_dir=args.corpus if args.write_corpus else None,
         no_rewrites=args.no_rewrites,
+        feedback=args.feedback,
         log=log,
     )
     elapsed = time.perf_counter() - started

@@ -160,6 +160,9 @@ def run_case(
         # rewrite — a bad fusion, a wrong pushdown — shows up as a row
         # divergence here.
         "no-rewrites": db.config.with_rewrites(False),
+        # Cardinality feedback on vs the feedback-off reference: the loop
+        # may only ever change plans, never result bytes.
+        "feedback": db.config.with_feedback(True),
     }
     for kind, config in variants.items():
         attempt(
@@ -169,6 +172,18 @@ def run_case(
             ).rows,
             sequence=exact,
         )
+
+    # A second feedback-on run re-optimizes *with* the observations the
+    # first one just ingested — fed estimates, possibly a different plan
+    # (and possibly a mid-query adaptive replan); rows must still be
+    # byte-identical to the feedback-off reference.
+    attempt(
+        "feedback-warmed",
+        lambda: db.query(
+            text, config=db.config.with_feedback(True), use_cache=False
+        ).rows,
+        sequence=exact,
+    )
 
     # --- baseline optimizers ------------------------------------------
     def baseline(plan_for):

@@ -38,11 +38,14 @@ def case_fails(
     query: QuerySpec,
     degrees: tuple[int, ...] = PARALLEL_DEGREES,
     no_rewrites: bool = False,
+    feedback: bool = False,
 ) -> bool:
     """Fresh-database oracle check, as the shrinker's predicate."""
     db = build_database(world)
     if no_rewrites:
         db.config = db.config.with_rewrites(False)
+    if feedback:
+        db.config = db.config.with_feedback(True)
     return bool(run_case(db, query, degrees=degrees).mismatches)
 
 
@@ -54,6 +57,7 @@ def fuzz(
     shrink: bool = True,
     corpus_dir: str | Path | None = None,
     no_rewrites: bool = False,
+    feedback: bool = False,
     log=None,
 ) -> FuzzStats:
     """Run ``iterations`` differential cases; returns aggregated stats.
@@ -64,7 +68,10 @@ def fuzz(
     ``no_rewrites`` flips the reference database to the rewrite-ablation
     config, so every oracle pair exercises the engine with the pre-memo
     rewrite stage disabled (the default sweep already compares
-    rewrites-on against rewrites-off per case).
+    rewrites-on against rewrites-off per case).  ``feedback`` flips the
+    reference to feedback-on, so every pair runs with fed estimates and
+    possible mid-query replans in the *reference* path (the default
+    sweep already compares feedback-on against feedback-off per case).
     """
     stats = FuzzStats()
     world: WorldSpec | None = None
@@ -76,6 +83,8 @@ def fuzz(
             db = build_database(world)
             if no_rewrites:
                 db.config = db.config.with_rewrites(False)
+            if feedback:
+                db.config = db.config.with_feedback(True)
         query_rng = random.Random(f"{seed}:query:{i}")
         query = random_query(query_rng, world)
         outcome = run_case(db, query, degrees=degrees)
@@ -94,7 +103,8 @@ def fuzz(
                     world,
                     query,
                     lambda w, q: case_fails(
-                        w, q, degrees=degrees, no_rewrites=no_rewrites
+                        w, q, degrees=degrees, no_rewrites=no_rewrites,
+                        feedback=feedback,
                     ),
                 )
                 if log is not None:

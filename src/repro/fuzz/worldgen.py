@@ -40,6 +40,7 @@ class AttrSpec:
     null_prob: float = 0.0
     target: str | None = None
     set_max: int = 3
+    skew: float = 0.0  # fraction of rows pinned to the hot value 0
 
 
 @dataclass(frozen=True)
@@ -97,6 +98,7 @@ class WorldSpec:
                             "null_prob": a.null_prob,
                             "target": a.target,
                             "set_max": a.set_max,
+                            "skew": a.skew,
                         }
                         for a in t.attrs
                     ],
@@ -132,6 +134,7 @@ class WorldSpec:
                             null_prob=a.get("null_prob", 0.0),
                             target=a.get("target"),
                             set_max=a.get("set_max", 3),
+                            skew=a.get("skew", 0.0),
                         )
                         for a in t.get("attrs", ())
                     ),
@@ -223,6 +226,7 @@ def build_database(spec: WorldSpec) -> Database:
                     null_prob=a.null_prob,
                     target=a.target,
                     set_max=a.set_max,
+                    skew=a.skew,
                 )
                 for a in t.attrs
             },

@@ -41,6 +41,7 @@ class NodeReport:
     buffer_misses: int
     spill_reads: int = 0
     spill_writes: int = 0
+    est_source: str = "est"
     children: tuple["NodeReport", ...] = ()
 
     @property
@@ -50,9 +51,19 @@ class NodeReport:
 
     @property
     def cardinality_error(self) -> float:
-        """Estimated over actual rows as a q-error-style ratio (>= 1)."""
-        est = max(self.est_rows, 1.0)
-        act = max(float(self.actual_rows), 1.0)
+        """Estimated over actual rows as a q-error-style ratio (>= 1).
+
+        Unclamped: "estimated 0, saw 500" is an *infinite* error, not the
+        500x that flooring both sides at 1 would report — feedback
+        ingestion needs the distinction.  Both sides zero (or exactly
+        equal) is a perfect estimate: 1.0.
+        """
+        est = max(self.est_rows, 0.0)
+        act = max(float(self.actual_rows), 0.0)
+        if est == act:
+            return 1.0
+        if est <= 0.0 or act <= 0.0:
+            return float("inf")
         return max(est / act, act / est)
 
     def line(self) -> str:
@@ -63,8 +74,9 @@ class NodeReport:
                 f", spill {self.spill_writes} writes/"
                 f"{self.spill_reads} reads"
             )
+        fed = " (fed)" if self.est_source == "feedback" else ""
         return (
-            f"[est {self.est_rows:.0f} rows, {self.est_cost_total:.3f}s]"
+            f"[est{fed} {self.est_rows:.0f} rows, {self.est_cost_total:.3f}s]"
             f" (act {self.actual_rows} rows, "
             f"{self.next_seconds * 1000:.2f} ms, "
             f"{self.buffer_hits} hits/{self.buffer_misses} misses{spill})"
@@ -84,6 +96,7 @@ class NodeReport:
             "estimated": {
                 "rows": self.est_rows,
                 "cost_seconds": self.est_cost_total,
+                "source": self.est_source,
             },
             "actual": {
                 "rows": self.actual_rows,
@@ -219,6 +232,7 @@ def build_report(
             description=node.describe(),
             est_rows=node.rows,
             est_cost_total=node.total_cost.total,
+            est_source=getattr(node, "row_source", "est"),
         )
         return NodeReport(
             algorithm=stats.algorithm,
@@ -231,6 +245,7 @@ def build_report(
             buffer_misses=stats.io.misses,
             spill_reads=stats.io.spill_reads,
             spill_writes=stats.io.spill_writes,
+            est_source=stats.est_source,
             children=tuple(node_report(child) for child in node.children),
         )
 

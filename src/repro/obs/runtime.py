@@ -48,6 +48,9 @@ class OperatorRunStats:
     rows_out: int = 0
     next_seconds: float = 0.0
     io: OperatorIOStats = field(default_factory=OperatorIOStats)
+    #: Where ``est_rows`` came from: "est" (catalog statistics) or
+    #: "feedback" (an observed cardinality; EXPLAIN shows "est (fed)").
+    est_source: str = "est"
 
 
 class RunStatsCollector:
@@ -70,6 +73,7 @@ class RunStatsCollector:
                 description=node.describe(),
                 est_rows=node.rows,
                 est_cost_total=node.total_cost.total,
+                est_source=getattr(node, "row_source", "est"),
             )
             self._stats[id(node)] = record
         return record

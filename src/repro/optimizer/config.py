@@ -155,6 +155,18 @@ class OptimizerConfig:
     # applied before the memo sees the query.  Off = the raw simplifier
     # output goes straight into the search (the ablation baseline).
     rewrites: bool = True
+    # Cardinality feedback (src/repro/feedback/): cost estimates prefer
+    # observed cardinalities from earlier executions over catalog
+    # statistics, executions are monitored to produce new observations,
+    # and an operator blowing past its estimate by feedback_replan_ratio
+    # cancels the run and replans mid-query.  Off by default: feedback
+    # never changes result bytes, but it does change plans (and the
+    # store's version participates in plan-cache validity).
+    feedback: bool = False
+    # Observed/estimated ratio beyond which a running operator triggers
+    # adaptive re-optimization (only with feedback on; see
+    # repro.feedback.monitor.REPLAN_MIN_ROWS for the absolute floor).
+    feedback_replan_ratio: float = 8.0
 
     def is_enabled(self, rule_name: str) -> bool:
         return rule_name not in self.disabled_rules
@@ -204,6 +216,38 @@ class OptimizerConfig:
     def with_rewrites(self, enabled: bool = True) -> "OptimizerConfig":
         """Toggle the pre-memo rewrite stage (the fusion ablation knob)."""
         return replace(self, rewrites=enabled)
+
+    def with_feedback(
+        self, enabled: bool = True, replan_ratio: float | None = None
+    ) -> "OptimizerConfig":
+        """Toggle the cardinality-feedback loop (and optionally set the
+        adaptive-replan trigger ratio)."""
+        config = replace(self, feedback=enabled)
+        if replan_ratio is not None:
+            if replan_ratio <= 1.0:
+                raise ValueError(
+                    f"feedback_replan_ratio must exceed 1.0, got {replan_ratio!r}"
+                )
+            config = replace(config, feedback_replan_ratio=replan_ratio)
+        return config
+
+    def cache_key(self) -> str:
+        """A canonical rendering of every plan-affecting knob.
+
+        The plan cache keys entries on this (plus the query fingerprint),
+        so two configs that can pick different plans never share an
+        entry.  ``disabled_rules`` is a frozenset whose repr ordering is
+        unspecified — rendered sorted here so equal configs always key
+        identically.
+        """
+        return (
+            f"rules={','.join(sorted(self.disabled_rules))};"
+            f"cost={self.cost!r};prune={self.prune};"
+            f"cap={self.candidate_cap};pf={self.prune_factor};"
+            f"par={self.parallelism};backend={self.backend};"
+            f"rewrites={self.rewrites};feedback={self.feedback};"
+            f"replan={self.feedback_replan_ratio}"
+        )
 
     def with_memory_budget(self, memory_bytes: int) -> "OptimizerConfig":
         """A config whose cost model plans against a per-query memory

@@ -128,9 +128,17 @@ class LogicalProps:
 
     scope: Scope
     cardinality: float
+    # Semantic subplan fingerprint (repro.feedback.fingerprint), or None
+    # when the group has no stable identity.  Derived whether or not
+    # feedback is on — it is pure structure.
+    fingerprint: object = None
+    # True when ``cardinality`` came from an observed execution (the
+    # feedback store) rather than catalog statistics.
+    fed: bool = False
 
     def __str__(self) -> str:
-        return f"{self.scope} ~{self.cardinality:.0f} rows"
+        source = " (fed)" if self.fed else ""
+        return f"{self.scope} ~{self.cardinality:.0f} rows{source}"
 
 
 def tuple_width_bytes(scope: Scope, catalog: Catalog, overhead: int = 16) -> float:

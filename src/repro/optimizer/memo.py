@@ -21,6 +21,7 @@ from repro.algebra.operators import LogicalOp
 from repro.algebra.scopes import derive_scope
 from repro.catalog.catalog import Catalog
 from repro.errors import OptimizerError
+from repro.feedback.fingerprint import logical_fingerprint
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.optimizer.logical_props import LogicalProps
 from repro.optimizer.selectivity import SelectivityModel
@@ -73,10 +74,14 @@ class Memo:
         catalog: Catalog,
         selectivity: SelectivityModel,
         tracer: Tracer = NULL_TRACER,
+        feedback=None,
     ) -> None:
         self.catalog = catalog
         self.selectivity = selectivity
         self.tracer = tracer
+        # Optional FeedbackStore: observed cardinalities override the
+        # statistics-derived estimate for groups with a fresh observation.
+        self.feedback = feedback
         self._groups: list[Group] = []
         self._parent: list[int] = []
         self._index: dict[tuple, int] = {}
@@ -199,7 +204,13 @@ class Memo:
         child_props = tuple(self.group(g).props for g in child_gids)
         scope = derive_scope(op, tuple(p.scope for p in child_props), self.catalog)
         card = self._derive_cardinality(op, child_props)
-        return LogicalProps(scope, card)
+        fingerprint = logical_fingerprint(
+            op, tuple(p.fingerprint for p in child_props)
+        )
+        fed = False
+        if self.feedback is not None and fingerprint is not None:
+            card, fed = self.feedback.estimate(fingerprint, self.catalog, card)
+        return LogicalProps(scope, card, fingerprint=fingerprint, fed=fed)
 
     def _derive_cardinality(
         self, op: LogicalOp, child_props: tuple[LogicalProps, ...]

@@ -95,12 +95,16 @@ class Optimizer:
         config: OptimizerConfig | None = None,
         extra_transformations: tuple = (),
         extra_implementations: tuple = (),
+        feedback=None,
     ) -> None:
         self.catalog = catalog
         self.config = config or OptimizerConfig()
         self.cost_model = CostModel(self.config.cost)
         self.extra_transformations = tuple(extra_transformations)
         self.extra_implementations = tuple(extra_implementations)
+        # FeedbackStore of observed cardinalities; consulted only when
+        # the config's feedback knob is on.
+        self.feedback = feedback if self.config.feedback else None
 
     def optimize(
         self,
@@ -142,7 +146,7 @@ class Optimizer:
                 )
         query_vars = build_query_vars(logical, self.catalog)
         selectivity = SelectivityModel(self.catalog, query_vars)
-        memo = Memo(self.catalog, selectivity, tracer=tracer)
+        memo = Memo(self.catalog, selectivity, tracer=tracer, feedback=self.feedback)
         root_gid = memo.insert_expression(logical)
         ctx = OptimizeContext(
             memo=memo,
@@ -177,6 +181,7 @@ class Optimizer:
                 plan = self._anytime_fallback(
                     engine, ctx, root_gid, required, original, result_vars
                 )
+        self._annotate_row_sources(plan)
         elapsed = time.perf_counter() - started
         return OptimizationResult(
             plan=plan,
@@ -190,6 +195,24 @@ class Optimizer:
             trace_events=tuple(tracer.events),
             rewrites=rewrites,
         )
+
+    def _annotate_row_sources(self, plan: PhysicalNode) -> None:
+        """Mark plan nodes whose row estimate came from the feedback
+        store, so EXPLAIN can show "est (fed)" provenance."""
+        if self.feedback is None:
+            return
+        from repro.feedback.fingerprint import fingerprint_plan
+
+        infos = fingerprint_plan(plan)
+        for node in plan.walk():
+            key, _ = infos[id(node)]
+            if key is None:
+                continue
+            _, fed = self.feedback.estimate(
+                key, self.catalog, float(node.rows), record_stats=False
+            )
+            if fed:
+                node.row_source = "feedback"
 
     def _anytime_fallback(
         self,

@@ -26,6 +26,9 @@ class PhysicalNode:
     delivered: PhysProps = field(default_factory=PhysProps.none, kw_only=True)
     rows: float = field(default=0.0, kw_only=True)
     local_cost: Cost = field(default_factory=Cost.zero, kw_only=True)
+    # Provenance of ``rows``: "est" (catalog statistics) or "feedback"
+    # (an observed cardinality from the feedback store).
+    row_source: str = field(default="est", kw_only=True)
 
     @property
     def total_cost(self) -> Cost:
@@ -53,7 +56,11 @@ class PhysicalNode:
         the search)."""
         line = " " * indent + self.describe()
         if costs:
-            line += f"   [~{self.rows:.0f} rows, total {self.total_cost.total:.3f}s]"
+            fed = " (fed)" if self.row_source == "feedback" else ""
+            line += (
+                f"   [~{self.rows:.0f} rows{fed}, "
+                f"total {self.total_cost.total:.3f}s]"
+            )
         if props:
             line += f"   <delivers {self.delivered}>"
         lines = [line]

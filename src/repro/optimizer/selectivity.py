@@ -193,7 +193,14 @@ class SelectivityModel:
                 if origin is None:
                     continue
                 if not origin.path and self.catalog.has_stats(origin.collection):
-                    return 1.0 / max(1.0, self.catalog.cardinality(origin.collection))
+                    # An empty referenced collection means *nothing* can
+                    # match — selectivity 0, not the 1.0 a max(1, card)
+                    # floor would produce.  Sub-1 estimates are legal
+                    # everywhere downstream; only final costs clamp.
+                    cardinality = self.catalog.cardinality(origin.collection)
+                    if cardinality <= 0:
+                        return 0.0
+                    return 1.0 / cardinality
                 population = self.catalog.type_population(origin.type_name)
                 if population:
                     return 1.0 / population
@@ -219,7 +226,10 @@ class SelectivityModel:
         groups = 1.0
         for key in keys:
             groups *= self._key_distinct(key.term, child_cardinality)
-        return max(1.0, min(child_cardinality, groups))
+        # No 1-row floor: a (near-)empty input yields (near-)zero groups,
+        # and keeping the sub-1 estimate is what lets join ordering and
+        # feedback error ratios tell "empty" apart from "one row".
+        return min(child_cardinality, groups)
 
     def _key_distinct(self, term, child_cardinality: float) -> float:
         from repro.algebra.predicates import ObjectTerm
@@ -241,7 +251,7 @@ class SelectivityModel:
                 population = self.catalog.type_population(target or "")
                 if population:
                     return float(population)
-        return max(1.0, child_cardinality * self.DEFAULT_GROUP_FRACTION)
+        return child_cardinality * self.DEFAULT_GROUP_FRACTION
 
     def _stats_distinct(self, field: FieldRef) -> int | None:
         origin = self.query_vars.origins.get(field.var)

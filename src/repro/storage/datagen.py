@@ -247,6 +247,12 @@ class AttributeRecipe:
     strings); ``null_prob`` is the chance of storing None instead — for
     reference attributes, of a dangling/absent link.  References choose
     uniformly among the already-generated instances of ``target``.
+
+    ``skew`` in [0, 1) concentrates scalar draws on value 0: with skew
+    ``s``, a fraction ``s`` of rows get the hot value and the rest draw
+    uniformly — the worlds where uniform-distribution selectivity
+    estimates are off by orders of magnitude.  0 (the default) keeps the
+    draw uniform.
     """
 
     kind: str = "scalar"  # "scalar" | "ref" | "set_ref"
@@ -255,6 +261,7 @@ class AttributeRecipe:
     null_prob: float = 0.0
     target: str | None = None
     set_max: int = 3
+    skew: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -286,7 +293,10 @@ def generate_random_store(
     def scalar_value(name: str, recipe: AttributeRecipe):
         if recipe.null_prob and rng.random() < recipe.null_prob:
             return None
-        choice = rng.randrange(max(1, recipe.distinct))
+        if recipe.skew and rng.random() < recipe.skew:
+            choice = 0  # the hot value
+        else:
+            choice = rng.randrange(max(1, recipe.distinct))
         if recipe.scalar_type == "str":
             return f"{name}_{choice}"
         return choice

@@ -1,0 +1,263 @@
+"""End-to-end tests of the cardinality-feedback loop.
+
+The loop's contract, exercised through ``Database.query``: execution
+feeds observed per-subplan cardinalities into ``Database.feedback``;
+re-optimization prefers those observations over catalog statistics
+(plans annotated "(fed)"); a blown estimate triggers one mid-query
+adaptive replan; and none of it may ever change result bytes — only
+plans.  Staleness: feedback-stamped plan-cache entries are invalidated
+when the store learns something new, and observations are dropped once
+their collections drift past the catalog's 20% threshold.
+"""
+
+import pytest
+
+from repro.api import Database
+from repro.fuzz.worldgen import (
+    AttrSpec,
+    IndexSpec,
+    TypeSpec,
+    WorldSpec,
+    build_database,
+)
+
+SCALE = 0.02
+
+PAPER_QUERIES = (
+    "SELECT Newobject(e.name(), e.department().name(), e.job().name()) "
+    "FROM Employee e IN Employees "
+    'WHERE e.department().plant().location() == "Dallas"',
+    'SELECT * FROM City c IN Cities WHERE c.mayor.name == "Joe"',
+    "SELECT c.mayor.age, c.name FROM City c IN Cities "
+    'WHERE c.mayor.name == "Joe"',
+    "SELECT * FROM Task t IN Tasks WHERE t.time == 100 AND EXISTS ("
+    'SELECT m FROM Employee m IN t.team_members WHERE m.name == "Fred")',
+)
+
+
+def skewed_world() -> WorldSpec:
+    """A world where the uniform estimate is off by ~100x.
+
+    ``Hot.k`` pins 30% of rows to the hot value 0 while its index sees
+    hundreds of distinct keys, so ``k == 0`` is estimated at ~1.4 rows
+    and nested loops wins the join — until feedback reports the truth.
+    """
+    return WorldSpec(
+        types=(
+            TypeSpec(
+                name="Dim",
+                count=120,
+                attrs=(
+                    AttrSpec(
+                        name="s0", kind="scalar", scalar_type="int", distinct=40
+                    ),
+                ),
+            ),
+            TypeSpec(
+                name="Hot",
+                count=300,
+                attrs=(
+                    AttrSpec(
+                        name="k",
+                        kind="scalar",
+                        scalar_type="int",
+                        distinct=100_000,
+                        skew=0.3,
+                    ),
+                    AttrSpec(
+                        name="j", kind="scalar", scalar_type="int", distinct=40
+                    ),
+                ),
+            ),
+        ),
+        indexes=(IndexSpec("ix_hot_k", "extent(Hot)", ("k",)),),
+        data_seed=7,
+    )
+
+
+SKEWED_QUERY = (
+    "SELECT h.j FROM Hot h IN extent(Hot), Dim d IN extent(Dim) "
+    "WHERE h.k == 0 && h.j == d.s0"
+)
+
+
+def rows_key(rows):
+    return sorted(repr(row) for row in rows)
+
+
+class TestFeedbackDisabled:
+    """``with_feedback(False)`` (the default) must be a strict no-op."""
+
+    def test_paper_queries_same_plan_and_rows_as_empty_feedback(self):
+        """With nothing observed yet, feedback-on plans exactly as off."""
+        db = Database.sample(scale=SCALE)
+        for text in PAPER_QUERIES:
+            off = db.optimize(text)
+            on = db.optimize(text, config=db.config.with_feedback(True))
+            assert off.plan.pretty() == on.plan.pretty(), text
+            off_rows = db.query(text, use_cache=False).rows
+            on_rows = db.query(
+                text, config=db.config.with_feedback(True), use_cache=False
+            ).rows
+            assert rows_key(off_rows) == rows_key(on_rows), text
+
+    def test_disabled_config_never_consults_or_feeds_the_store(self):
+        db = Database.sample(scale=SCALE)
+        db.query(PAPER_QUERIES[1], use_cache=False)
+        db.query(PAPER_QUERIES[1], use_cache=False)
+        assert len(db.feedback) == 0
+        assert db.feedback.stats.lookups == 0
+
+    def test_explain_has_no_fed_markers_when_disabled(self):
+        db = Database.sample(scale=SCALE)
+        assert "(fed)" not in db.explain(PAPER_QUERIES[1], costs=True)
+
+
+class TestFeedbackLoop:
+    def test_execution_populates_the_store(self):
+        db = build_database(skewed_world())
+        db.config = db.config.with_feedback(True)
+        db.query(SKEWED_QUERY, use_cache=False)
+        assert len(db.feedback) > 0
+        assert db.feedback.stats.ingested > 0
+
+    def test_replanned_query_uses_fed_estimates(self):
+        db = build_database(skewed_world())
+        db.config = db.config.with_feedback(True)
+        first = db.query(SKEWED_QUERY, use_cache=False)
+        explained = db.explain(SKEWED_QUERY, costs=True)
+        assert "(fed)" in explained
+        # The fed cardinality flips the join strategy off nested loops.
+        assert "Nested Loops" not in explained
+        second = db.query(SKEWED_QUERY, use_cache=False)
+        assert rows_key(first.rows) == rows_key(second.rows)
+
+    def test_adaptive_replan_triggers_once_and_preserves_rows(self):
+        reference = build_database(skewed_world())
+        expected = rows_key(reference.query(SKEWED_QUERY).rows)
+
+        db = build_database(skewed_world())
+        db.config = db.config.with_feedback(True)
+        result = db.query(SKEWED_QUERY, use_cache=False)
+        assert db.feedback.stats.replans == 1
+        assert rows_key(result.rows) == expected
+        # Later runs are planned right from the start: no more replans.
+        db.query(SKEWED_QUERY, use_cache=False)
+        assert db.feedback.stats.replans == 1
+
+    def test_observations_persist_across_queries(self):
+        """A different query over the same subplan reuses the feedback."""
+        db = build_database(skewed_world())
+        db.config = db.config.with_feedback(True)
+        db.query("SELECT h.j FROM Hot h IN extent(Hot) WHERE h.k == 0")
+        hits_before = db.feedback.stats.hits
+        db.optimize(SKEWED_QUERY)
+        assert db.feedback.stats.hits > hits_before
+
+
+class TestCacheStaleness:
+    def test_feedback_version_invalidates_cached_plans(self):
+        """A plan cached before execution taught the store is stale.
+
+        Pre-fix, the cache served the original (pre-feedback) plan
+        forever: the entry's catalog version still matched, so nothing
+        ever invalidated it.
+        """
+        db = build_database(skewed_world())
+        db.config = db.config.with_feedback(True)
+        db.query(SKEWED_QUERY)  # miss; executes; ingests; replans
+        invalidations = db.plan_cache.stats.invalidations
+        db.query(SKEWED_QUERY)  # the stamped entry is now stale
+        assert db.plan_cache.stats.invalidations > invalidations
+        assert "(fed)" in db.explain(SKEWED_QUERY, costs=True)
+
+    def test_stable_workload_reaches_cache_hits(self):
+        """Once observations stop moving, the cache serves hits again."""
+        db = build_database(skewed_world())
+        db.config = db.config.with_feedback(True)
+        db.query(SKEWED_QUERY)
+        db.query(SKEWED_QUERY)
+        hits = db.plan_cache.stats.hits
+        db.query(SKEWED_QUERY)
+        assert db.plan_cache.stats.hits > hits
+
+    def test_feedback_configs_do_not_share_cache_slots(self):
+        db = Database.sample(scale=SCALE)
+        text = PAPER_QUERIES[1]
+        db.query(text)
+        hits = db.plan_cache.stats.hits
+        db.query(text, config=db.config.with_feedback(True))
+        assert db.plan_cache.stats.hits == hits  # distinct key: no false hit
+
+
+class TestDriftInvalidation:
+    def test_dml_drift_drops_observations(self):
+        db = Database.sample(scale=SCALE)
+        db.config = db.config.with_feedback(True)
+        text = "SELECT x.name FROM x IN Cities WHERE x.population > 0"
+        db.query(text, use_cache=False)
+        assert len(db.feedback) > 0
+        version = db.feedback.version
+        # Shrink Cities far past the 20% drift threshold.
+        survivors = len(db.query("SELECT x.name FROM x IN Cities").rows)
+        db.query("DELETE x IN Cities WHERE x.population >= 0")
+        remaining = len(db.query("SELECT x.name FROM x IN Cities").rows)
+        assert remaining < survivors
+        db.optimize(text)  # lookups drop the drifted entries on sight
+        assert db.feedback.stats.stale_drops > 0
+        assert db.feedback.version > version
+
+    def test_small_dml_keeps_observations(self):
+        db = Database.sample(scale=SCALE)
+        db.config = db.config.with_feedback(True)
+        text = "SELECT x.name FROM x IN Cities WHERE x.population > 0"
+        db.query(text, use_cache=False)
+        entries = len(db.feedback)
+        assert entries > 0
+        db.query("INSERT INTO Cities (name, population) VALUES ('one', 1)")
+        db.optimize(text)  # < 20% drift: observations still served
+        assert len(db.feedback) == entries
+        assert db.feedback.stats.stale_drops == 0
+
+
+class TestMvccIsolation:
+    def test_transactional_reads_never_feed_the_store(self):
+        """Uncommitted state must not leak into shared feedback."""
+        db = Database.sample(scale=SCALE)
+        db.config = db.config.with_feedback(True)
+        txn = db.begin()
+        db.query(
+            "INSERT INTO Cities (name, population) VALUES ('ghost', 1)",
+            transaction=txn,
+        )
+        db.query(
+            "SELECT x.name FROM x IN Cities WHERE x.population > 0",
+            transaction=txn,
+            use_cache=False,
+        )
+        assert len(db.feedback) == 0
+        txn.rollback()
+
+    def test_snapshot_pinned_across_adaptive_replan(self):
+        """The replanned execution re-reads the same MVCC snapshot."""
+        db = build_database(skewed_world())
+        db.config = db.config.with_feedback(True)
+        result = db.query(SKEWED_QUERY, use_cache=False)
+        assert db.feedback.stats.replans == 1
+        reference = build_database(skewed_world())
+        assert rows_key(result.rows) == rows_key(
+            reference.query(SKEWED_QUERY).rows
+        )
+
+
+class TestExplainProvenance:
+    def test_explain_analyze_reports_fed_source(self):
+        db = build_database(skewed_world())
+        db.config = db.config.with_feedback(True)
+        db.query(SKEWED_QUERY, use_cache=False)
+        report = db.explain_analyze(SKEWED_QUERY)
+        rendered = report.render()
+        assert "(fed)" in rendered
+        assert any(
+            node.est_source == "feedback" for node in report.root.walk()
+        )

@@ -72,3 +72,37 @@ class TestTunables:
                 sq.tree, result_vars=sq.result_vars
             )
             assert result.plan is not None, name
+
+
+class TestCacheKey:
+    """The plan cache keys on :meth:`OptimizerConfig.cache_key`."""
+
+    def test_rule_disable_order_is_canonicalized(self):
+        """The same rule set disabled in any order yields one cache key.
+
+        Pre-fix the cache keyed on ``repr(config)``, where the disabled
+        set's iteration order leaks in — two equal configs could occupy
+        (and miss) separate cache slots.
+        """
+        a = OptimizerConfig().without(C.MERGE_JOIN, C.HYBRID_HASH_JOIN)
+        b = OptimizerConfig().without(C.HYBRID_HASH_JOIN, C.MERGE_JOIN)
+        assert a.cache_key() == b.cache_key()
+        # The rendering is sorted, so the key is stable across processes
+        # (frozenset iteration order follows the per-process hash seed).
+        rules = a.cache_key().split(";")[0].removeprefix("rules=").split(",")
+        assert rules == sorted(rules)
+
+    def test_feedback_flag_separates_keys(self):
+        base = OptimizerConfig()
+        assert base.cache_key() != base.with_feedback(True).cache_key()
+
+    def test_replan_ratio_separates_keys(self):
+        a = OptimizerConfig().with_feedback(True)
+        b = OptimizerConfig().with_feedback(True, replan_ratio=2.0)
+        assert a.cache_key() != b.cache_key()
+
+    def test_with_feedback_rejects_degenerate_ratio(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            OptimizerConfig().with_feedback(True, replan_ratio=1.0)

@@ -138,3 +138,49 @@ class TestFanout:
         from repro.optimizer.selectivity import DEFAULT_UNNEST_FANOUT
 
         assert model.unnest_fanout("k", "anything") == DEFAULT_UNNEST_FANOUT
+
+
+class TestSubUnitEstimates:
+    """Sub-1-row estimates must survive (the 1-row floors hid empties)."""
+
+    def test_empty_referenced_collection_is_zero(self):
+        """ref == self against an *empty* collection can match nothing.
+
+        Pre-fix, a ``max(1, cardinality)`` floor turned the estimate
+        into selectivity 1.0 — every row "matches" a collection that
+        holds no objects at all.
+        """
+        from repro.catalog.statistics import CollectionStats
+
+        catalog = build_catalog()
+        catalog.set_stats("extent(Department)", CollectionStats(0))
+        tree = Get("extent(Department)", "d")
+        model = SelectivityModel(catalog, build_query_vars(tree, catalog))
+        comp = Comparison(RefAttr("e", "department"), CompOp.EQ, SelfOid("d"))
+        assert model.comparison(comp) == 0.0
+
+    def test_grouping_empty_input_estimates_zero_groups(self):
+        """Zero input rows group into zero groups, not a floored 1."""
+        from repro.algebra.operators import ProjectItem
+
+        model, _ = _model()
+        keys = (ProjectItem("g", FieldRef("c", "name")),)
+        assert model.grouping_cardinality(keys, 0.0) == 0.0
+
+    def test_grouping_near_empty_input_stays_sub_one(self):
+        """A 0.5-row input yields a sub-1 group estimate (pre-fix: 1.0)."""
+        from repro.algebra.operators import ProjectItem
+
+        model, _ = _model()
+        keys = (ProjectItem("g", FieldRef("c", "name")),)
+        groups = model.grouping_cardinality(keys, 0.5)
+        assert 0.0 < groups < 1.0
+
+    def test_group_fraction_fallback_is_unfloored(self):
+        """The 10% no-stats fallback may estimate under one group."""
+        from repro.algebra.operators import ProjectItem
+
+        model, _ = _model(with_indexes=False)
+        keys = (ProjectItem("g", FieldRef("c.mayor", "age")),)
+        groups = model.grouping_cardinality(keys, 4.0)
+        assert groups == pytest.approx(0.4)
