@@ -12,6 +12,10 @@ both, the candidate fails if it is more than ``--threshold`` (default
 smaller for higher-is-better ones.  A metric carrying a ``floor`` is
 gated by that absolute minimum instead of the relative delta (used for
 the parallel speedup, which tracks host core count more than code).
+A metric marked ``informational`` is reported but never fails on its
+value (used for the durable-commit metrics, which track host fsync
+behaviour more than code) — though dropping it from the candidate run
+still fails, like any other baseline metric.
 A metric present in the baseline but missing from the candidate FAILS
 the gate: a silently dropped benchmark would otherwise disable its own
 regression check.  Metrics only the candidate has are reported but not
@@ -58,7 +62,10 @@ def compare(baseline: dict, candidate: dict, threshold: float) -> list[str]:
         base_value, cand_value = base["value"], cand["value"]
         unit = base.get("unit", "")
         floor = base.get("floor")
-        if floor is not None:
+        if base.get("informational", False):
+            verdict = "info"
+            detail = f"{base_value} -> {cand_value} {unit} (not gated)"
+        elif floor is not None:
             verdict = "ok" if cand_value >= floor else "FAIL"
             detail = f"{cand_value} {unit} (floor {floor})"
         elif base.get("higher_is_better", False):

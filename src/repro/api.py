@@ -119,6 +119,14 @@ class Database:
         # invalidation), extending the catalog-version scheme to writes.
         if store is not None:
             store.add_commit_listener(self._on_commit)
+        # Durability is opt-in (enable_durability / open); None keeps
+        # every code path byte-identical to the in-memory engine.
+        self.durability = None
+        # How this database's base state can be rebuilt deterministically
+        # (set by `sample`, the fuzz world generator, and `open`); the
+        # durability manifest records it so recovery can reconstruct the
+        # sealed store the log was written against.
+        self.bootstrap: dict[str, Any] | None = None
         # Observability sink for recoverable warnings (and, when callers
         # pass none of their own, for traced optimizations).  Disabled by
         # default; assign an enabled Tracer to capture events.  The
@@ -147,7 +155,128 @@ class Database:
         sizes = SampleSizes() if scale >= 1.0 else scaled_sizes(scale)
         catalog = build_catalog(sizes)
         store = generate_store(catalog, sizes, seed) if populate else None
-        return cls(catalog, store, config)
+        db = cls(catalog, store, config)
+        if populate:
+            db.bootstrap = {"kind": "sample", "scale": scale, "seed": seed}
+        return db
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def enable_durability(
+        self,
+        directory: str,
+        checkpoint_every: int | None = None,
+        crash_plan=None,
+    ):
+        """Make this database durable in a fresh directory.
+
+        Writes a manifest (the bootstrap recipe plus index DDL), takes
+        an initial checkpoint of the current state, and from then on
+        appends + fsyncs one write-ahead-log record per committed
+        transaction *before* the commit is acknowledged.  Reopen the
+        directory later — including after a crash — with
+        :meth:`Database.open`.
+
+        ``checkpoint_every=N`` auto-checkpoints after every N committed
+        auto-commit statements (explicit :meth:`checkpoint` and
+        :meth:`close` always checkpoint).  ``crash_plan`` threads a
+        seeded :class:`~repro.governor.faults.CrashPlan` through the log
+        and checkpoint writers (testing only).
+
+        Requires a database built by a reproducible bootstrap
+        (:meth:`sample` or the fuzz world generator) so recovery can
+        rebuild the sealed base store.
+        """
+        from repro.durability import DurabilityManager
+
+        manager = DurabilityManager(
+            directory,
+            crash_plan=crash_plan,
+            checkpoint_every=checkpoint_every,
+        )
+        manager.initialize(self)
+        return manager
+
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        config: OptimizerConfig | None = None,
+        checkpoint_every: int | None = None,
+        crash_plan=None,
+    ) -> "Database":
+        """Open (and recover) a durable database directory.
+
+        Rebuilds the base database from the manifest's bootstrap recipe,
+        reconciles index DDL, loads the newest valid checkpoint, replays
+        complete log records in CSN order through the MVCC apply path
+        (ignoring a torn tail record), and resumes with the correct next
+        CSN — so every acknowledged commit survives and new commits
+        continue the chain.  Recovery details land in
+        ``db.durability.last_recovery``.
+        """
+        from repro.durability import DurabilityManager
+
+        manifest = DurabilityManager.read_manifest(directory)
+        bootstrap = manifest.get("bootstrap") or {}
+        kind = bootstrap.get("kind")
+        if kind == "sample":
+            db = cls.sample(
+                scale=bootstrap["scale"],
+                seed=bootstrap["seed"],
+                config=config,
+            )
+        elif kind == "world":
+            from repro.fuzz.worldgen import WorldSpec, build_database
+
+            db = build_database(WorldSpec.from_dict(bootstrap["spec"]))
+            if config is not None:
+                db.config = config
+        else:
+            raise StorageError(
+                f"manifest has unknown bootstrap kind {kind!r}"
+            )
+        # Reconcile index DDL to the manifest: the bootstrap may create
+        # its own indexes; the manifest records what actually existed.
+        wanted = {
+            entry["name"]: entry for entry in manifest.get("indexes", [])
+        }
+        for index in list(db.catalog.indexes()):
+            if index.name not in wanted:
+                db.catalog.drop_index(index.name)
+        existing = {index.name for index in db.catalog.indexes()}
+        for name, entry in wanted.items():
+            if name not in existing:
+                db.catalog.add_index(
+                    IndexDef(
+                        name,
+                        entry["collection"],
+                        tuple(entry["path"]),
+                        entry["distinct_keys"],
+                    )
+                )
+        manager = DurabilityManager(
+            directory,
+            crash_plan=crash_plan,
+            checkpoint_every=checkpoint_every,
+        )
+        manager.recover(db)
+        return db
+
+    def checkpoint(self) -> int:
+        """Write a checkpoint now; returns the checkpoint CSN."""
+        if self.durability is None:
+            raise StorageError(
+                "durability is not enabled; call enable_durability first"
+            )
+        return self.durability.checkpoint()
+
+    def close(self) -> None:
+        """Checkpoint and detach durability (no-op when not durable)."""
+        if self.durability is not None:
+            self.durability.close()
 
     # ------------------------------------------------------------------
     # DDL
@@ -172,6 +301,8 @@ class Database:
             distinct_keys = max(1, probe.distinct_keys())
         definition = IndexDef(name, collection, path, distinct_keys)
         self.catalog.add_index(definition)
+        if self.durability is not None:
+            self.durability.write_manifest()
         return definition
 
     def drop_index(self, name: str) -> None:
@@ -179,6 +310,8 @@ class Database:
         self.catalog.drop_index(name)
         if self.executor is not None:
             self.executor.invalidate_index(name)
+        if self.durability is not None:
+            self.durability.write_manifest()
 
     def analyze(
         self,
@@ -357,6 +490,9 @@ class Database:
             csn = None
             if transaction is None:
                 csn = txn.commit()
+                if self.durability is not None:
+                    # Outside the commit lock: checkpointing takes it.
+                    self.durability.maybe_checkpoint()
             return DmlResult(operation, affected, csn)
 
     def _dml_targets(

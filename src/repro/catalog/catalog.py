@@ -167,6 +167,43 @@ class Catalog:
             stats.cardinality = max(0, live)
             self._bump(stats=True)
 
+    def durable_state(self) -> dict:
+        """The DML-derived catalog state a checkpoint must carry.
+
+        Data versions and live cardinalities are products of committed
+        writes, not of the schema bootstrap, so recovery restores them
+        here; everything else (types, collections, statistics, indexes)
+        is rebuilt from the manifest's bootstrap recipe.
+        """
+        return {
+            "data_versions": dict(self._data_versions),
+            "live_cardinality": dict(self._live_cardinality),
+        }
+
+    def restore_durable_state(self, state: dict) -> None:
+        """Install checkpointed :meth:`durable_state` (recovery only).
+
+        Live cardinalities that drifted past the refresh threshold are
+        folded into the statistics immediately, mirroring the refresh
+        the original engine performed when the drift happened.
+        """
+        self._data_versions = {
+            name: int(version)
+            for name, version in state.get("data_versions", {}).items()
+        }
+        self._live_cardinality = {
+            name: int(card)
+            for name, card in state.get("live_cardinality", {}).items()
+        }
+        for name, live in self._live_cardinality.items():
+            stats = self._stats.get(name)
+            if stats is None:
+                continue
+            drift = abs(live - stats.cardinality)
+            if drift > DATA_DRIFT_THRESHOLD * max(1, stats.cardinality):
+                stats.cardinality = max(0, live)
+                self._bump(stats=True)
+
     # ------------------------------------------------------------------
     # Schema access
     # ------------------------------------------------------------------

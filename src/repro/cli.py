@@ -51,6 +51,11 @@ Dot-commands:
                      the same object reports a write conflict and rolls
                      back (first committer wins)
 ``.rollback``        discard the open transaction's writes
+``.durability DIR``  make the database durable in DIR: write-ahead log
+                     every commit, checkpoint on ``.checkpoint`` and
+                     exit; reopen later with ``python -m repro --open
+                     DIR`` ( bare .durability shows status )
+``.checkpoint``      write a checkpoint now and truncate the log
 ``.server start [PORT]``   serve this database over TCP (JSON-line
                      protocol, one session per connection; port 0 picks
                      a free port).  ``.server stop`` drains and stops;
@@ -154,6 +159,9 @@ class Shell:
         if self.server is not None:
             self.server.stop()
             self.server = None
+        # A durable database checkpoints on the way out, so restart
+        # recovery replays nothing.
+        self.db.close()
 
     def dispatch(self, line: str) -> None:
         """Route one input line to a dot-command or the query pipeline."""
@@ -331,6 +339,36 @@ class Shell:
             self.transaction.rollback()
             self.transaction = None
             self.echo("rolled back")
+        elif command == ".durability" and len(args) <= 1:
+            if not args:
+                if self.db.durability is None:
+                    self.echo("durability: off")
+                else:
+                    status = self.db.durability.status()
+                    self.echo(
+                        f"durability: on ({status['directory']}), csn "
+                        f"{status['csn']}, {status['commits_since_checkpoint']}"
+                        " commit(s) since last checkpoint"
+                    )
+                    if status["last_recovery"] is not None:
+                        rec = status["last_recovery"]
+                        self.echo(
+                            f"  recovered from checkpoint csn "
+                            f"{rec['checkpoint_csn']}, replayed "
+                            f"{rec['replayed']} log record(s)"
+                        )
+                return
+            if self.db.durability is not None:
+                self.echo("error: durability already enabled")
+                return
+            self.db.enable_durability(args[0])
+            self.echo(f"durability enabled in {args[0]}")
+        elif command == ".checkpoint" and not args:
+            if self.db.durability is None:
+                self.echo("error: durability not enabled; use .durability DIR")
+                return
+            csn = self.db.checkpoint()
+            self.echo(f"checkpoint written at csn {csn}")
         elif command == ".server":
             self._server_command(args)
         elif command == ".sessions" and not args:
@@ -545,11 +583,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", type=float, default=0.05)
     parser.add_argument("--seed", type=int, default=20130526)
     parser.add_argument(
+        "--open",
+        metavar="DIR",
+        help="open (and recover) a durable database directory",
+    )
+    parser.add_argument(
         "-c", "--command", help="run one query/command and exit"
     )
     options = parser.parse_args(argv)
-    print(f"loading Table 1 sample database (scale {options.scale}) ...")
-    db = Database.sample(scale=options.scale, seed=options.seed)
+    if options.open:
+        print(f"recovering durable database from {options.open} ...")
+        try:
+            db = Database.open(options.open)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        recovery = db.durability.last_recovery or {}
+        print(
+            f"recovered: checkpoint csn {recovery.get('checkpoint_csn', 0)}, "
+            f"replayed {recovery.get('replayed', 0)} log record(s)"
+        )
+    else:
+        print(f"loading Table 1 sample database (scale {options.scale}) ...")
+        db = Database.sample(scale=options.scale, seed=options.seed)
     shell = Shell(db)
     try:
         if options.command:

@@ -1,0 +1,36 @@
+"""Durability: write-ahead logging, checkpoints, and crash recovery.
+
+Everything the engine holds in memory — MVCC version chains, collection
+membership, catalog data versions — dies with the process.  This package
+makes committed transactions survive:
+
+* :mod:`repro.durability.wal` — a logical write-ahead log.  One framed,
+  checksummed, length-prefixed record per committed transaction (CSN,
+  per-collection inserts/updates/deletes/tombstones), appended and
+  fsynced **under the commit lock, before the commit is acknowledged**.
+* :mod:`repro.durability.checkpoint` — periodic consistent snapshots of
+  the MVCC state plus catalog data versions at a checkpoint CSN, written
+  to a temp file and atomically renamed; afterwards the log is
+  truncated.
+* :mod:`repro.durability.manager` — the :class:`DurabilityManager` glue:
+  manifest handling (how to rebuild the base database), the commit-time
+  logging hook, checkpointing, and recovery replay.
+
+Durability is **off by default**: a database without an attached manager
+takes exactly the pre-durability code paths, byte for byte.  Enable it
+with ``Database.enable_durability(directory)`` and reopen a directory
+with ``Database.open(directory)``.
+"""
+
+from repro.durability.checkpoint import load_newest_checkpoint, write_checkpoint
+from repro.durability.manager import DurabilityManager
+from repro.durability.wal import LogRecord, WalWriter, read_log
+
+__all__ = [
+    "DurabilityManager",
+    "LogRecord",
+    "WalWriter",
+    "load_newest_checkpoint",
+    "read_log",
+    "write_checkpoint",
+]

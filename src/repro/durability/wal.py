@@ -1,0 +1,220 @@
+"""The logical write-ahead log.
+
+One framed record per committed transaction, appended and fsynced under
+the commit lock *before* the commit is acknowledged.  Frame layout::
+
+    +------------+------------+----------------------+
+    | length (4B)| crc32 (4B) | payload (JSON, UTF-8)|
+    +------------+------------+----------------------+
+
+Both header fields are big-endian unsigned 32-bit; the CRC covers the
+payload bytes only.  The payload is one JSON object::
+
+    {"csn": 7,
+     "u": [[["City", 3], {...data...}], ...],          # updates
+     "d": [["City", 9], ...],                          # deletes
+     "i": [["Cities", ["City", 12], {...data...}], ...],  # inserts
+     "m": [["City", 12], ...]}                         # minted OIDs
+
+``m`` records every OID minted by the transaction — including inserts
+that were later canceled by a savepoint rollback — so recovery replays
+the allocator to the exact same next-serial/next-page state and the
+recovered engine mints byte-identical OIDs going forward.
+
+``read_log`` is deliberately forgiving about the *tail* (a short header,
+short payload, or CRC mismatch ends the scan cleanly — that is what a
+torn write from a crash looks like) and deliberately strict about
+everything before it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.durability.codec import (
+    decode_oid,
+    decode_value,
+    encode_oid,
+    encode_value,
+)
+from repro.errors import StorageError
+from repro.governor.faults import CrashPlan, SimulatedCrash
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.objects import Oid
+
+_HEADER = struct.Struct(">II")
+
+LOG_NAME = "wal.log"
+
+
+@dataclass
+class LogRecord:
+    """One committed transaction, decoded from (or bound for) the log."""
+
+    csn: int
+    #: oid -> full post-image data dict
+    updates: dict["Oid", dict] = field(default_factory=dict)
+    #: tombstoned oids
+    deletes: list["Oid"] = field(default_factory=list)
+    #: (collection, oid, data) in insertion order
+    inserts: list[tuple[str, "Oid", dict]] = field(default_factory=list)
+    #: every oid the transaction minted (supersets surviving inserts)
+    minted: list["Oid"] = field(default_factory=list)
+
+    def to_payload(self) -> bytes:
+        """Serialize to canonical frame-payload bytes."""
+        doc: dict[str, Any] = {"csn": self.csn}
+        if self.updates:
+            doc["u"] = [
+                [encode_oid(oid), encode_value(data)]
+                for oid, data in self.updates.items()
+            ]
+        if self.deletes:
+            doc["d"] = [encode_oid(oid) for oid in self.deletes]
+        if self.inserts:
+            doc["i"] = [
+                [name, encode_oid(oid), encode_value(data)]
+                for name, oid, data in self.inserts
+            ]
+        if self.minted:
+            doc["m"] = [encode_oid(oid) for oid in self.minted]
+        # No sort_keys: object data dicts carry meaning in their key
+        # *insertion order* (scans render rows in attribute order), and
+        # JSON round-trips dict order faithfully.
+        return json.dumps(doc, separators=(",", ":")).encode()
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "LogRecord":
+        """Decode one verified frame payload."""
+        doc = json.loads(payload)
+        return cls(
+            csn=doc["csn"],
+            updates={
+                decode_oid(pair): decode_value(data)
+                for pair, data in doc.get("u", [])
+            },
+            deletes=[decode_oid(pair) for pair in doc.get("d", [])],
+            inserts=[
+                (name, decode_oid(pair), decode_value(data))
+                for name, pair, data in doc.get("i", [])
+            ],
+            minted=[decode_oid(pair) for pair in doc.get("m", [])],
+        )
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap payload bytes in the length+CRC32 frame header."""
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class WalWriter:
+    """Appends framed records to the log file, fsyncing each one.
+
+    Owned by the :class:`~repro.durability.manager.DurabilityManager`
+    and only ever called under the MVCC commit lock, so appends are
+    naturally serialized.  A seeded :class:`CrashPlan` may kill the
+    process mid-append (torn tail) or right after the fsync
+    (durable-but-unacknowledged) — the two halves of the recovery
+    contract the fuzz oracle checks.
+    """
+
+    def __init__(self, path: str, crash_plan: CrashPlan | None = None) -> None:
+        self.path = path
+        self.crash_plan = crash_plan
+        self._appended = 0
+        self._file = open(path, "ab")
+
+    @property
+    def appended(self) -> int:
+        """Records appended through this writer (crash-plan ordinals)."""
+        return self._appended
+
+    def append(self, record: LogRecord) -> None:
+        """Frame, append, and fsync one record; may simulate a crash."""
+        if self._file.closed:
+            raise StorageError("write-ahead log is closed")
+        data = frame(record.to_payload())
+        self._appended += 1
+        plan = self.crash_plan
+        if plan is not None and plan.fires_at(self._appended):
+            if plan.crash_point == "mid-record":
+                self._file.write(data[: plan.torn_bytes(len(data))])
+                self._sync()
+                self._die("mid-record")
+            # post-record-pre-ack: the record is fully durable, but the
+            # caller never hears the commit succeeded.
+            self._file.write(data)
+            self._sync()
+            self._die("post-record-pre-ack")
+        self._file.write(data)
+        self._sync()
+
+    def truncate(self) -> None:
+        """Drop all records (called right after a checkpoint rename)."""
+        self._file.truncate(0)
+        self._file.seek(0)
+        self._sync()
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def _sync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def _die(self, point: str) -> None:
+        # A crashed process holds no file handles; closing makes the
+        # writer unusable, so nothing can "keep going" past the crash.
+        self._file.close()
+        raise SimulatedCrash(point)
+
+
+def scan_log(path: str) -> tuple[list[LogRecord], int]:
+    """Read every complete, checksum-valid record; tolerate a torn tail.
+
+    A record that ends early (short header or payload) or fails its CRC
+    is treated as the torn final append of a crashed process: the scan
+    stops cleanly and every record before it is returned.  The log is
+    truncated to frame boundaries only by checkpoints, so anything after
+    a bad frame is unreachable garbage by construction.
+
+    Returns ``(records, valid_bytes)`` — recovery truncates the file to
+    ``valid_bytes`` so new appends don't land after torn garbage.
+    """
+    records: list[LogRecord] = []
+    if not os.path.exists(path):
+        return records, 0
+    with open(path, "rb") as fh:
+        data = fh.read()
+    offset = 0
+    while offset + _HEADER.size <= len(data):
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        payload = data[start : start + length]
+        if len(payload) < length or zlib.crc32(payload) != crc:
+            break
+        records.append(LogRecord.from_payload(payload))
+        offset = start + length
+    return records, offset
+
+
+def read_log(path: str) -> list[LogRecord]:
+    """The records half of :func:`scan_log`."""
+    return scan_log(path)[0]
+
+
+__all__ = [
+    "LOG_NAME",
+    "LogRecord",
+    "WalWriter",
+    "frame",
+    "read_log",
+    "scan_log",
+]

@@ -133,6 +133,12 @@ class WriteConflict(TransactionError):
         self.oid = oid
 
 
+class SessionExpired(ReproError):
+    """Raised by the serving tier when a request arrives on a session
+    the idle reaper already expired: its open transaction was rolled
+    back and its cursors dropped.  Reconnect and start fresh."""
+
+
 class PlanCacheError(ReproError):
     """Raised for plan-cache misuse (bad capacity, unbindable plans)."""
 

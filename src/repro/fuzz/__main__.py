@@ -70,6 +70,14 @@ def main(argv: list[str] | None = None) -> int:
         help="DML statements per batch for --dml (default 8)",
     )
     parser.add_argument(
+        "--crash",
+        action="store_true",
+        help="run the crash-recovery oracle: a seeded DML workload is "
+        "killed at a seeded crash point, recovered from disk, and must "
+        "byte-match a clean engine that executed exactly the "
+        "acknowledged-commit prefix",
+    )
+    parser.add_argument(
         "--chaos",
         action="store_true",
         help="run the oracle under seeded fault injection: every case "
@@ -123,6 +131,34 @@ def main(argv: list[str] | None = None) -> int:
         )
         for mismatch in stats.mismatches:
             print(f"  {mismatch}")
+        for path in stats.repro_paths:
+            print(f"  repro: {path}")
+        return 0 if stats.ok else 1
+    if args.crash:
+        from repro.fuzz.crash import crash_fuzz
+        from repro.fuzz.dml import DEFAULT_OPS_PER_BATCH
+
+        stats = crash_fuzz(
+            seed=args.seed,
+            iterations=args.iterations,
+            ops_per_batch=(
+                args.ops_per_batch
+                if args.ops_per_batch is not None
+                else DEFAULT_OPS_PER_BATCH
+            ),
+            shrink=not args.no_shrink,
+            corpus_dir=args.corpus if args.write_corpus else None,
+            log=log,
+        )
+        elapsed = time.perf_counter() - started
+        print(
+            f"{stats.iterations} crash cases ({stats.skipped} skipped, "
+            f"{stats.crashed} commit-point crashes), "
+            f"{stats.replayed_commits} commits exercised, "
+            f"{len(stats.divergences)} divergence(s) in {elapsed:.1f}s"
+        )
+        for divergence in stats.divergences:
+            print(f"  {divergence}")
         for path in stats.repro_paths:
             print(f"  repro: {path}")
         return 0 if stats.ok else 1

@@ -237,6 +237,7 @@ def build_database(spec: WorldSpec) -> Database:
     db = Database(catalog, store)
     for ix in spec.indexes:
         db.create_index(ix.name, ix.collection, ix.path)
+    db.bootstrap = {"kind": "world", "spec": spec.to_dict()}
     return db
 
 

@@ -24,6 +24,100 @@ from dataclasses import dataclass, field
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 
+def capped_backoff_ms(
+    attempt: int,
+    base_ms: float = 1.0,
+    cap_ms: float = 50.0,
+    rng: random.Random | None = None,
+) -> float:
+    """Capped exponential backoff for the Nth retry (1-based), in ms.
+
+    ``base * 2**(attempt-1)`` capped at ``cap_ms``; when ``rng`` is given
+    the result is jittered into ``[0.5, 1.0]`` of the deterministic value
+    so synchronized retriers decorrelate.  Shared by the storage fault
+    injector and the server client's connect retry.
+    """
+    wait = min(cap_ms, base_ms * (2.0 ** (attempt - 1)))
+    if rng is not None:
+        wait *= 0.5 + rng.random() * 0.5
+    return wait
+
+
+class SimulatedCrash(RuntimeError):
+    """An injected process "kill" at a seeded crash point.
+
+    Deliberately **not** a :class:`~repro.errors.ReproError`: every
+    internal ``except ReproError`` handler (rollback paths, the server's
+    typed-error boundary) must let it through untouched, exactly like a
+    real SIGKILL would not run them.  The crash-recovery fuzz oracle
+    catches it at top level, reopens the directory, and compares.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated crash at {point}")
+        self.point = point
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """A seeded description of where the engine should "lose power".
+
+    ``crash_at_commit`` counts *durable log appends* (1-based); when the
+    Nth append runs, the plan fires at ``crash_point``:
+
+    * ``"mid-record"`` — only ``crash_after_bytes`` of the framed record
+      reach the file (a torn tail); the commit must NOT survive recovery.
+    * ``"post-record-pre-ack"`` — the record is fully written and
+      fsynced, then the process dies before the commit is acknowledged;
+      the commit IS durable and must survive recovery.
+    * ``"mid-checkpoint-rename"`` — the checkpoint temp file is written
+      and fsynced but the process dies before the atomic rename; the old
+      checkpoint (and full log) stay authoritative.
+
+    ``crash_at_commit <= 0`` never fires (the default, so a plan can be
+    threaded through unconditionally).
+    """
+
+    crash_at_commit: int = 0
+    crash_point: str = "post-record-pre-ack"
+    #: For ``mid-record``: bytes of the frame that reach the file before
+    #: the crash.  Negative means "half the frame".
+    crash_after_bytes: int = -1
+
+    POINTS = ("mid-record", "post-record-pre-ack", "mid-checkpoint-rename")
+
+    def __post_init__(self) -> None:
+        if self.crash_point not in self.POINTS:
+            raise ValueError(f"unknown crash point {self.crash_point!r}")
+
+    def fires_at(self, commit_ordinal: int) -> bool:
+        """Whether this plan kills the process at the Nth log append."""
+        return (
+            self.crash_at_commit > 0
+            and commit_ordinal == self.crash_at_commit
+            and self.crash_point in ("mid-record", "post-record-pre-ack")
+        )
+
+    def torn_bytes(self, frame_len: int) -> int:
+        """How many bytes of an N-byte frame survive a mid-record crash.
+
+        Clamped strictly below ``frame_len``: "mid-record" *means* the
+        record did not fully land (a fully-landed record is just
+        ``post-record-pre-ack`` wearing a different name), so the commit
+        verifiably must not survive recovery.
+        """
+        if self.crash_after_bytes >= 0:
+            return min(self.crash_after_bytes, frame_len - 1)
+        return frame_len // 2
+
+    def fires_at_checkpoint(self) -> bool:
+        """Whether this plan kills the process before a checkpoint rename."""
+        return (
+            self.crash_at_commit > 0
+            and self.crash_point == "mid-checkpoint-rename"
+        )
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """A seeded description of injected storage unreliability."""
@@ -45,8 +139,8 @@ class FaultPlan:
 
     def backoff_for(self, attempt: int) -> float:
         """Deterministic (pre-jitter) backoff for the Nth retry (1-based)."""
-        return min(
-            self.backoff_cap_ms, self.backoff_base_ms * (2.0 ** (attempt - 1))
+        return capped_backoff_ms(
+            attempt, self.backoff_base_ms, self.backoff_cap_ms
         )
 
     @classmethod
@@ -113,8 +207,12 @@ class FaultInjector:
     def backoff(self, page_id: int, attempt: int) -> float:
         """Charge one capped-exponential, jittered retry backoff (ms)."""
         with self._lock:
-            jitter = 0.5 + self._rng.random() * 0.5
-            wait = self.plan.backoff_for(attempt) * jitter
+            wait = capped_backoff_ms(
+                attempt,
+                self.plan.backoff_base_ms,
+                self.plan.backoff_cap_ms,
+                rng=self._rng,
+            )
             self.stats.backoff_ms += wait
         if self.tracer.enabled:
             self.tracer.event(
@@ -167,4 +265,11 @@ class FaultInjector:
         return decided
 
 
-__all__ = ["FaultInjector", "FaultPlan", "FaultStats"]
+__all__ = [
+    "CrashPlan",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "SimulatedCrash",
+    "capped_backoff_ms",
+]

@@ -11,11 +11,14 @@ it would local ones.
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 from typing import Any
 
 from repro import errors as _errors
 from repro.errors import ReproError
+from repro.governor.faults import capped_backoff_ms
 from repro.server.protocol import encode
 
 
@@ -40,12 +43,45 @@ def _raise_typed(error: dict[str, Any]) -> None:
 
 
 class ServerClient:
-    """One session against a :class:`DatabaseServer`."""
+    """One session against a :class:`DatabaseServer`.
+
+    ``connect_retries`` makes only the *initial connect* resilient to
+    transient refusals (server still binding, restart in progress),
+    retried with the governor's capped-exponential-backoff-with-jitter
+    schedule.  In-flight requests are **never** retried: a statement
+    whose response was lost may or may not have committed, and silently
+    resending it could apply DML twice.  That decision belongs to the
+    caller, who knows whether the statement is idempotent.
+    """
 
     def __init__(
-        self, host: str, port: int, timeout: float | None = 30.0
+        self,
+        host: str,
+        port: int,
+        timeout: float | None = 30.0,
+        connect_retries: int = 0,
+        backoff_base_ms: float = 1.0,
+        backoff_cap_ms: float = 50.0,
+        rng: random.Random | None = None,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        attempt = 0
+        while True:
+            try:
+                self._sock = socket.create_connection(
+                    (host, port), timeout=timeout
+                )
+                break
+            except (ConnectionRefusedError, ConnectionResetError):
+                if attempt >= connect_retries:
+                    raise
+                attempt += 1
+                delay_ms = capped_backoff_ms(
+                    attempt,
+                    base_ms=backoff_base_ms,
+                    cap_ms=backoff_cap_ms,
+                    rng=rng,
+                )
+                time.sleep(delay_ms / 1000.0)
         self._reader = self._sock.makefile("rb")
 
     # -- context manager ------------------------------------------------

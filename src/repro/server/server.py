@@ -41,6 +41,10 @@ DEFAULT_MAX_WAIT_MS = 2000.0
 #: How long `stop()` waits for in-flight requests before closing sockets.
 DEFAULT_DRAIN_SECONDS = 5.0
 
+#: How often the idle reaper sweeps sessions, as a fraction of the
+#: idle timeout (bounded below so tiny timeouts don't spin).
+_REAPER_MIN_SWEEP_SECONDS = 0.05
+
 
 class DatabaseServer:
     """Serve one database to many sessions over the JSON-line protocol."""
@@ -53,16 +57,21 @@ class DatabaseServer:
         max_concurrent: int = DEFAULT_MAX_CONCURRENT,
         max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
         drain_seconds: float = DEFAULT_DRAIN_SECONDS,
+        idle_timeout_seconds: float | None = None,
     ) -> None:
+        if idle_timeout_seconds is not None and idle_timeout_seconds <= 0:
+            raise ValueError("idle_timeout_seconds must be positive")
         self.db = db
         self.host = host
         self.port = port
         self.drain_seconds = drain_seconds
+        self.idle_timeout_seconds = idle_timeout_seconds
         self.admission = AdmissionController(
             max_concurrent, max_wait_ms=max_wait_ms, tracer=db.tracer
         )
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
+        self._reaper_thread: threading.Thread | None = None
         self._session_ids = itertools.count(1)
         self._sessions: dict[int, Session] = {}
         self._connections: dict[int, socket.socket] = {}
@@ -96,6 +105,13 @@ class DatabaseServer:
             target=self._accept_loop, name="repro-server-accept", daemon=True
         )
         self._accept_thread.start()
+        if self.idle_timeout_seconds is not None:
+            self._reaper_thread = threading.Thread(
+                target=self._reap_loop,
+                name="repro-server-reaper",
+                daemon=True,
+            )
+            self._reaper_thread.start()
         return self.address
 
     def stop(self, drain: bool | None = None) -> None:
@@ -114,6 +130,10 @@ class DatabaseServer:
             drain = True
         if drain:
             self._drain(self.drain_seconds)
+            if getattr(self.db, "durability", None) is not None:
+                # Graceful shutdown leaves a fresh checkpoint so the
+                # next open() replays an empty (or tiny) log.
+                self.db.checkpoint()
         with self._lock:
             sessions = list(self._sessions.values())
             connections = list(self._connections.values())
@@ -129,6 +149,9 @@ class DatabaseServer:
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=1.0)
             self._accept_thread = None
+        if self._reaper_thread is not None:
+            self._reaper_thread.join(timeout=1.0)
+            self._reaper_thread = None
 
     def _drain(self, seconds: float) -> None:
         """Wait until no request is mid-execution (bounded)."""
@@ -142,6 +165,22 @@ class DatabaseServer:
             if not busy:
                 return
             time.sleep(0.01)
+
+    def _reap_loop(self) -> None:
+        """Periodically expire sessions idle past ``idle_timeout_seconds``.
+
+        Expiry rolls back the session's open transaction and frees its
+        cursors; the connection stays up so the client's next request
+        gets a typed ``SessionExpired`` rather than a dead socket.
+        """
+        timeout = self.idle_timeout_seconds
+        sweep = max(_REAPER_MIN_SWEEP_SECONDS, timeout / 4.0)
+        while not self._stopping.wait(sweep):
+            now = time.monotonic()
+            with self._lock:
+                sessions = list(self._sessions.values())
+            for session in sessions:
+                session.maybe_expire(now, timeout)
 
     # ------------------------------------------------------------------
 

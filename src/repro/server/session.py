@@ -22,7 +22,7 @@ from typing import Any
 
 from repro.cli import Shell
 from repro.engine.dml import DmlResult
-from repro.errors import ReproError, WriteConflict
+from repro.errors import ReproError, SessionExpired, WriteConflict
 from repro.server.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -66,6 +66,9 @@ class Session:
         self.statements = 0
         self.errors = 0
         self.closed = False
+        #: Set by the idle reaper; the next request gets SessionExpired.
+        self.expired = False
+        self.last_activity = time.monotonic()
         self._cursor_ids = itertools.count(1)
         self.cursors: dict[int, Cursor] = {}
         # One request at a time: the socket loop is serial, but drain()
@@ -77,8 +80,15 @@ class Session:
     def handle(self, request: dict[str, Any]) -> dict[str, Any]:
         """Execute one decoded request and build its response payload."""
         with self.lock:
+            self.last_activity = time.monotonic()
             op = request["op"]
             try:
+                if self.expired:
+                    raise SessionExpired(
+                        "session expired after idling past the server's "
+                        "idle timeout; its transaction was rolled back — "
+                        "reconnect to continue"
+                    )
                 if op == "hello":
                     return self._hello()
                 if op == "line":
@@ -184,6 +194,41 @@ class Session:
 
     # ------------------------------------------------------------------
 
+    def maybe_expire(self, now: float, timeout: float) -> bool:
+        """Expire this session if it has idled past ``timeout`` seconds.
+
+        Called by the server's reaper thread.  Uses a *non-blocking*
+        lock acquire so the reaper never stalls behind an in-flight
+        request — a busy session is by definition not idle — and
+        re-checks idleness under the lock, because a request may have
+        slipped in between the outside check and the acquire.
+
+        Expiry rolls back the session's open transaction (freeing its
+        snapshot and any write intents), drops its cursors, and marks
+        the session so its next request raises
+        :class:`~repro.errors.SessionExpired`.  Returns ``True`` when
+        this call performed the expiry.
+        """
+        if self.expired or self.closed:
+            return False
+        if now - self.last_activity < timeout:
+            return False
+        if not self.lock.acquire(blocking=False):
+            return False  # mid-request: not idle after all
+        try:
+            if self.expired or self.closed:
+                return False
+            if now - self.last_activity < timeout:
+                return False
+            self.expired = True
+            self.cursors.clear()
+            if self.shell.transaction is not None:
+                self.shell.transaction.rollback()
+                self.shell.transaction = None
+            return True
+        finally:
+            self.lock.release()
+
     def close(self) -> None:
         """Roll back any open transaction and drop cursors (idempotent)."""
         if self.closed:
@@ -202,10 +247,11 @@ class Session:
             if self.shell.transaction is not None
             else ""
         )
+        flag = ", expired" if self.expired else ""
         return (
             f"session {self.id} [{self.peer}] {age:.0f}s, "
             f"{self.statements} statement(s), {self.errors} error(s)"
-            f"{txn}"
+            f"{txn}{flag}"
         )
 
 

@@ -30,6 +30,7 @@ phantoms are possible (see docs §12).
 from __future__ import annotations
 
 import threading
+import warnings
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterator
@@ -81,6 +82,12 @@ class Transaction:
         #: insertion order: (target collection, oid, data).
         self.inserts: list[tuple[str, Oid, dict[str, Any]]] = []
         self._inserted: dict[Oid, int] = {}  # oid -> index into inserts
+        #: Every OID this transaction ever minted, including inserts later
+        #: canceled by delete/savepoint-rollback.  The write-ahead log
+        #: records these so recovery replays the allocator to the same
+        #: next-serial state; deliberately NOT restored by rollback_to
+        #: (the allocator never rewinds).
+        self.minted: list[Oid] = []
 
     # -- write buffering -------------------------------------------------
 
@@ -94,6 +101,7 @@ class Transaction:
         """Buffer a new object for ``collection``; returns its fresh OID."""
         self._require_active()
         oid = self._manager.mint(collection, data)
+        self.minted.append(oid)
         self._inserted[oid] = len(self.inserts)
         self.inserts.append((collection, oid, dict(data)))
         return oid
@@ -304,6 +312,9 @@ class TransactionManager:
         #: the commit lock (containment checks for deletes).
         self._member_sets: dict[str, set[Oid]] = {}
         self._listeners: list[Callable[[CommitRecord], None]] = []
+        #: Optional DurabilityManager; when set, commit() logs + fsyncs
+        #: each transaction before applying it (see log_commit there).
+        self.durability = None
 
     # -- snapshots -------------------------------------------------------
 
@@ -311,6 +322,11 @@ class TransactionManager:
     def current_csn(self) -> int:
         """The latest committed CSN (0 = the sealed base load)."""
         return self._csn
+
+    @property
+    def commit_lock(self) -> threading.Lock:
+        """The commit lock, for checkpoint-style whole-state operations."""
+        return self._lock
 
     def begin(self) -> Transaction:
         """Open a transaction pinned at the current committed snapshot."""
@@ -418,61 +434,222 @@ class TransactionManager:
         return members
 
     def commit(self, txn: Transaction) -> int:
-        """Apply a transaction's writes; see :meth:`Transaction.commit`."""
+        """Apply a transaction's writes; see :meth:`Transaction.commit`.
+
+        With durability attached the order under the lock is: conflict
+        checks → CSN assignment → log append + fsync → in-memory apply →
+        CSN publish → listeners.  The log append may raise (real I/O
+        error, simulated crash); at that point *nothing* has been
+        applied, so the failed commit was never visible and was never
+        acknowledged — memory and log agree it didn't happen.
+        """
         with self._lock:
             for oid in list(txn.updates) + list(txn.deletes):
                 self.check_conflict(txn, oid)
             csn = self._csn + 1
-            record = CommitRecord(csn=csn)
-            for oid, data in txn.updates.items():
-                self._versions.setdefault(oid, []).append((csn, data))
-                self._last_write[oid] = csn
-                record.updated += 1
-                for name in self.collections_containing(oid):
-                    self._touch(name, csn)
-                    record.deltas.setdefault(name, 0)
-            for oid in txn.deletes:
-                self._versions.setdefault(oid, []).append((csn, None))
-                self._last_write[oid] = csn
-                for name in self.collections_containing(oid):
-                    self._member_log.setdefault(name, []).append(
-                        (csn, -1, oid)
-                    )
-                    self._current_members(name).discard(oid)
-                    self._touch(name, csn)
-                    record.deltas[name] = record.deltas.get(name, 0) - 1
-            last_page = -1
-            for entry in txn.inserts:
-                if entry is None:
-                    continue
-                target, oid, data = entry
-                self._versions.setdefault(oid, []).append((csn, data))
-                page = self._overflow_pages.get(oid)
-                if page is not None:
-                    last_page = max(last_page, page)
-                names = (target, *self.auto_collections(target, oid.type_name))
-                for name in names:
-                    self._member_log.setdefault(name, []).append(
-                        (csn, +1, oid)
-                    )
-                    self._current_members(name).add(oid)
-                    self._touch(name, csn)
-                    record.deltas[name] = record.deltas.get(name, 0) + 1
-            if last_page >= 0:
-                self._store.disk.extend_span(last_page + 1)
+            if self.durability is not None:
+                self.durability.log_commit(csn, txn)
+            record = self._apply_locked(
+                csn, txn.updates, txn.deletes, txn.inserts
+            )
             # Publish last: a reader pinned at any s < csn has already
             # failed every `<= s` test above; bumping the CSN is the
             # single atomic act that makes the commit visible.
             self.dirty = True
             self._csn = csn
-            for listener in self._listeners:
-                listener(record)
+            self._notify(record)
         return csn
+
+    def _apply_locked(self, csn, updates, deletes, inserts) -> CommitRecord:
+        """Append one commit's version/membership entries (lock held).
+
+        Shared by :meth:`commit` and :meth:`apply_recovered`, so replay
+        goes through the exact code the original commit did.  Deletes
+        apply in sorted OID order to make the member-log byte-for-byte
+        reproducible regardless of set iteration order.
+        """
+        record = CommitRecord(csn=csn)
+        for oid, data in updates.items():
+            self._versions.setdefault(oid, []).append((csn, data))
+            self._last_write[oid] = csn
+            record.updated += 1
+            for name in self.collections_containing(oid):
+                self._touch(name, csn)
+                record.deltas.setdefault(name, 0)
+        for oid in sorted(deletes):
+            self._versions.setdefault(oid, []).append((csn, None))
+            self._last_write[oid] = csn
+            for name in self.collections_containing(oid):
+                self._member_log.setdefault(name, []).append(
+                    (csn, -1, oid)
+                )
+                self._current_members(name).discard(oid)
+                self._touch(name, csn)
+                record.deltas[name] = record.deltas.get(name, 0) - 1
+        last_page = -1
+        for entry in inserts:
+            if entry is None:
+                continue
+            target, oid, data = entry
+            self._versions.setdefault(oid, []).append((csn, data))
+            page = self._overflow_pages.get(oid)
+            if page is not None:
+                last_page = max(last_page, page)
+            names = (target, *self.auto_collections(target, oid.type_name))
+            for name in names:
+                self._member_log.setdefault(name, []).append(
+                    (csn, +1, oid)
+                )
+                self._current_members(name).add(oid)
+                self._touch(name, csn)
+                record.deltas[name] = record.deltas.get(name, 0) + 1
+        if last_page >= 0:
+            self._store.disk.extend_span(last_page + 1)
+        return record
+
+    def _notify(self, record: CommitRecord) -> None:
+        """Invoke commit listeners, containing their failures.
+
+        By the time listeners run the commit is durable (logged, fsynced)
+        and published (CSN bumped) — a listener raising must not travel
+        back up through ``Transaction.commit`` and make the caller roll
+        back / report failure for a transaction that actually committed.
+        Listener bugs surface as warnings instead.
+        """
+        for listener in self._listeners:
+            try:
+                listener(record)
+            except Exception as exc:  # noqa: BLE001 - see docstring
+                warnings.warn(
+                    f"commit listener {listener!r} raised {exc!r}; "
+                    f"commit {record.csn} stands",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
 
     def _touch(self, name: str, csn: int) -> None:
         csns = self._touch_csns.setdefault(name, [])
         if not csns or csns[-1] != csn:
             csns.append(csn)
+
+    # -- durability: recovery replay and checkpoint state ----------------
+
+    def apply_recovered(
+        self,
+        csn: int,
+        updates: dict[Oid, dict[str, Any]],
+        deletes: list[Oid],
+        inserts: list[tuple[str, Oid, dict[str, Any]]],
+        minted: list[Oid],
+    ) -> None:
+        """Replay one logged commit during recovery.
+
+        Runs the allocator for every OID the original transaction minted
+        (so post-recovery minting continues the serial chain without
+        collisions), then applies the writes through the same code path
+        :meth:`commit` uses — listeners included, so the catalog's data
+        versions advance exactly as they did the first time.  Never logs:
+        these records are already in the log.
+        """
+        with self._lock:
+            if csn <= self._csn:
+                return
+            self._replay_mints(minted)
+            record = self._apply_locked(csn, updates, deletes, inserts)
+            self.dirty = True
+            self._csn = csn
+            self._notify(record)
+
+    def _replay_mints(self, minted: list[Oid]) -> None:
+        """Re-run the allocator for logged mints (lock held).
+
+        Serial numbers follow the logged OIDs (mints by *rolled-back*
+        transactions were never logged, so the replayed allocator may
+        skip serials the original burned — logged serials are
+        authoritative).  Page/slot assignment re-runs the normal
+        first-fit logic, which can differ from the original exactly when
+        unlogged mints consumed slots; page ids affect only simulated
+        I/O accounting, never data.
+        """
+        catalog = self._store.catalog
+        for oid in minted:
+            type_name = oid.type_name
+            serial, page, slots = self._allocators.get(
+                type_name, (self._base_serial(type_name), -1, 0)
+            )
+            if slots <= 0:
+                object_size = catalog.type_of(type_name).object_size
+                per_page = max(1, catalog.page_size // object_size)
+                page = self._next_overflow_page()
+                slots = per_page
+            serial = max(serial, oid.serial)
+            self._overflow_pages[oid] = page
+            self._allocators[type_name] = (serial + 1, page, slots - 1)
+
+    def state_snapshot(self) -> dict[str, Any]:
+        """Deep-copy the full MVCC state for a checkpoint.
+
+        The caller must hold :attr:`commit_lock` — checkpoints hold it
+        across snapshot, file write, and log truncate so no commit can
+        land in between and be dropped.
+        """
+        return {
+            "csn": self._csn,
+            "dirty": self.dirty,
+            "versions": {
+                oid: list(chain) for oid, chain in self._versions.items()
+            },
+            "member_log": {
+                name: list(log) for name, log in self._member_log.items()
+            },
+            "touch_csns": {
+                name: list(csns) for name, csns in self._touch_csns.items()
+            },
+            "last_write": dict(self._last_write),
+            "overflow_pages": dict(self._overflow_pages),
+            "allocators": dict(self._allocators),
+            "overflow_next": self._overflow_next,
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Install a checkpointed :meth:`state_snapshot` (recovery only).
+
+        Rebuilds the incrementally maintained member sets from the
+        restored logs and re-extends the disk span over committed
+        overflow pages, so every derived structure matches what the
+        original engine held at the checkpoint CSN.
+        """
+        with self._lock:
+            self._csn = state["csn"]
+            self.dirty = state["dirty"]
+            self._versions = {
+                oid: list(chain) for oid, chain in state["versions"].items()
+            }
+            self._member_log = {
+                name: list(log) for name, log in state["member_log"].items()
+            }
+            self._touch_csns = {
+                name: list(csns)
+                for name, csns in state["touch_csns"].items()
+            }
+            self._last_write = dict(state["last_write"])
+            self._overflow_pages = dict(state["overflow_pages"])
+            self._allocators = dict(state["allocators"])
+            self._overflow_next = state["overflow_next"]
+            # `_current_members` lazily seeds from *base* members only;
+            # after a restore the member sets must reflect the restored
+            # member log too, so precompute them all eagerly.
+            self._member_sets = {
+                name: set(self.members_at(name, self._csn))
+                for name in self._store.collection_names()
+            }
+            pages = [
+                page
+                for oid, page in self._overflow_pages.items()
+                if oid in self._versions
+            ]
+            if pages:
+                self._store.disk.extend_span(max(pages) + 1)
 
     # -- visibility ------------------------------------------------------
 

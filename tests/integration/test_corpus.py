@@ -3,10 +3,12 @@
 Each ``repro-*.json`` file is a shrunk (world, query) pair that once
 exposed a real divergence between two execution configurations (see the
 ``note`` inside each file); ``repro-dml-*.json`` files are (world,
-write-batch) pairs for the DML-interleaved oracle.  This collector
-rebuilds each world from scratch and re-runs the matching differential
-oracle on it, so a regression of any pinned bug fails loudly with the
-configuration that diverged.
+write-batch) pairs for the DML-interleaved oracle, and
+``repro-crash-*.json`` files are (world, write-batch, crash-plan)
+triples for the crash-recovery oracle.  This collector rebuilds each
+world from scratch and re-runs the matching differential oracle on it,
+so a regression of any pinned bug fails loudly with the configuration
+that diverged.
 """
 
 from pathlib import Path
@@ -14,12 +16,18 @@ from pathlib import Path
 import pytest
 
 from repro.fuzz import build_database, corpus_files, load_repro, run_case
+from repro.fuzz.crash import load_crash_repro, run_crash_case
 from repro.fuzz.dml import load_dml_repro, run_dml_case
 
 CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
 ALL_FILES = corpus_files(CORPUS_DIR)
 DML_CORPUS = [p for p in ALL_FILES if p.stem.startswith("repro-dml-")]
-CORPUS = [p for p in ALL_FILES if not p.stem.startswith("repro-dml-")]
+CRASH_CORPUS = [p for p in ALL_FILES if p.stem.startswith("repro-crash-")]
+CORPUS = [
+    p
+    for p in ALL_FILES
+    if not p.stem.startswith(("repro-dml-", "repro-crash-"))
+]
 
 
 def test_corpus_present():
@@ -46,3 +54,11 @@ def test_dml_corpus_case_stays_fixed(path):
     assert batch.ops, "pinned DML case lost its statements"
     mismatches = run_dml_case(world, batch)
     assert not mismatches, "\n".join(str(m) for m in mismatches)
+
+
+@pytest.mark.parametrize("path", CRASH_CORPUS, ids=lambda p: p.stem)
+def test_crash_corpus_case_stays_fixed(path):
+    world, batch, plan, checkpoint_every = load_crash_repro(path)
+    assert batch.ops, "pinned crash case lost its statements"
+    divergences = run_crash_case(world, batch, plan, checkpoint_every)
+    assert not divergences, "\n".join(str(d) for d in divergences)
